@@ -1,0 +1,141 @@
+//! Criterion micro-benchmarks for the core operations: store pattern
+//! matching, saturation, reformulation, canonicalization, transition
+//! application, cardinality estimation and query evaluation.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use rdfviews::core::transitions::{apply, enumerate, TransitionConfig, TransitionKind};
+use rdfviews::core::{CostModel, CostWeights, State};
+use rdfviews::engine::evaluate;
+use rdfviews::model::StorePattern;
+use rdfviews::query::canonical::{canonical_form, HeadMode};
+use rdfviews::reform::reformulate;
+use rdfviews::schema::saturated_copy;
+use rdfviews::stats::collect_stats;
+use rdfviews::workload::{
+    generate_barton, generate_satisfiable, BartonSpec, SatisfiableSpec, Shape,
+};
+use rdfviews_bench::free_workload;
+
+fn bench_store(c: &mut Criterion) {
+    let data = generate_barton(&BartonSpec::default().with_size(2_000, 20_000));
+    let p = data.properties[0];
+    let ty = data.vocab.rdf_type;
+    c.bench_function("store/match_count_p", |b| {
+        b.iter(|| {
+            black_box(
+                data.db
+                    .store()
+                    .match_count(&StorePattern::with_p(black_box(p))),
+            )
+        })
+    });
+    c.bench_function("store/matching_po", |b| {
+        b.iter(|| {
+            black_box(
+                data.db
+                    .store()
+                    .matching(&StorePattern::with_po(ty, data.classes[0])),
+            )
+        })
+    });
+}
+
+fn bench_saturation(c: &mut Criterion) {
+    let data = generate_barton(&BartonSpec::default().with_size(1_000, 10_000));
+    c.bench_function("schema/saturate_10k", |b| {
+        b.iter_batched(
+            || data.db.store().clone(),
+            |store| black_box(saturated_copy(&store, &data.schema, &data.vocab)),
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+fn bench_reformulate(c: &mut Criterion) {
+    let data = generate_barton(&BartonSpec::tiny());
+    let qs = generate_satisfiable(&data.db, &SatisfiableSpec::new(1, 4, Shape::Star));
+    c.bench_function("reform/star4_barton_schema", |b| {
+        b.iter(|| black_box(reformulate(&qs[0], &data.schema, &data.vocab)))
+    });
+}
+
+fn bench_canonical(c: &mut Criterion) {
+    let bench = free_workload(
+        rdfviews::workload::Shape::Star,
+        rdfviews::workload::Commonality::Low,
+        1,
+        10,
+        3,
+        0.3,
+        100,
+    );
+    let q = &bench.workload[0];
+    c.bench_function("canonical/star10", |b| {
+        b.iter(|| black_box(canonical_form(q, HeadMode::Sorted)))
+    });
+}
+
+fn bench_transitions(c: &mut Criterion) {
+    let bench = free_workload(
+        rdfviews::workload::Shape::Chain,
+        rdfviews::workload::Commonality::High,
+        2,
+        6,
+        5,
+        0.3,
+        500,
+    );
+    let s0 = State::initial(&bench.workload);
+    let cfg = TransitionConfig::default();
+    c.bench_function("transitions/enumerate_all", |b| {
+        b.iter(|| {
+            for kind in TransitionKind::ALL {
+                black_box(enumerate(&s0, kind, &cfg));
+            }
+        })
+    });
+    let sc = enumerate(&s0, TransitionKind::Sc, &cfg).remove(0);
+    c.bench_function("transitions/apply_sc", |b| {
+        b.iter(|| black_box(apply(&s0, &sc)))
+    });
+    c.bench_function("state/signature", |b| b.iter(|| black_box(s0.signature())));
+}
+
+fn bench_cost(c: &mut Criterion) {
+    let bench = free_workload(
+        rdfviews::workload::Shape::Mixed,
+        rdfviews::workload::Commonality::High,
+        5,
+        8,
+        9,
+        0.2,
+        2_000,
+    );
+    let cat = collect_stats(bench.db.store(), bench.db.dict(), &bench.workload);
+    let model = CostModel::new(&cat, CostWeights::default());
+    let s0 = State::initial(&bench.workload);
+    c.bench_function("cost/breakdown_5q", |b| {
+        b.iter(|| black_box(model.breakdown(&s0)))
+    });
+}
+
+fn bench_evaluate(c: &mut Criterion) {
+    let data = generate_barton(&BartonSpec::default().with_size(2_000, 20_000));
+    let qs = generate_satisfiable(&data.db, &SatisfiableSpec::new(1, 3, Shape::Chain));
+    c.bench_function("engine/chain3_20k", |b| {
+        b.iter(|| black_box(evaluate(data.db.store(), &qs[0])))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_store, bench_saturation, bench_reformulate, bench_canonical,
+              bench_transitions, bench_cost, bench_evaluate
+}
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Human-readable rendering of views, rewritings and states.
+
+use rdf_model::Dictionary;
+use rdf_query::display::term_to_string;
+
+use crate::state::{Rewriting, State, View};
+
+/// Renders a view as `v3(X0, X1) :- t(X0, <p>, X1), …`.
+pub fn view_to_string(view: &View, dict: &Dictionary) -> String {
+    rdf_query::display::query_to_string(&view.id.to_string(), &view.as_query(), dict)
+}
+
+/// Renders a rewriting as `q0(X, Z) = v1(X, u0), v2(u0, Z, <c>)` — the
+/// conjunctive-over-views form in which constants are selections and
+/// repeated variables joins.
+pub fn rewriting_to_string(r: &Rewriting, dict: &Dictionary) -> String {
+    let head: Vec<String> = r.head.iter().map(|t| term_to_string(t, dict)).collect();
+    let atoms: Vec<String> = r
+        .atoms
+        .iter()
+        .map(|a| {
+            let args: Vec<String> = a.args.iter().map(|t| term_to_string(t, dict)).collect();
+            format!("{}({})", a.view, args.join(", "))
+        })
+        .collect();
+    format!(
+        "q{}({}) = {}",
+        r.query_index,
+        head.join(", "),
+        atoms.join(" ⋈ ")
+    )
+}
+
+/// Renders a whole state: views first, then rewritings.
+pub fn state_to_string(state: &State, dict: &Dictionary) -> String {
+    let mut out = String::new();
+    for v in state.views() {
+        out.push_str(&view_to_string(v, dict));
+        out.push('\n');
+    }
+    for r in state.rewritings() {
+        out.push_str(&rewriting_to_string(r, dict));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdf_query::parser::parse_query;
+
+    #[test]
+    fn renders_initial_state() {
+        let mut dict = Dictionary::new();
+        let q = parse_query("q(X) :- t(X, <p>, <c>)", &mut dict)
+            .unwrap()
+            .query;
+        let s = State::initial(&[q]);
+        let text = state_to_string(&s, &dict);
+        assert!(text.contains("v0(X0) :- t(X0, <p>, <c>)"), "{text}");
+        assert!(text.contains("q0(X0) = v0(X0)"), "{text}");
+    }
+
+    #[test]
+    fn renders_selection_constants_in_rewritings() {
+        use crate::transitions::{apply, enumerate, TransitionConfig, TransitionKind};
+        let mut dict = Dictionary::new();
+        let q = parse_query("q(X) :- t(X, <p>, <c>)", &mut dict)
+            .unwrap()
+            .query;
+        let s0 = State::initial(&[q]);
+        let sc = &enumerate(&s0, TransitionKind::Sc, &TransitionConfig::default())[1];
+        let s1 = apply(&s0, sc);
+        let text = state_to_string(&s1, &dict);
+        // The rewriting pins the cut constant as an argument.
+        assert!(text.contains("<c>)"), "{text}");
+    }
+}

@@ -1,0 +1,288 @@
+//! Workload partitioning — the paper's future-work direction implemented:
+//! "we consider parallelizing our view search algorithms by identifying
+//! workload queries that do not have many commonalities and running the
+//! search in parallel for each group" (Section 8).
+//!
+//! Queries are grouped into connected components of a *sharing graph*:
+//! two queries are connected when they share an atom shape (same
+//! constants, same variable-repetition pattern — the unit View Fusion can
+//! factorize across queries). Since no transition can fuse views of
+//! queries in different components, searching the components independently
+//! loses nothing; the component searches are embarrassingly parallel.
+
+use rdf_model::FxHashMap;
+use rdf_query::{ConjunctiveQuery, UnionQuery};
+use rdf_schema::{Schema, VocabIds};
+use rdf_stats::AtomKey;
+
+use crate::pipeline::{select_views, Recommendation, SelectionOptions};
+use crate::search::{SearchOutcome, SearchStats};
+use crate::state::State;
+
+/// Groups workload queries into sharing components. Returns the groups as
+/// sorted index lists, ordered by smallest member.
+pub fn partition_workload(queries: &[ConjunctiveQuery]) -> Vec<Vec<usize>> {
+    let n = queries.len();
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+        if parent[x] != x {
+            let root = find(parent, parent[x]);
+            parent[x] = root;
+        }
+        parent[x]
+    }
+    // Union queries sharing an atom key.
+    let mut owner: FxHashMap<AtomKey, usize> = FxHashMap::default();
+    for (qi, q) in queries.iter().enumerate() {
+        for atom in &q.atoms {
+            let key = AtomKey::of(atom);
+            match owner.get(&key) {
+                Some(&other) => {
+                    let a = find(&mut parent, qi);
+                    let b = find(&mut parent, other);
+                    parent[a] = b;
+                }
+                None => {
+                    owner.insert(key, qi);
+                }
+            }
+        }
+    }
+    let mut groups: FxHashMap<usize, Vec<usize>> = FxHashMap::default();
+    for qi in 0..n {
+        let root = find(&mut parent, qi);
+        groups.entry(root).or_default().push(qi);
+    }
+    let mut out: Vec<Vec<usize>> = groups.into_values().collect();
+    for g in &mut out {
+        g.sort_unstable();
+    }
+    out.sort();
+    out
+}
+
+/// Runs view selection per sharing group (optionally on threads) and
+/// merges the results into one recommendation covering the full workload.
+///
+/// The merged `outcome` aggregates costs and counters across groups; its
+/// `best_state` holds every group's views and rewritings, with
+/// `branch_of` mapping each rewriting back to its original query index.
+pub fn select_views_partitioned(
+    store: &rdf_model::TripleStore,
+    dict: &rdf_model::Dictionary,
+    schema: Option<(&Schema, &VocabIds)>,
+    workload: &[ConjunctiveQuery],
+    options: &SelectionOptions,
+    parallel: bool,
+) -> Recommendation {
+    let groups = partition_workload(workload);
+    let run_group = |group: &Vec<usize>| -> Recommendation {
+        let sub: Vec<ConjunctiveQuery> = group.iter().map(|&i| workload[i].clone()).collect();
+        select_views(store, dict, schema, &sub, options)
+    };
+    let recs: Vec<Recommendation> = if parallel && groups.len() > 1 {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = groups
+                .iter()
+                .map(|g| scope.spawn(move || run_group(g)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("group search"))
+                .collect()
+        })
+    } else {
+        groups.iter().map(run_group).collect()
+    };
+    merge_recommendations(&groups, recs)
+}
+
+fn merge_recommendations(groups: &[Vec<usize>], recs: Vec<Recommendation>) -> Recommendation {
+    let mut merged_state: Option<State> = None;
+    let mut workload: Vec<ConjunctiveQuery> = Vec::new();
+    let mut branch_of: Vec<usize> = Vec::new();
+    let mut materialization: Vec<UnionQuery> = Vec::new();
+    let mut stats = SearchStats::default();
+    let mut initial_cost = 0.0;
+    let mut best_cost = 0.0;
+    let mut catalog = None;
+    for (group, rec) in groups.iter().zip(recs) {
+        // Map the group's branch indexes back to original query indexes.
+        for (&b, q) in rec.branch_of.iter().zip(rec.workload.iter()) {
+            branch_of.push(group[b]);
+            workload.push(q.clone());
+        }
+        materialization.extend(rec.materialization);
+        initial_cost += rec.outcome.initial_cost;
+        best_cost += rec.outcome.best_cost;
+        stats.created += rec.outcome.stats.created;
+        stats.duplicates += rec.outcome.stats.duplicates;
+        stats.discarded += rec.outcome.stats.discarded;
+        stats.explored += rec.outcome.stats.explored;
+        stats.transitions += rec.outcome.stats.transitions;
+        stats.timed_out |= rec.outcome.stats.timed_out;
+        stats.out_of_budget |= rec.outcome.stats.out_of_budget;
+        stats.elapsed = stats.elapsed.max(rec.outcome.stats.elapsed);
+        merged_state = Some(match merged_state {
+            None => rec.outcome.best_state,
+            Some(acc) => acc.merge_with(&rec.outcome.best_state),
+        });
+        catalog = Some(rec.catalog);
+    }
+    let best_state = merged_state.expect("non-empty workload");
+    debug_assert_eq!(best_state.check_invariants(), Ok(()));
+    let views = best_state.views().cloned().collect();
+    Recommendation {
+        workload,
+        branch_of,
+        outcome: SearchOutcome {
+            best_state,
+            best_cost,
+            initial_cost,
+            stats,
+        },
+        views,
+        materialization,
+        catalog: catalog.expect("non-empty workload"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::search::SearchConfig;
+    use rdf_model::{Dataset, Term};
+    use rdf_query::parser::parse_query;
+
+    fn db() -> Dataset {
+        let mut db = Dataset::new();
+        for i in 0..40 {
+            let s = format!("s{i}");
+            db.insert_terms(
+                Term::uri(s.as_str()),
+                Term::uri(format!("p{}", i % 4)),
+                Term::uri(format!("o{}", i % 5)),
+            );
+        }
+        db
+    }
+
+    #[test]
+    fn partition_by_shared_atoms() {
+        let mut dict = rdf_model::Dictionary::new();
+        // q0 and q1 share t(·, p0, ·); q2 is isolated.
+        let q0 = parse_query("q0(X) :- t(X, <p0>, Y), t(X, <p1>, Z)", &mut dict)
+            .unwrap()
+            .query;
+        let q1 = parse_query("q1(A) :- t(A, <p0>, B)", &mut dict)
+            .unwrap()
+            .query;
+        let q2 = parse_query("q2(U) :- t(U, <p9>, <o9>)", &mut dict)
+            .unwrap()
+            .query;
+        let groups = partition_workload(&[q0, q1, q2]);
+        assert_eq!(groups, vec![vec![0, 1], vec![2]]);
+    }
+
+    #[test]
+    fn transitive_sharing_merges_groups() {
+        let mut dict = rdf_model::Dictionary::new();
+        let q0 = parse_query("q0(X) :- t(X, <p0>, Y)", &mut dict)
+            .unwrap()
+            .query;
+        let q1 = parse_query("q1(X) :- t(X, <p0>, Y), t(X, <p1>, Z)", &mut dict)
+            .unwrap()
+            .query;
+        let q2 = parse_query("q2(X) :- t(X, <p1>, Y)", &mut dict)
+            .unwrap()
+            .query;
+        let groups = partition_workload(&[q0, q1, q2]);
+        assert_eq!(groups, vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn constants_distinguish_atom_shapes() {
+        let mut dict = rdf_model::Dictionary::new();
+        // Same property, different object constants: no sharing.
+        let q0 = parse_query("q0(X) :- t(X, <p>, <a>)", &mut dict)
+            .unwrap()
+            .query;
+        let q1 = parse_query("q1(X) :- t(X, <p>, <b>)", &mut dict)
+            .unwrap()
+            .query;
+        let groups = partition_workload(&[q0, q1]);
+        assert_eq!(groups.len(), 2);
+    }
+
+    #[test]
+    fn partitioned_selection_answers_full_workload() {
+        let mut db = db();
+        let queries = vec![
+            parse_query("q0(X) :- t(X, <p0>, Y)", db.dict_mut())
+                .unwrap()
+                .query,
+            parse_query("q1(X) :- t(X, <p1>, <o1>)", db.dict_mut())
+                .unwrap()
+                .query,
+            parse_query("q2(X, Y) :- t(X, <p2>, Y)", db.dict_mut())
+                .unwrap()
+                .query,
+        ];
+        for parallel in [false, true] {
+            let rec = select_views_partitioned(
+                db.store(),
+                db.dict(),
+                None,
+                &queries,
+                &SelectionOptions {
+                    calibrate_cm: true,
+                    search: SearchConfig {
+                        time_budget: Some(std::time::Duration::from_secs(1)),
+                        ..SearchConfig::default()
+                    },
+                    ..Default::default()
+                },
+                parallel,
+            );
+            rec.outcome.best_state.check_invariants().unwrap();
+            assert_eq!(rec.branch_of.len(), 3);
+            // Every original query must be answerable.
+            let mut seen: rdf_model::FxHashSet<usize> = Default::default();
+            seen.extend(rec.branch_of.iter().copied());
+            assert_eq!(seen.len(), 3);
+        }
+    }
+
+    #[test]
+    fn partitioned_matches_joint_search_on_independent_groups() {
+        // For disjoint groups the search spaces are independent, so the
+        // sum of per-group best costs equals the joint search's best cost
+        // (given enough budget to explore both).
+        let mut db = db();
+        let queries = vec![
+            parse_query("q0(X) :- t(X, <p0>, <o0>), t(X, <p0>, Y)", db.dict_mut())
+                .unwrap()
+                .query,
+            parse_query("q1(A) :- t(A, <p3>, <o2>)", db.dict_mut())
+                .unwrap()
+                .query,
+        ];
+        // NOTE: q0 is non-minimal by construction? No: t(X,p0,o0) and
+        // t(X,p0,Y) — Y folds onto o0; minimization inside select_views
+        // reduces it to one atom. Both groups stay independent.
+        let opts = SelectionOptions {
+            calibrate_cm: false,
+            ..Default::default()
+        };
+        let joint = select_views(db.store(), db.dict(), None, &queries, &opts);
+        let parted = select_views_partitioned(db.store(), db.dict(), None, &queries, &opts, false);
+        let rel = (joint.outcome.best_cost - parted.outcome.best_cost).abs()
+            / joint.outcome.best_cost.max(1e-9);
+        assert!(
+            rel < 1e-6,
+            "joint {} vs partitioned {}",
+            joint.outcome.best_cost,
+            parted.outcome.best_cost
+        );
+    }
+}

@@ -1,0 +1,780 @@
+//! Search strategies over the space of candidate view sets (Section 5).
+//!
+//! All strategies share one bookkeeping core ([`Ctx`]): a signature-based
+//! duplicate detector, the Figure 5 counters (created / duplicate /
+//! discarded / explored states), a best-state tracker with a
+//! cost-over-time trace (Figure 7), stop conditions (Section 5.2) and a
+//! state budget standing in for the memory limit that makes the relational
+//! competitor strategies fail on large workloads (Section 6.2).
+//!
+//! Strategies:
+//!
+//! * [`StrategyKind::ExNaive`] — Algorithm 2, breadth-flavored exhaustive;
+//! * [`StrategyKind::ExStr`] — stratified exhaustive (EXSTR): each state
+//!   only receives transitions respecting the VB\* SC\* JC\* VF\* order of
+//!   its path (Theorem 5.3 guarantees this is still exhaustive);
+//! * [`StrategyKind::Dfs`] — stratified depth-first search: fully explores
+//!   each branch before backtracking, keeping the candidate set small;
+//! * [`StrategyKind::Gstr`] — greedy stratified: keeps only the best state
+//!   between transition phases;
+//! * [`StrategyKind::Pruning`] / [`StrategyKind::Greedy`] /
+//!   [`StrategyKind::Heuristic`] — the divide-and-conquer strategies of
+//!   Theodoratos et al. [21], reimplemented for comparison (Section 6.1).
+//!
+//! The **AVF** optimization (aggressive view fusion) collapses every newly
+//! created state to its VF-fixpoint, discarding the intermediate states —
+//! safe because VF never increases the cost (Section 3.3).
+
+pub mod competitors;
+
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+
+use rdf_model::FxHashMap;
+
+use crate::cost::CostModel;
+use crate::state::State;
+use crate::transitions::{apply, enumerate, Transition, TransitionConfig, TransitionKind};
+
+/// Which strategy drives the search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StrategyKind {
+    /// Algorithm 2: naive exhaustive.
+    ExNaive,
+    /// Stratified exhaustive.
+    ExStr,
+    /// Stratified depth-first (the paper's best scaling strategy).
+    Dfs,
+    /// Greedy stratified.
+    Gstr,
+    /// Theodoratos et al. Pruning (competitor).
+    Pruning,
+    /// Theodoratos et al. Greedy (competitor).
+    Greedy,
+    /// Theodoratos et al. Heuristic (competitor).
+    Heuristic,
+}
+
+impl StrategyKind {
+    /// Short display name as used in the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            StrategyKind::ExNaive => "EXNAIVE",
+            StrategyKind::ExStr => "EXSTR",
+            StrategyKind::Dfs => "DFS",
+            StrategyKind::Gstr => "GSTR",
+            StrategyKind::Pruning => "Pruning",
+            StrategyKind::Greedy => "Greedy",
+            StrategyKind::Heuristic => "Heuristic",
+        }
+    }
+}
+
+/// Search configuration (strategy + heuristics + budgets).
+#[derive(Debug, Clone)]
+pub struct SearchConfig {
+    /// The driving strategy.
+    pub strategy: StrategyKind,
+    /// Aggressive view fusion (the `-AVF` suffix of Section 6).
+    pub avf: bool,
+    /// The `stop_var` condition: discard states with an all-variable view.
+    pub stop_var: bool,
+    /// The `stop_tt` condition: discard states containing the full triple
+    /// table as a view.
+    pub stop_tt: bool,
+    /// The `stop_time` condition: wall-clock budget.
+    pub time_budget: Option<Duration>,
+    /// Maximum number of created states — the stand-in for the JVM heap
+    /// limit of the paper's experiments; exceeding it sets
+    /// [`SearchStats::out_of_budget`].
+    pub max_states: Option<usize>,
+    /// View Break overlap limit (see
+    /// [`TransitionConfig::vb_overlap_limit`]).
+    pub vb_overlap_limit: usize,
+}
+
+impl Default for SearchConfig {
+    fn default() -> Self {
+        Self {
+            strategy: StrategyKind::Dfs,
+            avf: true,
+            stop_var: true,
+            stop_tt: false,
+            time_budget: None,
+            max_states: Some(500_000),
+            vb_overlap_limit: 1,
+        }
+    }
+}
+
+/// Counters and traces of one search run (Figures 5 and 7 plot these).
+#[derive(Debug, Clone, Default)]
+pub struct SearchStats {
+    /// States reached by the search (including duplicates and discarded).
+    pub created: u64,
+    /// States already attained through a different path.
+    pub duplicates: u64,
+    /// States excluded by stop conditions (or dropped by AVF collapsing).
+    pub discarded: u64,
+    /// States whose outgoing transitions were all tried.
+    pub explored: u64,
+    /// Transitions applied.
+    pub transitions: u64,
+    /// `(seconds since start, best cost)` — appended whenever the best
+    /// improves.
+    pub best_cost_trace: Vec<(f64, f64)>,
+    /// Whether the state budget was exhausted (the simulated OOM).
+    pub out_of_budget: bool,
+    /// Whether the time budget expired.
+    pub timed_out: bool,
+    /// Total wall-clock time.
+    pub elapsed: Duration,
+}
+
+/// The result of a search.
+#[derive(Debug, Clone)]
+pub struct SearchOutcome {
+    /// The best state found (`Sb`).
+    pub best_state: State,
+    /// Its estimated cost.
+    pub best_cost: f64,
+    /// The initial state's cost.
+    pub initial_cost: f64,
+    /// Counters and traces.
+    pub stats: SearchStats,
+}
+
+impl SearchOutcome {
+    /// The paper's *relative cost reduction*:
+    /// `(cǫ(S0) − cǫ(Sb)) / cǫ(S0)` (Section 6.1).
+    pub fn rcr(&self) -> f64 {
+        if self.initial_cost == 0.0 {
+            0.0
+        } else {
+            (self.initial_cost - self.best_cost) / self.initial_cost
+        }
+    }
+}
+
+/// Runs the configured strategy from `s0`.
+pub fn search(s0: State, model: &CostModel<'_>, cfg: &SearchConfig) -> SearchOutcome {
+    match cfg.strategy {
+        StrategyKind::ExNaive => run_queue(s0, model, cfg, false),
+        StrategyKind::ExStr => run_queue(s0, model, cfg, true),
+        StrategyKind::Dfs => run_dfs(s0, model, cfg),
+        StrategyKind::Gstr => run_gstr(s0, model, cfg),
+        StrategyKind::Pruning | StrategyKind::Greedy | StrategyKind::Heuristic => {
+            competitors::run(s0, model, cfg)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Shared bookkeeping
+// ---------------------------------------------------------------------
+
+pub(crate) struct Ctx<'m, 'a, 'c> {
+    pub model: &'m CostModel<'a>,
+    pub cfg: &'c SearchConfig,
+    pub tcfg: TransitionConfig,
+    seen: FxHashMap<u128, u8>,
+    pub stats: SearchStats,
+    best: State,
+    best_cost: f64,
+    initial_cost: f64,
+    start: Instant,
+    deadline: Option<Instant>,
+    halted: bool,
+}
+
+pub(crate) enum Admission {
+    /// Unseen state (or re-reached at a strictly lower phase): expand it.
+    New,
+    /// Already attained.
+    Duplicate,
+    /// Rejected by a stop condition.
+    Discarded,
+}
+
+impl<'m, 'a, 'c> Ctx<'m, 'a, 'c> {
+    pub fn new(s0: &State, model: &'m CostModel<'a>, cfg: &'c SearchConfig) -> Self {
+        let start = Instant::now();
+        let initial_cost = model.cost(s0);
+        let mut seen = FxHashMap::default();
+        seen.insert(s0.signature(), 0u8);
+        let mut stats = SearchStats {
+            created: 1,
+            ..Default::default()
+        };
+        stats.best_cost_trace.push((0.0, initial_cost));
+        Ctx {
+            model,
+            cfg,
+            tcfg: TransitionConfig {
+                vb_overlap_limit: cfg.vb_overlap_limit,
+            },
+            seen,
+            stats,
+            best: s0.clone(),
+            best_cost: initial_cost,
+            initial_cost,
+            start,
+            deadline: cfg.time_budget.map(|d| start + d),
+            halted: false,
+        }
+    }
+
+    /// Whether the search must stop (time or state budget).
+    pub fn halted(&mut self) -> bool {
+        if self.halted {
+            return true;
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                self.stats.timed_out = true;
+                self.halted = true;
+            }
+        }
+        if let Some(max) = self.cfg.max_states {
+            if self.stats.created as usize >= max {
+                self.stats.out_of_budget = true;
+                self.halted = true;
+            }
+        }
+        self.halted
+    }
+
+    /// Whether a state is rejected by the configured stop conditions.
+    pub(crate) fn rejected(&self, s: &State) -> bool {
+        (self.cfg.stop_tt && s.views().any(|v| v.is_triple_table()))
+            || (self.cfg.stop_var && s.views().any(|v| v.all_variables()))
+    }
+
+    /// Registers a reached state.
+    pub fn admit(&mut self, s: &State, phase: u8) -> Admission {
+        self.stats.created += 1;
+        if self.rejected(s) {
+            self.stats.discarded += 1;
+            return Admission::Discarded;
+        }
+        let sig = s.signature();
+        match self.seen.entry(sig) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                self.stats.duplicates += 1;
+                if phase < *e.get() {
+                    // Reached through an earlier phase: must re-expand for
+                    // the stratified strategies to stay exhaustive.
+                    e.insert(phase);
+                    Admission::New
+                } else {
+                    Admission::Duplicate
+                }
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(phase);
+                self.consider_best(s);
+                Admission::New
+            }
+        }
+    }
+
+    fn consider_best(&mut self, s: &State) {
+        let cost = self.model.cost(s);
+        if cost < self.best_cost {
+            self.best_cost = cost;
+            self.best = s.clone();
+            self.stats
+                .best_cost_trace
+                .push((self.start.elapsed().as_secs_f64(), cost));
+        }
+    }
+
+    /// Applies the AVF fixpoint: all fusions, eagerly; intermediate states
+    /// are counted created-and-discarded, matching the paper's accounting.
+    pub fn avf_fixpoint(&mut self, mut s: State) -> State {
+        loop {
+            let vfs = enumerate(&s, TransitionKind::Vf, &self.tcfg);
+            let Some(t) = vfs.first() else {
+                return s;
+            };
+            let fused = apply(&s, t);
+            self.stats.transitions += 1;
+            // Does another fusion remain? If so this state is intermediate.
+            if !enumerate(&fused, TransitionKind::Vf, &self.tcfg).is_empty() {
+                self.stats.created += 1;
+                self.stats.discarded += 1;
+            }
+            s = fused;
+        }
+    }
+
+    /// Produces the successor of `s` by `t`, AVF-collapsed if configured.
+    pub fn step(&mut self, s: &State, t: &Transition) -> State {
+        self.stats.transitions += 1;
+        let next = apply(s, t);
+        if self.cfg.avf {
+            self.avf_fixpoint(next)
+        } else {
+            next
+        }
+    }
+
+    pub fn finish(mut self) -> SearchOutcome {
+        self.stats.elapsed = self.start.elapsed();
+        SearchOutcome {
+            best_state: self.best,
+            best_cost: self.best_cost,
+            initial_cost: self.initial_cost,
+            stats: self.stats,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Lazy per-state transition cursors
+// ---------------------------------------------------------------------
+
+/// Lazily enumerates the transitions of a state, one stratification phase
+/// at a time, so queued states don't hold their full transition lists.
+pub(crate) struct Cursor {
+    kinds: Vec<TransitionKind>,
+    kind_idx: usize,
+    list: Vec<Transition>,
+    pos: usize,
+}
+
+impl Cursor {
+    /// All four kinds (naive exploration).
+    pub fn all() -> Self {
+        Self::for_kinds(TransitionKind::ALL.to_vec())
+    }
+
+    /// Kinds allowed from a state whose path ends in `phase`, in
+    /// stratified order.
+    pub fn stratified(phase: TransitionKind) -> Self {
+        Self::for_kinds(
+            TransitionKind::ALL
+                .into_iter()
+                .filter(|k| *k >= phase)
+                .collect(),
+        )
+    }
+
+    /// A single kind (GSTR phases).
+    pub fn single(kind: TransitionKind) -> Self {
+        Self::for_kinds(vec![kind])
+    }
+
+    fn for_kinds(kinds: Vec<TransitionKind>) -> Self {
+        Cursor {
+            kinds,
+            kind_idx: 0,
+            list: Vec::new(),
+            pos: 0,
+        }
+    }
+
+    /// The next transition, if any.
+    pub fn next(&mut self, state: &State, tcfg: &TransitionConfig) -> Option<Transition> {
+        loop {
+            if self.pos < self.list.len() {
+                let t = self.list[self.pos].clone();
+                self.pos += 1;
+                return Some(t);
+            }
+            if self.kind_idx >= self.kinds.len() {
+                return None;
+            }
+            self.list = enumerate(state, self.kinds[self.kind_idx], tcfg);
+            self.pos = 0;
+            self.kind_idx += 1;
+        }
+    }
+}
+
+fn phase_tag(kind: TransitionKind) -> u8 {
+    kind as u8
+}
+
+// ---------------------------------------------------------------------
+// EXNAIVE / EXSTR (queue-based exhaustive search, Algorithm 2)
+// ---------------------------------------------------------------------
+
+fn run_queue(
+    s0: State,
+    model: &CostModel<'_>,
+    cfg: &SearchConfig,
+    stratified: bool,
+) -> SearchOutcome {
+    let mut ctx = Ctx::new(&s0, model, cfg);
+    let mut cs: VecDeque<(State, Cursor)> = VecDeque::new();
+    let cursor = if stratified {
+        Cursor::stratified(TransitionKind::Vb)
+    } else {
+        Cursor::all()
+    };
+    cs.push_back((s0, cursor));
+    while let Some((state, mut cursor)) = cs.pop_front() {
+        if ctx.halted() {
+            break;
+        }
+        // applyTrans: find one transition leading to a new state.
+        let mut found = false;
+        while let Some(t) = cursor.next(&state, &ctx.tcfg) {
+            let phase = if stratified { phase_tag(t.kind()) } else { 0 };
+            let next = ctx.step(&state, &t);
+            if matches!(ctx.admit(&next, phase), Admission::New) {
+                let next_cursor = if stratified {
+                    Cursor::stratified(t.kind())
+                } else {
+                    Cursor::all()
+                };
+                cs.push_back((next, next_cursor));
+                found = true;
+                break;
+            }
+            if ctx.halted() {
+                break;
+            }
+        }
+        if found {
+            cs.push_back((state, cursor));
+        } else {
+            ctx.stats.explored += 1;
+        }
+    }
+    ctx.finish()
+}
+
+// ---------------------------------------------------------------------
+// DFS (stratified depth-first)
+// ---------------------------------------------------------------------
+
+fn run_dfs(s0: State, model: &CostModel<'_>, cfg: &SearchConfig) -> SearchOutcome {
+    let mut ctx = Ctx::new(&s0, model, cfg);
+    let mut stack: Vec<(State, Cursor)> = vec![(s0, Cursor::stratified(TransitionKind::Vb))];
+    while let Some((state, cursor)) = stack.last_mut() {
+        if ctx.halted() {
+            break;
+        }
+        match cursor.next(state, &ctx.tcfg) {
+            Some(t) => {
+                let phase = phase_tag(t.kind());
+                let next = ctx.step(state, &t);
+                if matches!(ctx.admit(&next, phase), Admission::New) {
+                    stack.push((next, Cursor::stratified(t.kind())));
+                }
+            }
+            None => {
+                ctx.stats.explored += 1;
+                stack.pop();
+            }
+        }
+    }
+    ctx.finish()
+}
+
+// ---------------------------------------------------------------------
+// GSTR (greedy stratified)
+// ---------------------------------------------------------------------
+
+fn run_gstr(s0: State, model: &CostModel<'_>, cfg: &SearchConfig) -> SearchOutcome {
+    let mut ctx = Ctx::new(&s0, model, cfg);
+    let mut current = s0;
+    for kind in TransitionKind::ALL {
+        if ctx.halted() {
+            break;
+        }
+        if cfg.avf && kind == TransitionKind::Vf {
+            continue; // AVF keeps every state fusion-saturated already
+        }
+        current = explore_single_kind_closure(&mut ctx, current, kind);
+    }
+    ctx.finish()
+}
+
+/// DFS over the closure of `start` under one transition kind; returns the
+/// minimum-cost state of the closure (including `start`).
+fn explore_single_kind_closure(
+    ctx: &mut Ctx<'_, '_, '_>,
+    start: State,
+    kind: TransitionKind,
+) -> State {
+    let mut best = start.clone();
+    let mut best_cost = ctx.model.cost(&start);
+    let mut stack: Vec<(State, Cursor)> = vec![(start, Cursor::single(kind))];
+    while let Some((state, cursor)) = stack.last_mut() {
+        if ctx.halted() {
+            break;
+        }
+        match cursor.next(state, &ctx.tcfg) {
+            Some(t) => {
+                let next = ctx.step(state, &t);
+                if matches!(ctx.admit(&next, phase_tag(kind)), Admission::New) {
+                    let cost = ctx.model.cost(&next);
+                    if cost < best_cost {
+                        best_cost = cost;
+                        best = next.clone();
+                    }
+                    stack.push((next, Cursor::single(kind)));
+                }
+            }
+            None => {
+                ctx.stats.explored += 1;
+                stack.pop();
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostWeights;
+    use rdf_model::{Dataset, Term};
+    use rdf_query::parser::parse_query;
+    use rdf_stats::collect_stats;
+
+    fn two_const_db() -> Dataset {
+        let mut db = Dataset::new();
+        for i in 0..40 {
+            let s = format!("s{i}");
+            db.insert_terms(
+                Term::uri(s.as_str()),
+                Term::uri(format!("p{}", i % 4)),
+                Term::uri("c1"),
+            );
+            db.insert_terms(
+                Term::uri(s.as_str()),
+                Term::uri(format!("r{}", i % 2)),
+                Term::uri("c2"),
+            );
+        }
+        db
+    }
+
+    /// The Figure 3 workload: q(Y, Z) :- t(X, Y, c1), t(X, Z, c2).
+    fn figure3_state(db: &mut Dataset) -> (Vec<rdf_query::ConjunctiveQuery>, State) {
+        let q = parse_query("q(Y, Z) :- t(X, Y, <c1>), t(X, Z, <c2>)", db.dict_mut())
+            .unwrap()
+            .query;
+        let queries = vec![q];
+        let s0 = State::initial(&queries);
+        (queries, s0)
+    }
+
+    fn exhaustive_cfg(strategy: StrategyKind) -> SearchConfig {
+        SearchConfig {
+            strategy,
+            avf: false,
+            stop_var: false,
+            stop_tt: false,
+            time_budget: None,
+            max_states: Some(100_000),
+            vb_overlap_limit: 1,
+        }
+    }
+
+    #[test]
+    fn figure3_state_lattice_exnaive() {
+        // The paper's Figure 3 lattice has exactly 9 states S0–S8.
+        let mut db = two_const_db();
+        let (_qs, s0) = figure3_state(&mut db);
+        let cat = collect_stats(db.store(), db.dict(), &[]);
+        let model = CostModel::new(&cat, CostWeights::default());
+        let out = search(s0, &model, &exhaustive_cfg(StrategyKind::ExNaive));
+        let distinct = out.stats.created - out.stats.duplicates - out.stats.discarded;
+        assert_eq!(distinct, 9, "stats: {:?}", out.stats);
+        assert!(!out.stats.out_of_budget);
+    }
+
+    #[test]
+    fn figure3_all_exhaustive_strategies_agree() {
+        let mut db = two_const_db();
+        let cat = {
+            let (qs, _) = figure3_state(&mut db);
+            collect_stats(db.store(), db.dict(), &qs)
+        };
+        let model = CostModel::new(&cat, CostWeights::default());
+        let mut costs = Vec::new();
+        let mut explored_counts = Vec::new();
+        for strat in [
+            StrategyKind::ExNaive,
+            StrategyKind::ExStr,
+            StrategyKind::Dfs,
+        ] {
+            let (_, s0) = figure3_state(&mut db);
+            let out = search(s0, &model, &exhaustive_cfg(strat));
+            costs.push(out.best_cost);
+            explored_counts.push(out.stats.explored);
+            let distinct = out.stats.created - out.stats.duplicates - out.stats.discarded;
+            assert_eq!(distinct, 9, "{strat:?}");
+        }
+        assert!(costs.iter().all(|&c| (c - costs[0]).abs() < 1e-6));
+    }
+
+    #[test]
+    fn stratified_has_fewer_transitions_than_naive() {
+        // Theorem 5.3(ii): EXSTR applies at most as many transitions.
+        let mut db = two_const_db();
+        let cat = {
+            let (qs, _) = figure3_state(&mut db);
+            collect_stats(db.store(), db.dict(), &qs)
+        };
+        let model = CostModel::new(&cat, CostWeights::default());
+        let (_, s0a) = figure3_state(&mut db);
+        let naive = search(s0a, &model, &exhaustive_cfg(StrategyKind::ExNaive));
+        let (_, s0b) = figure3_state(&mut db);
+        let strat = search(s0b, &model, &exhaustive_cfg(StrategyKind::ExStr));
+        assert!(strat.stats.transitions <= naive.stats.transitions);
+    }
+
+    #[test]
+    fn gstr_improves_or_matches_initial() {
+        let mut db = two_const_db();
+        let q = parse_query("q(X) :- t(X, <p0>, <c1>), t(X, <r0>, <c2>)", db.dict_mut())
+            .unwrap()
+            .query;
+        let queries = vec![q];
+        let cat = collect_stats(db.store(), db.dict(), &queries);
+        let model = CostModel::new(&cat, CostWeights::default());
+        let out = search(
+            State::initial(&queries),
+            &model,
+            &SearchConfig {
+                strategy: StrategyKind::Gstr,
+                ..SearchConfig::default()
+            },
+        );
+        assert!(out.best_cost <= out.initial_cost);
+        assert!(out.rcr() >= 0.0);
+    }
+
+    #[test]
+    fn avf_reduces_created_states() {
+        let mut db = two_const_db();
+        let qa = parse_query("qa(X) :- t(X, <p0>, Y), t(X, <p1>, Z)", db.dict_mut())
+            .unwrap()
+            .query;
+        let qb = parse_query("qb(A) :- t(A, <p0>, B), t(A, <p1>, C)", db.dict_mut())
+            .unwrap()
+            .query;
+        let queries = vec![qa, qb];
+        let cat = collect_stats(db.store(), db.dict(), &queries);
+        let model = CostModel::new(&cat, CostWeights::default());
+        let base = SearchConfig {
+            strategy: StrategyKind::Dfs,
+            avf: false,
+            stop_var: true,
+            ..SearchConfig::default()
+        };
+        let no_avf = search(State::initial(&queries), &model, &base);
+        let with_avf = search(
+            State::initial(&queries),
+            &model,
+            &SearchConfig { avf: true, ..base },
+        );
+        assert!(
+            with_avf.stats.created <= no_avf.stats.created,
+            "AVF: {} vs {}",
+            with_avf.stats.created,
+            no_avf.stats.created
+        );
+        // AVF preserves the best cost (it only skips dominated states).
+        assert!((with_avf.best_cost - no_avf.best_cost).abs() <= 1e-6 * no_avf.best_cost.abs());
+    }
+
+    #[test]
+    fn stop_var_discards_states() {
+        let mut db = two_const_db();
+        let (_qs, s0) = figure3_state(&mut db);
+        let cat = collect_stats(db.store(), db.dict(), &[]);
+        let model = CostModel::new(&cat, CostWeights::default());
+        let mut cfg = exhaustive_cfg(StrategyKind::Dfs);
+        cfg.stop_var = true;
+        let out = search(s0, &model, &cfg);
+        assert!(out.stats.discarded > 0);
+        let distinct = out.stats.created - out.stats.duplicates - out.stats.discarded;
+        assert!(distinct < 9);
+    }
+
+    #[test]
+    fn state_budget_flags_oom() {
+        let mut db = two_const_db();
+        let (_qs, s0) = figure3_state(&mut db);
+        let cat = collect_stats(db.store(), db.dict(), &[]);
+        let model = CostModel::new(&cat, CostWeights::default());
+        let mut cfg = exhaustive_cfg(StrategyKind::Dfs);
+        cfg.max_states = Some(3);
+        let out = search(s0, &model, &cfg);
+        assert!(out.stats.out_of_budget);
+    }
+
+    #[test]
+    fn cursor_visits_phases_in_stratified_order() {
+        let mut db = two_const_db();
+        let q = parse_query(
+            "q(X) :- t(X, <p0>, <c1>), t(X, <p1>, <c2>), t(X, <r0>, Y)",
+            db.dict_mut(),
+        )
+        .unwrap()
+        .query;
+        let s0 = State::initial(&[q]);
+        let tcfg = crate::transitions::TransitionConfig::default();
+        let mut cursor = Cursor::stratified(TransitionKind::Vb);
+        let mut kinds = Vec::new();
+        while let Some(t) = cursor.next(&s0, &tcfg) {
+            kinds.push(t.kind());
+        }
+        // Non-decreasing phase order: VB* SC* JC* VF*.
+        for w in kinds.windows(2) {
+            assert!(w[0] <= w[1], "{kinds:?}");
+        }
+        assert!(kinds.contains(&TransitionKind::Vb));
+        assert!(kinds.contains(&TransitionKind::Sc));
+        assert!(kinds.contains(&TransitionKind::Jc));
+
+        // Starting at SC must not emit any VB.
+        let mut cursor = Cursor::stratified(TransitionKind::Sc);
+        while let Some(t) = cursor.next(&s0, &tcfg) {
+            assert_ne!(t.kind(), TransitionKind::Vb);
+        }
+
+        // Single-kind cursors emit only their kind.
+        let mut cursor = Cursor::single(TransitionKind::Jc);
+        while let Some(t) = cursor.next(&s0, &tcfg) {
+            assert_eq!(t.kind(), TransitionKind::Jc);
+        }
+    }
+
+    #[test]
+    fn search_stats_add_up() {
+        // created = distinct + duplicates + discarded, for a completed
+        // exhaustive run.
+        let mut db = two_const_db();
+        let (_qs, s0) = figure3_state(&mut db);
+        let cat = collect_stats(db.store(), db.dict(), &[]);
+        let model = CostModel::new(&cat, CostWeights::default());
+        let out = search(s0, &model, &exhaustive_cfg(StrategyKind::Dfs));
+        let distinct = out.stats.created - out.stats.duplicates - out.stats.discarded;
+        assert_eq!(distinct, 9);
+        // Every distinct state was fully explored (complete run).
+        assert_eq!(out.stats.explored, distinct);
+        assert!(!out.stats.timed_out);
+    }
+
+    #[test]
+    fn time_budget_halts() {
+        let mut db = two_const_db();
+        let (_qs, s0) = figure3_state(&mut db);
+        let cat = collect_stats(db.store(), db.dict(), &[]);
+        let model = CostModel::new(&cat, CostWeights::default());
+        let mut cfg = exhaustive_cfg(StrategyKind::Dfs);
+        cfg.time_budget = Some(Duration::from_secs(0));
+        let out = search(s0, &model, &cfg);
+        assert!(out.stats.timed_out);
+        // The initial state is always available as a recommendation.
+        assert!(out.best_cost <= out.initial_cost);
+    }
+}

@@ -1,0 +1,459 @@
+//! States: candidate view sets with their rewritings (Sections 2 and 3.1).
+
+use std::collections::BTreeMap;
+
+use rdf_model::{FxHashMap, FxHashSet};
+use rdf_query::canonical::{canonical_form, HeadMode};
+use rdf_query::{Atom, ConjunctiveQuery, QTerm, Var};
+
+/// Identifier of a view within a state lineage. Fresh ids are allocated by
+/// transitions, so a view keeps its id across the states it survives in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ViewId(pub u32);
+
+impl std::fmt::Display for ViewId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// A view: a conjunctive query over the triple table whose head is an
+/// ordered list of distinct variables.
+///
+/// View bodies never contain Cartesian products (Section 3.1): every
+/// transition preserves connectedness of the view's join graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct View {
+    /// Stable identifier.
+    pub id: ViewId,
+    /// Ordered distinct head variables.
+    pub head: Vec<Var>,
+    /// Body atoms.
+    pub atoms: Vec<Atom>,
+}
+
+impl View {
+    /// `len(v)`: the number of atoms (the paper's maintenance exponent).
+    pub fn len(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// Whether the body is empty (never true for well-formed views).
+    pub fn is_empty(&self) -> bool {
+        self.atoms.is_empty()
+    }
+
+    /// The view as a plain conjunctive query.
+    pub fn as_query(&self) -> ConjunctiveQuery {
+        ConjunctiveQuery::new(
+            self.head.iter().map(|&v| QTerm::Var(v)).collect(),
+            self.atoms.clone(),
+        )
+    }
+
+    /// Position of a head variable.
+    pub fn head_index(&self, v: Var) -> Option<usize> {
+        self.head.iter().position(|&h| h == v)
+    }
+
+    /// A variable index unused by this view.
+    pub fn fresh_var(&self) -> Var {
+        let body = self.atoms.iter().flat_map(|a| a.vars()).map(|v| v.0);
+        let head = self.head.iter().map(|v| v.0);
+        Var(body.chain(head).max().map_or(0, |m| m + 1))
+    }
+
+    /// Whether the view has no constants at all (the `stop_var` condition —
+    /// its space occupancy is considered too high).
+    pub fn all_variables(&self) -> bool {
+        self.atoms.iter().all(|a| a.const_count() == 0)
+    }
+
+    /// Whether the view is exactly the full triple table `t(s, p, o)`
+    /// (the `stop_tt` condition).
+    pub fn is_triple_table(&self) -> bool {
+        self.atoms.len() == 1 && self.atoms[0].const_count() == 0 && {
+            let vars: Vec<Var> = self.atoms[0].vars().collect();
+            vars.len() == 3 && vars.iter().collect::<FxHashSet<_>>().len() == 3
+        }
+    }
+}
+
+/// One atom of a rewriting: a view applied to argument terms.
+///
+/// The relational-algebra expressions of Definitions 3.2–3.5 are encoded in
+/// the conjunctive formalism the paper itself uses for rewritings:
+/// a constant argument is a selection `σ`, a repeated variable is a join
+/// `⋈`, and the rewriting head is the final projection `π`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RewAtom {
+    /// The view scanned.
+    pub view: ViewId,
+    /// One term per view head column.
+    pub args: Vec<QTerm>,
+}
+
+/// The rewriting of one workload query over the state's views
+/// (Definition 2.2: equivalent to the query, using only view relations).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rewriting {
+    /// Index of the workload query this rewriting answers.
+    pub query_index: usize,
+    /// The query's head, in the rewriting's variable space.
+    pub head: Vec<QTerm>,
+    /// View atoms.
+    pub atoms: Vec<RewAtom>,
+    /// Fresh-variable counter for this rewriting's variable space.
+    next_var: u32,
+}
+
+impl Rewriting {
+    /// Allocates a fresh rewriting variable.
+    pub fn fresh_var(&mut self) -> Var {
+        let v = Var(self.next_var);
+        self.next_var += 1;
+        v
+    }
+
+    /// All view ids used by this rewriting.
+    pub fn views_used(&self) -> impl Iterator<Item = ViewId> + '_ {
+        self.atoms.iter().map(|a| a.view)
+    }
+}
+
+/// A state `S(Q) = ⟨V, R⟩`: the candidate view set and one rewriting per
+/// workload query (Definition 2.3). Both invariants of that definition are
+/// maintained by construction: every query has exactly one rewriting, and
+/// every view occurs in at least one rewriting.
+#[derive(Debug, Clone)]
+pub struct State {
+    views: BTreeMap<ViewId, View>,
+    rewritings: Vec<Rewriting>,
+    next_view_id: u32,
+}
+
+/// A collision-resistant 128-bit signature of a state's view set, used to
+/// deduplicate states reached through different transition paths.
+pub type StateSignature = u128;
+
+impl State {
+    /// The initial state `S0(Q)`: one view per query (`V0 = Q`), each
+    /// rewriting a plain view scan (Section 5.1).
+    ///
+    /// Queries must be safe and connected (Definition 2.1 assumes queries
+    /// without Cartesian products; represent a product query by its
+    /// independent sub-queries instead).
+    pub fn initial(queries: &[ConjunctiveQuery]) -> State {
+        let mut views = BTreeMap::new();
+        let mut rewritings = Vec::with_capacity(queries.len());
+        for (qi, q) in queries.iter().enumerate() {
+            assert!(q.is_safe(), "workload query {qi} is unsafe");
+            assert!(
+                rdf_query::graph::JoinGraph::new(&q.atoms).is_connected(),
+                "workload query {qi} contains a Cartesian product; split it first"
+            );
+            let id = ViewId(qi as u32);
+            // The view head: the query's distinct head variables, in order.
+            let head = q.head_vars();
+            let head_set: FxHashSet<Var> = head.iter().copied().collect();
+            debug_assert_eq!(head_set.len(), head.len());
+            views.insert(
+                id,
+                View {
+                    id,
+                    head: head.clone(),
+                    atoms: q.atoms.clone(),
+                },
+            );
+            // Trivial rewriting: qi = π_head(vi) — a single view scan.
+            let args: Vec<QTerm> = head.iter().map(|&v| QTerm::Var(v)).collect();
+            rewritings.push(Rewriting {
+                query_index: qi,
+                head: q.head.clone(),
+                atoms: vec![RewAtom { view: id, args }],
+                next_var: q.max_var().map_or(0, |m| m + 1),
+            });
+        }
+        State {
+            views,
+            rewritings,
+            next_view_id: queries.len() as u32,
+        }
+    }
+
+    /// The views, ordered by id.
+    pub fn views(&self) -> impl Iterator<Item = &View> {
+        self.views.values()
+    }
+
+    /// Number of views.
+    pub fn view_count(&self) -> usize {
+        self.views.len()
+    }
+
+    /// Looks a view up.
+    pub fn view(&self, id: ViewId) -> &View {
+        &self.views[&id]
+    }
+
+    /// The rewritings, one per workload query.
+    pub fn rewritings(&self) -> &[Rewriting] {
+        &self.rewritings
+    }
+
+    /// Mutable access for transitions (kept `pub(crate)`).
+    pub(crate) fn rewritings_mut(&mut self) -> &mut [Rewriting] {
+        &mut self.rewritings
+    }
+
+    /// Allocates a fresh view id.
+    pub(crate) fn fresh_view_id(&mut self) -> ViewId {
+        let id = ViewId(self.next_view_id);
+        self.next_view_id += 1;
+        id
+    }
+
+    /// Removes a view (transitions only; the caller must rewire
+    /// rewritings).
+    pub(crate) fn remove_view(&mut self, id: ViewId) -> View {
+        self.views.remove(&id).expect("removing unknown view")
+    }
+
+    /// Inserts a view.
+    pub(crate) fn insert_view(&mut self, view: View) {
+        self.views.insert(view.id, view);
+    }
+
+    /// Checks Definition 2.3's invariants; used by debug assertions and
+    /// tests.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let mut used: FxHashSet<ViewId> = FxHashSet::default();
+        for (ri, r) in self.rewritings.iter().enumerate() {
+            if r.atoms.is_empty() {
+                return Err(format!("rewriting {ri} is empty"));
+            }
+            for atom in &r.atoms {
+                let Some(view) = self.views.get(&atom.view) else {
+                    return Err(format!("rewriting {ri} uses unknown view {}", atom.view));
+                };
+                if atom.args.len() != view.head.len() {
+                    return Err(format!(
+                        "rewriting {ri}: arity mismatch on {} ({} args, head {})",
+                        atom.view,
+                        atom.args.len(),
+                        view.head.len()
+                    ));
+                }
+                used.insert(atom.view);
+            }
+        }
+        for &id in self.views.keys() {
+            if !used.contains(&id) {
+                return Err(format!("view {id} participates in no rewriting"));
+            }
+        }
+        for view in self.views.values() {
+            if !rdf_query::graph::JoinGraph::new(&view.atoms).is_connected() {
+                return Err(format!("view {} has a Cartesian product", view.id));
+            }
+            let set: FxHashSet<Var> = view.head.iter().copied().collect();
+            if set.len() != view.head.len() {
+                return Err(format!("view {} has duplicate head vars", view.id));
+            }
+            let body: FxHashSet<Var> = view.atoms.iter().flat_map(|a| a.vars()).collect();
+            if !view.head.iter().all(|v| body.contains(v)) {
+                return Err(format!("view {} head not covered by body", view.id));
+            }
+        }
+        Ok(())
+    }
+
+    /// The state signature: states with the same view sets (up to variable
+    /// renaming and head-column order) collide, per the paper's state
+    /// equivalence.
+    pub fn signature(&self) -> StateSignature {
+        use std::hash::{Hash, Hasher};
+        let mut keys: Vec<Vec<rdf_query::canonical::CTok>> = self
+            .views
+            .values()
+            .map(|v| canonical_form(&v.as_query(), HeadMode::Sorted).key)
+            .collect();
+        keys.sort_unstable();
+        let mut h1 = rdf_model::fxhash::FxHasher::default();
+        keys.hash(&mut h1);
+        // Second, independent hash: seed with a constant and hash the keys
+        // in reverse, so a collision must defeat both.
+        let mut h2 = rdf_model::fxhash::FxHasher::default();
+        0xdead_beef_u64.hash(&mut h2);
+        for k in keys.iter().rev() {
+            k.hash(&mut h2);
+        }
+        ((h1.finish() as u128) << 64) | h2.finish() as u128
+    }
+
+    /// Groups views by body-isomorphism class; classes with ≥ 2 members are
+    /// View Fusion candidates.
+    pub fn fusion_classes(&self) -> Vec<Vec<ViewId>> {
+        let mut groups: FxHashMap<Vec<rdf_query::canonical::CTok>, Vec<ViewId>> =
+            FxHashMap::default();
+        for v in self.views.values() {
+            let key = canonical_form(&v.as_query(), HeadMode::Ignore).key;
+            groups.entry(key).or_default().push(v.id);
+        }
+        let mut classes: Vec<Vec<ViewId>> = groups.into_values().filter(|g| g.len() >= 2).collect();
+        classes.sort();
+        classes
+    }
+
+    /// Total atoms across views — a size proxy used in experiment reports
+    /// ("DFS-AVF-STV resulted in views with 3.2 atoms on average").
+    pub fn total_view_atoms(&self) -> usize {
+        self.views.values().map(|v| v.len()).sum()
+    }
+
+    /// Merges two states over disjoint workload fragments: views of `other`
+    /// are re-identified, its rewritings appended with shifted query
+    /// indexes. Used by the divide-and-conquer competitor strategies.
+    pub(crate) fn merge_with(&self, other: &State) -> State {
+        let mut merged = self.clone();
+        let mut id_map: FxHashMap<ViewId, ViewId> = FxHashMap::default();
+        for view in other.views.values() {
+            let new_id = merged.fresh_view_id();
+            id_map.insert(view.id, new_id);
+            merged.insert_view(View {
+                id: new_id,
+                head: view.head.clone(),
+                atoms: view.atoms.clone(),
+            });
+        }
+        let offset = merged.rewritings.len();
+        for r in &other.rewritings {
+            let mut r2 = r.clone();
+            r2.query_index += offset;
+            for atom in &mut r2.atoms {
+                atom.view = id_map[&atom.view];
+            }
+            merged.rewritings.push(r2);
+        }
+        merged
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdf_model::Dictionary;
+    use rdf_query::parser::parse_query;
+
+    fn workload(dict: &mut Dictionary) -> Vec<ConjunctiveQuery> {
+        vec![
+            parse_query(
+                "q1(X, Z) :- t(X, <hasPainted>, <starryNight>), t(X, <isParentOf>, Y), \
+                 t(Y, <hasPainted>, Z)",
+                dict,
+            )
+            .unwrap()
+            .query,
+            parse_query("q2(A) :- t(A, <rdf:type>, <painter>)", dict)
+                .unwrap()
+                .query,
+        ]
+    }
+
+    #[test]
+    fn initial_state_structure() {
+        let mut dict = Dictionary::new();
+        let qs = workload(&mut dict);
+        let s0 = State::initial(&qs);
+        assert_eq!(s0.view_count(), 2);
+        assert_eq!(s0.rewritings().len(), 2);
+        s0.check_invariants().unwrap();
+        // Each rewriting is a single view scan.
+        for r in s0.rewritings() {
+            assert_eq!(r.atoms.len(), 1);
+        }
+    }
+
+    #[test]
+    fn signature_is_renaming_invariant() {
+        let mut dict = Dictionary::new();
+        let qs = workload(&mut dict);
+        let s0 = State::initial(&qs);
+        // The same workload with renamed variables, parsed against the same
+        // dictionary (constant ids must agree for signatures to compare).
+        let renamed: Vec<ConjunctiveQuery> = [
+            "q1(A, C) :- t(A, <hasPainted>, <starryNight>), t(A, <isParentOf>, B), \
+             t(B, <hasPainted>, C)",
+            "q2(Z) :- t(Z, <rdf:type>, <painter>)",
+        ]
+        .iter()
+        .map(|s| parse_query(s, &mut dict).unwrap().query)
+        .collect();
+        let s0r = State::initial(&renamed);
+        assert_eq!(s0.signature(), s0r.signature());
+    }
+
+    #[test]
+    fn signature_distinguishes_different_workloads() {
+        let mut dict = Dictionary::new();
+        let qs = workload(&mut dict);
+        let s0 = State::initial(&qs);
+        let other = vec![qs[0].clone()];
+        let s1 = State::initial(&other);
+        assert_ne!(s0.signature(), s1.signature());
+    }
+
+    #[test]
+    fn triple_table_and_all_var_detection() {
+        let v_tt = View {
+            id: ViewId(0),
+            head: vec![Var(0), Var(1), Var(2)],
+            atoms: vec![Atom::new(Var(0), Var(1), Var(2))],
+        };
+        assert!(v_tt.is_triple_table());
+        assert!(v_tt.all_variables());
+        let v_loop = View {
+            id: ViewId(1),
+            head: vec![Var(0), Var(1)],
+            atoms: vec![Atom::new(Var(0), Var(1), Var(0))],
+        };
+        assert!(!v_loop.is_triple_table());
+        assert!(v_loop.all_variables());
+        let mut dict = Dictionary::new();
+        let q = parse_query("q(X) :- t(X, <p>, Y)", &mut dict)
+            .unwrap()
+            .query;
+        let v_const = View {
+            id: ViewId(2),
+            head: vec![Var(0)],
+            atoms: q.atoms,
+        };
+        assert!(!v_const.all_variables());
+    }
+
+    #[test]
+    #[should_panic(expected = "Cartesian product")]
+    fn initial_rejects_products() {
+        let mut dict = Dictionary::new();
+        let q = parse_query("q(X, A) :- t(X, <p>, Y), t(A, <p>, B)", &mut dict).unwrap();
+        let _ = State::initial(&[q.query]);
+    }
+
+    #[test]
+    fn fusion_classes_group_isomorphic_views() {
+        let mut dict = Dictionary::new();
+        let q1 = parse_query("q1(X) :- t(X, <p>, Y)", &mut dict)
+            .unwrap()
+            .query;
+        let q2 = parse_query("q2(B) :- t(B, <p>, C)", &mut dict)
+            .unwrap()
+            .query;
+        let q3 = parse_query("q3(X) :- t(X, <q>, Y)", &mut dict)
+            .unwrap()
+            .query;
+        let s = State::initial(&[q1, q2, q3]);
+        let classes = s.fusion_classes();
+        assert_eq!(classes.len(), 1);
+        assert_eq!(classes[0], vec![ViewId(0), ViewId(1)]);
+    }
+}

@@ -1,0 +1,100 @@
+//! Query answers under set semantics.
+
+use rdf_model::{FxHashSet, Id};
+
+/// A set of answer tuples, kept sorted for deterministic iteration and
+/// cheap equality.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Answers {
+    arity: usize,
+    tuples: Vec<Vec<Id>>,
+}
+
+impl Answers {
+    /// Builds from a deduplicated set of tuples.
+    pub fn from_set(arity: usize, set: FxHashSet<Vec<Id>>) -> Self {
+        let mut tuples: Vec<Vec<Id>> = set.into_iter().collect();
+        tuples.sort_unstable();
+        Self { arity, tuples }
+    }
+
+    /// Builds from possibly-duplicated tuples.
+    pub fn from_tuples(arity: usize, tuples: impl IntoIterator<Item = Vec<Id>>) -> Self {
+        let set: FxHashSet<Vec<Id>> = tuples.into_iter().collect();
+        Self::from_set(arity, set)
+    }
+
+    /// Number of head columns.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of distinct tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether there are no answers.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// The tuples, sorted.
+    pub fn tuples(&self) -> &[Vec<Id>] {
+        &self.tuples
+    }
+
+    /// Membership test (binary search).
+    pub fn contains(&self, tuple: &[Id]) -> bool {
+        self.tuples
+            .binary_search_by(|t| t.as_slice().cmp(tuple))
+            .is_ok()
+    }
+
+    /// Merges two answer sets (set union); arities must agree.
+    pub fn union(self, other: Answers) -> Answers {
+        debug_assert_eq!(self.arity, other.arity);
+        let mut set: FxHashSet<Vec<Id>> = self.tuples.into_iter().collect();
+        set.extend(other.tuples);
+        Answers::from_set(other.arity, set)
+    }
+
+    /// Consumes into the sorted tuple list.
+    pub fn into_tuples(self) -> Vec<Vec<Id>> {
+        self.tuples
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedup_and_sort() {
+        let a = Answers::from_tuples(
+            2,
+            vec![vec![Id(2), Id(1)], vec![Id(1), Id(1)], vec![Id(2), Id(1)]],
+        );
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.tuples()[0], vec![Id(1), Id(1)]);
+        assert!(a.contains(&[Id(2), Id(1)]));
+        assert!(!a.contains(&[Id(9), Id(9)]));
+    }
+
+    #[test]
+    fn union_merges() {
+        let a = Answers::from_tuples(1, vec![vec![Id(1)]]);
+        let b = Answers::from_tuples(1, vec![vec![Id(1)], vec![Id(2)]]);
+        let u = a.union(b);
+        assert_eq!(u.len(), 2);
+    }
+
+    #[test]
+    fn boolean_answers() {
+        // Arity-0: at most one tuple (the empty tuple).
+        let yes = Answers::from_tuples(0, vec![vec![]]);
+        let no = Answers::from_tuples(0, Vec::<Vec<Id>>::new());
+        assert_eq!(yes.len(), 1);
+        assert!(no.is_empty());
+    }
+}

@@ -1,0 +1,506 @@
+//! The conjunctive-query evaluator.
+//!
+//! A single backtracking join core serves both query shapes the paper
+//! needs: CQs over the triple table (atoms answered through the store's six
+//! permutation indexes) and rewritings over materialized views (atoms
+//! answered through on-demand hash indexes on the bound columns). Atoms are
+//! ordered once, greedily — fewest new variables first, then smallest
+//! estimated extent — which is the textbook index-nested-loop strategy the
+//! paper's PostgreSQL baseline would also pick for these star/chain shapes.
+
+use rdf_model::{FxHashMap, FxHashSet, Id, StorePattern, TripleStore};
+use rdf_query::{Atom, ConjunctiveQuery, QTerm, UnionQuery, Var};
+
+use crate::answers::Answers;
+use crate::view_table::ViewTable;
+
+/// One rewriting atom: a view table applied to argument terms. Constants
+/// encode selections; repeated variables encode joins.
+#[derive(Debug, Clone)]
+pub struct ViewAtom<'a> {
+    /// The materialized view being scanned.
+    pub table: &'a ViewTable,
+    /// One term per view head column.
+    pub args: Vec<QTerm>,
+}
+
+/// Evaluation options.
+#[derive(Debug, Clone, Copy)]
+pub struct EvalOptions {
+    /// When false, triple-table atoms are answered by filtering full scans
+    /// instead of index range lookups — the "plain clustered triple table"
+    /// baseline of the paper's Figure 8 configurations.
+    pub use_indexes: bool,
+}
+
+impl Default for EvalOptions {
+    fn default() -> Self {
+        Self { use_indexes: true }
+    }
+}
+
+/// Evaluates a conjunctive query over the triple table.
+pub fn evaluate(store: &TripleStore, q: &ConjunctiveQuery) -> Answers {
+    evaluate_with(store, q, &EvalOptions::default())
+}
+
+/// Evaluates a conjunctive query with explicit options.
+pub fn evaluate_with(store: &TripleStore, q: &ConjunctiveQuery, opts: &EvalOptions) -> Answers {
+    let atoms: Vec<EvalAtom> = q
+        .atoms
+        .iter()
+        .map(|a| EvalAtom::Store { atom: *a })
+        .collect();
+    run_with(store, atoms, &q.head, opts)
+}
+
+/// Evaluates a union of conjunctive queries (set-union of branch answers).
+pub fn evaluate_union(store: &TripleStore, ucq: &UnionQuery) -> Answers {
+    let arity = ucq.branches().first().map_or(0, |b| b.head.len());
+    let mut set: FxHashSet<Vec<Id>> = FxHashSet::default();
+    for branch in ucq.branches() {
+        set.extend(evaluate(store, branch).into_tuples());
+    }
+    Answers::from_set(arity, set)
+}
+
+/// Evaluates a rewriting: a conjunctive query whose atoms are view scans.
+pub fn evaluate_over_views(atoms: &[ViewAtom<'_>], head: &[QTerm]) -> Answers {
+    let eval_atoms: Vec<EvalAtom> = atoms
+        .iter()
+        .map(|va| {
+            assert_eq!(va.args.len(), va.table.arity(), "view atom arity mismatch");
+            EvalAtom::View {
+                table: va.table,
+                args: va.args.clone(),
+            }
+        })
+        .collect();
+    // The store is unused for pure view rewritings; an empty one satisfies
+    // the evaluator's signature.
+    thread_local! {
+        static EMPTY: TripleStore = TripleStore::new();
+    }
+    EMPTY.with(|store| run(store, eval_atoms, head))
+}
+
+enum EvalAtom<'a> {
+    Store {
+        atom: Atom,
+    },
+    View {
+        table: &'a ViewTable,
+        args: Vec<QTerm>,
+    },
+}
+
+impl EvalAtom<'_> {
+    fn args(&self) -> Vec<QTerm> {
+        match self {
+            EvalAtom::Store { atom } => atom.terms().to_vec(),
+            EvalAtom::View { args, .. } => args.clone(),
+        }
+    }
+
+    /// Extent estimate ignoring variable bindings, used by the static
+    /// ordering.
+    fn base_count(&self, store: &TripleStore) -> usize {
+        match self {
+            EvalAtom::Store { atom } => {
+                let [s, p, o] = atom.terms();
+                let pat = StorePattern::new(s.as_const(), p.as_const(), o.as_const());
+                store.match_count(&pat)
+            }
+            EvalAtom::View { table, .. } => table.len(),
+        }
+    }
+}
+
+fn run(store: &TripleStore, atoms: Vec<EvalAtom>, head: &[QTerm]) -> Answers {
+    run_with(store, atoms, head, &EvalOptions::default())
+}
+
+fn run_with(
+    store: &TripleStore,
+    atoms: Vec<EvalAtom>,
+    head: &[QTerm],
+    opts: &EvalOptions,
+) -> Answers {
+    let order = plan_order(store, &atoms);
+    let mut ctx = Ctx {
+        store,
+        atoms,
+        order,
+        head,
+        bindings: FxHashMap::default(),
+        out: FxHashSet::default(),
+        view_indexes: FxHashMap::default(),
+        use_indexes: opts.use_indexes,
+    };
+    ctx.recurse(0);
+    Answers::from_set(head.len(), ctx.out)
+}
+
+/// Greedy static join order: fewest unbound variables first, breaking ties
+/// by estimated extent.
+fn plan_order(store: &TripleStore, atoms: &[EvalAtom]) -> Vec<usize> {
+    let n = atoms.len();
+    let counts: Vec<usize> = atoms.iter().map(|a| a.base_count(store)).collect();
+    let mut chosen = vec![false; n];
+    let mut bound: FxHashSet<Var> = FxHashSet::default();
+    let mut order = Vec::with_capacity(n);
+    for _ in 0..n {
+        let mut best: Option<(usize, (usize, usize))> = None;
+        for (i, atom) in atoms.iter().enumerate() {
+            if chosen[i] {
+                continue;
+            }
+            let unbound = atom
+                .args()
+                .iter()
+                .filter_map(|t| t.as_var())
+                .collect::<FxHashSet<_>>()
+                .iter()
+                .filter(|v| !bound.contains(v))
+                .count();
+            let key = (unbound, counts[i]);
+            if best.is_none_or(|(_, bk)| key < bk) {
+                best = Some((i, key));
+            }
+        }
+        let (i, _) = best.expect("atom available");
+        chosen[i] = true;
+        for t in atoms[i].args() {
+            if let QTerm::Var(v) = t {
+                bound.insert(v);
+            }
+        }
+        order.push(i);
+    }
+    order
+}
+
+struct Ctx<'a, 'h> {
+    store: &'a TripleStore,
+    atoms: Vec<EvalAtom<'a>>,
+    order: Vec<usize>,
+    head: &'h [QTerm],
+    bindings: FxHashMap<Var, Id>,
+    out: FxHashSet<Vec<Id>>,
+    /// Cache of view hash-indexes, keyed by atom index and bound-column
+    /// mask (the mask is fixed per atom under the static order).
+    view_indexes: FxHashMap<(usize, u64), FxHashMap<Vec<Id>, Vec<usize>>>,
+    /// Whether triple-table atoms may use the permutation indexes.
+    use_indexes: bool,
+}
+
+impl Ctx<'_, '_> {
+    fn recurse(&mut self, depth: usize) {
+        if depth == self.order.len() {
+            let tuple: Vec<Id> = self
+                .head
+                .iter()
+                .map(|t| match t {
+                    QTerm::Const(c) => *c,
+                    QTerm::Var(v) => *self
+                        .bindings
+                        .get(v)
+                        .expect("unsafe query: unbound head variable"),
+                })
+                .collect();
+            self.out.insert(tuple);
+            return;
+        }
+        let atom_idx = self.order[depth];
+        match &self.atoms[atom_idx] {
+            EvalAtom::Store { atom } => {
+                let atom = *atom;
+                let [s, p, o] = atom.terms();
+                let slot = |t: &QTerm| match t {
+                    QTerm::Const(c) => Some(*c),
+                    QTerm::Var(v) => self.bindings.get(v).copied(),
+                };
+                let pat = StorePattern::new(slot(s), slot(p), slot(o));
+                // Collect matches first: the borrow of `store` is fine, but
+                // `for_each_match` borrowing `self` while recursing is not.
+                let matches = if self.use_indexes {
+                    self.store.matching(&pat)
+                } else {
+                    self.store
+                        .triples()
+                        .iter()
+                        .copied()
+                        .filter(|&t| pat.matches(t))
+                        .collect()
+                };
+                for triple in matches {
+                    let mut trail: Vec<Var> = Vec::new();
+                    if self.unify(&atom.terms()[..], &triple[..], &mut trail) {
+                        self.recurse(depth + 1);
+                    }
+                    for v in trail {
+                        self.bindings.remove(&v);
+                    }
+                }
+            }
+            EvalAtom::View { table, args } => {
+                let table = *table;
+                let args = args.clone();
+                let mut bound_cols: Vec<usize> = Vec::new();
+                let mut key: Vec<Id> = Vec::new();
+                let mut mask = 0u64;
+                for (c, t) in args.iter().enumerate() {
+                    let val = match t {
+                        QTerm::Const(cst) => Some(*cst),
+                        QTerm::Var(v) => self.bindings.get(v).copied(),
+                    };
+                    if let Some(val) = val {
+                        bound_cols.push(c);
+                        key.push(val);
+                        mask |= 1 << c;
+                    }
+                }
+                let row_ids: Vec<usize> = if bound_cols.is_empty() {
+                    (0..table.len()).collect()
+                } else {
+                    let idx = self
+                        .view_indexes
+                        .entry((atom_idx, mask))
+                        .or_insert_with(|| table.build_index(&bound_cols));
+                    idx.get(&key).cloned().unwrap_or_default()
+                };
+                for r in row_ids {
+                    let row: Vec<Id> = table.row(r).to_vec();
+                    let mut trail: Vec<Var> = Vec::new();
+                    if self.unify(&args, &row, &mut trail) {
+                        self.recurse(depth + 1);
+                    }
+                    for v in trail {
+                        self.bindings.remove(&v);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Extends the bindings so that `args` matches `values`; handles
+    /// repeated variables within the atom. Newly bound vars go on `trail`.
+    fn unify(&mut self, args: &[QTerm], values: &[Id], trail: &mut Vec<Var>) -> bool {
+        for (t, &val) in args.iter().zip(values.iter()) {
+            match t {
+                QTerm::Const(c) => {
+                    if *c != val {
+                        return false;
+                    }
+                }
+                QTerm::Var(v) => match self.bindings.get(v) {
+                    Some(&prev) => {
+                        if prev != val {
+                            return false;
+                        }
+                    }
+                    None => {
+                        self.bindings.insert(*v, val);
+                        trail.push(*v);
+                    }
+                },
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdf_model::{Dataset, Term};
+    use rdf_query::parser::parse_query;
+
+    fn family() -> Dataset {
+        let mut db = Dataset::new();
+        let t = |db: &mut Dataset, s: &str, p: &str, o: &str| {
+            db.insert_terms(Term::uri(s), Term::uri(p), Term::uri(o));
+        };
+        // rembrandt painted nightWatch; picasso painted guernica;
+        // rembrandt parentOf titus; titus painted portrait.
+        t(&mut db, "rembrandt", "hasPainted", "nightWatch");
+        t(&mut db, "picasso", "hasPainted", "guernica");
+        t(&mut db, "rembrandt", "isParentOf", "titus");
+        t(&mut db, "titus", "hasPainted", "portrait");
+        db
+    }
+
+    #[test]
+    fn single_atom_with_constant() {
+        let mut db = family();
+        let q = parse_query("q(X) :- t(X, <hasPainted>, <guernica>)", db.dict_mut()).unwrap();
+        let a = evaluate(db.store(), &q.query);
+        assert_eq!(a.len(), 1);
+        let picasso = db.dict().lookup_uri("picasso").unwrap();
+        assert!(a.contains(&[picasso]));
+    }
+
+    #[test]
+    fn join_across_atoms() {
+        let mut db = family();
+        let q = parse_query(
+            "q(X, Z) :- t(X, <isParentOf>, Y), t(Y, <hasPainted>, Z)",
+            db.dict_mut(),
+        )
+        .unwrap();
+        let a = evaluate(db.store(), &q.query);
+        assert_eq!(a.len(), 1);
+        let rembrandt = db.dict().lookup_uri("rembrandt").unwrap();
+        let portrait = db.dict().lookup_uri("portrait").unwrap();
+        assert!(a.contains(&[rembrandt, portrait]));
+    }
+
+    #[test]
+    fn running_example_q1() {
+        // Painters of a specific painting with a painter child.
+        let mut db = family();
+        let q = parse_query(
+            "q1(X, Z) :- t(X, <hasPainted>, <nightWatch>), t(X, <isParentOf>, Y), \
+             t(Y, <hasPainted>, Z)",
+            db.dict_mut(),
+        )
+        .unwrap();
+        let a = evaluate(db.store(), &q.query);
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn repeated_variable_in_atom() {
+        let mut db = family();
+        db.insert_terms(
+            Term::uri("narciss"),
+            Term::uri("admires"),
+            Term::uri("narciss"),
+        );
+        db.insert_terms(Term::uri("a"), Term::uri("admires"), Term::uri("b"));
+        let q = parse_query("q(X) :- t(X, <admires>, X)", db.dict_mut()).unwrap();
+        let a = evaluate(db.store(), &q.query);
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn variable_property() {
+        let mut db = family();
+        let q = parse_query("q(P) :- t(<rembrandt>, P, Y)", db.dict_mut()).unwrap();
+        let a = evaluate(db.store(), &q.query);
+        assert_eq!(a.len(), 2); // hasPainted, isParentOf
+    }
+
+    #[test]
+    fn boolean_query_semantics() {
+        let mut db = family();
+        let yes = parse_query("q() :- t(X, <hasPainted>, Y)", db.dict_mut()).unwrap();
+        assert_eq!(evaluate(db.store(), &yes.query).len(), 1);
+        let no = parse_query("q() :- t(X, <hasEaten>, Y)", db.dict_mut()).unwrap();
+        assert!(evaluate(db.store(), &no.query).is_empty());
+    }
+
+    #[test]
+    fn set_semantics_dedup() {
+        let mut db = family();
+        // X has painted something: picasso appears once despite join paths.
+        let q = parse_query("q(X) :- t(X, <hasPainted>, Y)", db.dict_mut()).unwrap();
+        let a = evaluate(db.store(), &q.query);
+        assert_eq!(a.len(), 3); // rembrandt, picasso, titus
+    }
+
+    #[test]
+    fn union_evaluation() {
+        let mut db = family();
+        let q1 = parse_query("q(X) :- t(X, <hasPainted>, <guernica>)", db.dict_mut()).unwrap();
+        let q2 = parse_query("q(X) :- t(X, <isParentOf>, Y)", db.dict_mut()).unwrap();
+        let mut u = UnionQuery::new();
+        u.push(q1.query);
+        u.push(q2.query);
+        let a = evaluate_union(db.store(), &u);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn view_rewriting_equals_direct() {
+        use crate::materialize;
+        let mut db = family();
+        // Views: v1(X,Y) = parentOf pairs; v2(Y,Z) = painted pairs.
+        let v1 = parse_query("v1(X, Y) :- t(X, <isParentOf>, Y)", db.dict_mut()).unwrap();
+        let v2 = parse_query("v2(Y, Z) :- t(Y, <hasPainted>, Z)", db.dict_mut()).unwrap();
+        let t1 = materialize(db.store(), &v1.query);
+        let t2 = materialize(db.store(), &v2.query);
+        // Rewriting r(X,Z) :- v1(X,Y), v2(Y,Z).
+        let x = Var(0);
+        let y = Var(1);
+        let z = Var(2);
+        let atoms = vec![
+            ViewAtom {
+                table: &t1,
+                args: vec![x.into(), y.into()],
+            },
+            ViewAtom {
+                table: &t2,
+                args: vec![y.into(), z.into()],
+            },
+        ];
+        let via_views = evaluate_over_views(&atoms, &[x.into(), z.into()]);
+        let direct = parse_query(
+            "q(X, Z) :- t(X, <isParentOf>, Y), t(Y, <hasPainted>, Z)",
+            db.dict_mut(),
+        )
+        .unwrap();
+        assert_eq!(via_views, evaluate(db.store(), &direct.query));
+    }
+
+    #[test]
+    fn view_rewriting_with_selection_constant() {
+        use crate::materialize;
+        let mut db = family();
+        let v = parse_query("v(X, Y) :- t(X, <hasPainted>, Y)", db.dict_mut()).unwrap();
+        let t = materialize(db.store(), &v.query);
+        let guernica = db.dict().lookup_uri("guernica").unwrap();
+        let x = Var(0);
+        let atoms = vec![ViewAtom {
+            table: &t,
+            args: vec![x.into(), guernica.into()],
+        }];
+        let a = evaluate_over_views(&atoms, &[x.into()]);
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn scan_only_matches_indexed() {
+        let mut db = family();
+        let q = parse_query(
+            "q(X, Z) :- t(X, <isParentOf>, Y), t(Y, <hasPainted>, Z)",
+            db.dict_mut(),
+        )
+        .unwrap();
+        let indexed = evaluate(db.store(), &q.query);
+        let scanned = evaluate_with(db.store(), &q.query, &EvalOptions { use_indexes: false });
+        assert_eq!(indexed, scanned);
+    }
+
+    #[test]
+    fn cartesian_product_rewriting() {
+        use crate::materialize;
+        let mut db = family();
+        let v = parse_query("v(X) :- t(X, <isParentOf>, Y)", db.dict_mut()).unwrap();
+        let t = materialize(db.store(), &v.query);
+        let a = Var(0);
+        let b = Var(1);
+        let atoms = vec![
+            ViewAtom {
+                table: &t,
+                args: vec![a.into()],
+            },
+            ViewAtom {
+                table: &t,
+                args: vec![b.into()],
+            },
+        ];
+        let ans = evaluate_over_views(&atoms, &[a.into(), b.into()]);
+        assert_eq!(ans.len(), 1); // 1×1 product
+    }
+}

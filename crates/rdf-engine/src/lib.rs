@@ -1,0 +1,66 @@
+//! # rdf-engine
+//!
+//! Select-project-join evaluation over the triple table and over
+//! materialized views.
+//!
+//! The paper's platform requirement is deliberately modest: "an execution
+//! framework capable of evaluating our simple select-project-join
+//! rewritings" (Section 7). This crate provides exactly that:
+//!
+//! * [`evaluate`] / [`evaluate_union`] — conjunctive queries and UCQs over
+//!   the triple table, answered with index-backed nested-loop joins using
+//!   the store's six permutation indexes (the "heavily indexed triple
+//!   table" configurations of Figure 8);
+//! * [`materialize`] / [`materialize_union`] — view materialization,
+//!   producing [`ViewTable`]s (Section 6.6 materializes both plain and
+//!   reformulated views);
+//! * [`evaluate_over_views`] — rewritings, i.e. conjunctive queries whose
+//!   atoms range over view tables (selections encoded by constants in the
+//!   arguments, joins by repeated variables), with hash-indexes built on
+//!   demand per bound-column set.
+//!
+//! Answers use **set semantics**, matching the conjunctive-query formalism
+//! of the paper (equivalence is defined through containment mappings).
+//!
+//! ```
+//! use rdf_model::{Dataset, Term};
+//! use rdf_query::parser::parse_query;
+//! use rdf_engine::evaluate;
+//!
+//! let mut db = Dataset::new();
+//! db.insert_terms(Term::uri("a"), Term::uri("knows"), Term::uri("b"));
+//! db.insert_terms(Term::uri("b"), Term::uri("knows"), Term::uri("c"));
+//!
+//! let q = parse_query("q(X, Z) :- t(X, <knows>, Y), t(Y, <knows>, Z)", db.dict_mut()).unwrap();
+//! let answers = evaluate(db.store(), &q.query);
+//! assert_eq!(answers.len(), 1); // (a, c)
+//! ```
+
+mod answers;
+mod eval;
+pub mod maintain;
+mod view_table;
+
+pub use answers::Answers;
+pub use eval::{
+    evaluate, evaluate_over_views, evaluate_union, evaluate_with, EvalOptions, ViewAtom,
+};
+pub use maintain::{MaintainedView, MaintenanceStats};
+pub use view_table::ViewTable;
+
+use rdf_model::TripleStore;
+use rdf_query::{ConjunctiveQuery, UnionQuery};
+
+/// Materializes a view (a CQ over the triple table) into a table whose
+/// columns follow the view's head.
+pub fn materialize(store: &TripleStore, view: &ConjunctiveQuery) -> ViewTable {
+    ViewTable::from_answers(view.head.len(), evaluate(store, view))
+}
+
+/// Materializes a union view — e.g. a reformulated view in the
+/// post-reformulation pipeline (Section 4.3): the union of the branch
+/// results, deduplicated.
+pub fn materialize_union(store: &TripleStore, view: &UnionQuery) -> ViewTable {
+    let arity = view.branches().first().map_or(0, |b| b.head.len());
+    ViewTable::from_answers(arity, evaluate_union(store, view))
+}

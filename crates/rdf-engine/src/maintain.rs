@@ -1,0 +1,309 @@
+//! Incremental view maintenance.
+//!
+//! The paper's VMC cost term models exactly this work: "the addition of a
+//! triple t⁺ causes the addition of f₁·f₂·…·f_len(v) tuples to v" — the
+//! delta of each view under a triple insertion. This module implements the
+//! classic delta rule for select-project-join views so that the estimate
+//! can be validated against measured maintenance effort (see the
+//! `exp_vmc` bench):
+//!
+//! ```text
+//! Δv(t⁺) = ⋃_i  π_head( atom_1 ⋈ … ⋈ Δatom_i(t⁺) ⋈ … ⋈ atom_n )
+//! ```
+//!
+//! where `Δatom_i(t⁺)` binds atom `i` to the inserted triple. The base
+//! store must already contain `t⁺` when the deltas are applied (insert
+//! first, then maintain), which makes repeated application converge to the
+//! same table as rematerialization.
+
+use rdf_model::{FxHashMap, FxHashSet, Id, Triple, TripleStore};
+use rdf_query::{ConjunctiveQuery, QTerm, Var};
+
+use crate::answers::Answers;
+use crate::eval::evaluate;
+use crate::view_table::ViewTable;
+
+/// A maintainable materialized view: the definition plus its rows.
+#[derive(Debug, Clone)]
+pub struct MaintainedView {
+    def: ConjunctiveQuery,
+    rows: FxHashSet<Vec<Id>>,
+}
+
+/// Counters for one maintenance operation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MaintenanceStats {
+    /// Delta tuples computed (before deduplication against the table).
+    pub delta_tuples: usize,
+    /// Rows actually added to the view.
+    pub added: usize,
+}
+
+impl MaintainedView {
+    /// Materializes the view over the current store.
+    pub fn new(store: &TripleStore, def: ConjunctiveQuery) -> Self {
+        let rows: FxHashSet<Vec<Id>> = evaluate(store, &def).into_tuples().into_iter().collect();
+        Self { def, rows }
+    }
+
+    /// The view definition.
+    pub fn definition(&self) -> &ConjunctiveQuery {
+        &self.def
+    }
+
+    /// Number of rows currently stored.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Snapshot as a [`ViewTable`].
+    pub fn to_table(&self) -> ViewTable {
+        ViewTable::from_rows(self.def.head.len(), self.rows.iter().cloned())
+    }
+
+    /// Snapshot as sorted [`Answers`].
+    pub fn to_answers(&self) -> Answers {
+        Answers::from_tuples(self.def.head.len(), self.rows.iter().cloned())
+    }
+
+    /// Applies the insertion of `triple` (already present in `store`):
+    /// computes the delta via one bound evaluation per atom and merges it.
+    pub fn apply_insert(&mut self, store: &TripleStore, triple: Triple) -> MaintenanceStats {
+        let mut stats = MaintenanceStats::default();
+        for i in 0..self.def.atoms.len() {
+            let Some(bound) = bind_atom_to_triple(&self.def, i, triple) else {
+                continue; // the triple cannot match this atom
+            };
+            for tuple in evaluate(store, &bound).into_tuples() {
+                stats.delta_tuples += 1;
+                if self.rows.insert(tuple) {
+                    stats.added += 1;
+                }
+            }
+        }
+        stats
+    }
+
+    /// Applies a batch of insertions: the triples must already be in
+    /// `store`; deltas are computed per triple (naive batch).
+    pub fn apply_batch(&mut self, store: &TripleStore, batch: &[Triple]) -> MaintenanceStats {
+        let mut total = MaintenanceStats::default();
+        for &t in batch {
+            let s = self.apply_insert(store, t);
+            total.delta_tuples += s.delta_tuples;
+            total.added += s.added;
+        }
+        total
+    }
+}
+
+/// Specializes the view to `triple` at atom `i`: substitutes the atom's
+/// variables by the triple's ids (unifying), drops the atom (its constraint
+/// is now satisfied by the binding) and keeps the remaining body. Returns
+/// `None` when the triple cannot match the atom.
+fn bind_atom_to_triple(
+    def: &ConjunctiveQuery,
+    i: usize,
+    triple: Triple,
+) -> Option<ConjunctiveQuery> {
+    let atom = &def.atoms[i];
+    let mut subst: FxHashMap<Var, QTerm> = FxHashMap::default();
+    for (term, value) in atom.terms().iter().zip(triple.iter()) {
+        match term {
+            QTerm::Const(c) => {
+                if c != value {
+                    return None;
+                }
+            }
+            QTerm::Var(v) => match subst.get(v) {
+                Some(QTerm::Const(prev)) => {
+                    if prev != value {
+                        return None;
+                    }
+                }
+                _ => {
+                    subst.insert(*v, QTerm::Const(*value));
+                }
+            },
+        }
+    }
+    let mut atoms = def.atoms.clone();
+    atoms.remove(i);
+    let specialized = ConjunctiveQuery::new(def.head.clone(), atoms).substitute(&subst);
+    if specialized.atoms.is_empty() {
+        // Single-atom view: the delta is the projected binding itself,
+        // provided the head is fully grounded by the substitution.
+        let grounded = specialized.head.iter().all(|t| !t.is_var());
+        if !grounded {
+            return None; // unsafe degenerate case; cannot happen for safe views
+        }
+    }
+    Some(specialized)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdf_model::{Dataset, Term};
+    use rdf_query::parser::parse_query;
+
+    fn setup() -> (Dataset, ConjunctiveQuery) {
+        let mut db = Dataset::new();
+        let t = |db: &mut Dataset, s: &str, p: &str, o: &str| {
+            db.insert_terms(Term::uri(s), Term::uri(p), Term::uri(o));
+        };
+        t(&mut db, "a", "knows", "b");
+        t(&mut db, "b", "knows", "c");
+        t(&mut db, "c", "worksAt", "acme");
+        let q = parse_query(
+            "v(X, W) :- t(X, <knows>, Y), t(Y, <worksAt>, W)",
+            db.dict_mut(),
+        )
+        .unwrap()
+        .query;
+        (db, q)
+    }
+
+    /// The invariant behind every test: after maintenance, the view equals
+    /// a from-scratch rematerialization.
+    fn assert_consistent(view: &MaintainedView, store: &TripleStore) {
+        let fresh = evaluate(store, view.definition());
+        assert_eq!(view.to_answers(), fresh);
+    }
+
+    #[test]
+    fn insert_extends_join_views() {
+        let (mut db, q) = setup();
+        let mut view = MaintainedView::new(db.store(), q);
+        assert_eq!(view.len(), 1); // (b, acme)
+
+        // d knows c  → (d, acme) must appear.
+        let d = db.dict_mut().intern_uri("d");
+        let knows = db.dict_mut().intern_uri("knows");
+        let c = db.dict_mut().intern_uri("c");
+        let triple = [d, knows, c];
+        db.store_mut().insert(triple);
+        let stats = view.apply_insert(db.store(), triple);
+        assert_eq!(stats.added, 1);
+        assert_eq!(view.len(), 2);
+        assert_consistent(&view, db.store());
+    }
+
+    #[test]
+    fn insert_matching_second_atom() {
+        let (mut db, q) = setup();
+        let mut view = MaintainedView::new(db.store(), q);
+        // a works at initech → (X=?, W=initech) via Y=a… wait: needs
+        // t(X, knows, a); nothing knows a, so no delta. Then e knows a.
+        let a = db.dict().lookup_uri("a").unwrap();
+        let works_at = db.dict().lookup_uri("worksAt").unwrap();
+        let initech = db.dict_mut().intern_uri("initech");
+        let t1 = [a, works_at, initech];
+        db.store_mut().insert(t1);
+        let s1 = view.apply_insert(db.store(), t1);
+        assert_eq!(s1.added, 0);
+        assert_consistent(&view, db.store());
+
+        let e = db.dict_mut().intern_uri("e");
+        let knows = db.dict().lookup_uri("knows").unwrap();
+        let t2 = [e, knows, a];
+        db.store_mut().insert(t2);
+        let s2 = view.apply_insert(db.store(), t2);
+        assert_eq!(s2.added, 1); // (e, initech)
+        assert_consistent(&view, db.store());
+    }
+
+    #[test]
+    fn irrelevant_triples_cost_nothing() {
+        let (mut db, q) = setup();
+        let mut view = MaintainedView::new(db.store(), q);
+        let x = db.dict_mut().intern_uri("x");
+        let likes = db.dict_mut().intern_uri("likes");
+        let y = db.dict_mut().intern_uri("y");
+        let t = [x, likes, y];
+        db.store_mut().insert(t);
+        let stats = view.apply_insert(db.store(), t);
+        assert_eq!(stats, MaintenanceStats::default());
+        assert_consistent(&view, db.store());
+    }
+
+    #[test]
+    fn duplicate_delta_not_double_counted() {
+        let (db, q) = setup();
+        let mut view = MaintainedView::new(db.store(), q);
+        // Re-inserting an existing triple adds no rows (store dedups, but
+        // even a forced maintenance call must not add).
+        let triple = db.store().triples()[0];
+        let stats = view.apply_insert(db.store(), triple);
+        assert_eq!(stats.added, 0);
+        assert_consistent(&view, db.store());
+    }
+
+    #[test]
+    fn batch_maintenance_matches_rematerialization() {
+        let (mut db, q) = setup();
+        let mut view = MaintainedView::new(db.store(), q);
+        let knows = db.dict().lookup_uri("knows").unwrap();
+        let works_at = db.dict().lookup_uri("worksAt").unwrap();
+        let mut batch = Vec::new();
+        for i in 0..10 {
+            let s = db.dict_mut().intern_uri(&format!("p{i}"));
+            let o = db.dict_mut().intern_uri(&format!("p{}", (i + 1) % 10));
+            batch.push([s, knows, o]);
+            if i % 3 == 0 {
+                let site = db.dict_mut().intern_uri(&format!("site{i}"));
+                batch.push([s, works_at, site]);
+            }
+        }
+        for &t in &batch {
+            db.store_mut().insert(t);
+        }
+        view.apply_batch(db.store(), &batch);
+        assert_consistent(&view, db.store());
+    }
+
+    #[test]
+    fn single_atom_view_maintenance() {
+        let mut db = Dataset::new();
+        db.insert_terms(Term::uri("a"), Term::uri("p"), Term::uri("b"));
+        let q = parse_query("v(X, Y) :- t(X, <p>, Y)", db.dict_mut())
+            .unwrap()
+            .query;
+        let mut view = MaintainedView::new(db.store(), q);
+        assert_eq!(view.len(), 1);
+        let p = db.dict().lookup_uri("p").unwrap();
+        let c = db.dict_mut().intern_uri("c");
+        let d = db.dict_mut().intern_uri("d");
+        let t = [c, p, d];
+        db.store_mut().insert(t);
+        let stats = view.apply_insert(db.store(), t);
+        assert_eq!(stats.added, 1);
+        assert_consistent(&view, db.store());
+    }
+
+    #[test]
+    fn self_join_view_maintenance() {
+        // v(X) :- t(X, p, Y), t(Y, p, X): one new triple can complete a
+        // pair in both directions.
+        let mut db = Dataset::new();
+        let q = parse_query("v(X) :- t(X, <p>, Y), t(Y, <p>, X)", db.dict_mut())
+            .unwrap()
+            .query;
+        let p = db.dict().lookup_uri("p").unwrap();
+        let a = db.dict_mut().intern_uri("a");
+        let b = db.dict_mut().intern_uri("b");
+        db.store_mut().insert([a, p, b]);
+        let mut view = MaintainedView::new(db.store(), q);
+        assert_eq!(view.len(), 0);
+        let t = [b, p, a];
+        db.store_mut().insert(t);
+        view.apply_insert(db.store(), t);
+        assert_eq!(view.len(), 2); // a and b
+        assert_consistent(&view, db.store());
+    }
+}

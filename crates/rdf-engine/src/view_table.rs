@@ -1,0 +1,121 @@
+//! Materialized view tables.
+
+use rdf_model::{FxHashMap, Id};
+
+use crate::answers::Answers;
+
+/// A materialized view: a fixed-arity table of id tuples, stored flat.
+///
+/// Hash indexes over arbitrary column subsets are built on demand and
+/// cached; rewriting evaluation probes them for join lookups.
+#[derive(Debug, Clone, Default)]
+pub struct ViewTable {
+    arity: usize,
+    /// Row-major storage: `data[r * arity .. (r + 1) * arity]` is row `r`.
+    data: Vec<Id>,
+}
+
+impl ViewTable {
+    /// Builds a table from answers (already deduplicated).
+    pub fn from_answers(arity: usize, answers: Answers) -> Self {
+        let tuples = answers.into_tuples();
+        let mut data = Vec::with_capacity(tuples.len() * arity);
+        for t in &tuples {
+            debug_assert_eq!(t.len(), arity);
+            data.extend_from_slice(t);
+        }
+        Self { arity, data }
+    }
+
+    /// Builds a table from raw rows (deduplicating).
+    pub fn from_rows(arity: usize, rows: impl IntoIterator<Item = Vec<Id>>) -> Self {
+        Self::from_answers(arity, Answers::from_tuples(arity, rows))
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of rows. A zero-arity table (boolean view) cannot encode its
+    /// row count in `data` and reports 0; such views are degenerate and not
+    /// produced by the selection pipeline.
+    pub fn len(&self) -> usize {
+        self.data.len().checked_div(self.arity).unwrap_or(0)
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The `r`-th row.
+    pub fn row(&self, r: usize) -> &[Id] {
+        &self.data[r * self.arity..(r + 1) * self.arity]
+    }
+
+    /// Iterates rows.
+    pub fn rows(&self) -> impl Iterator<Item = &[Id]> {
+        self.data.chunks_exact(self.arity.max(1))
+    }
+
+    /// Size in tuples × columns (a proxy for storage bytes before width
+    /// weighting).
+    pub fn cell_count(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Builds a hash index mapping the values of `cols` to row numbers.
+    pub fn build_index(&self, cols: &[usize]) -> FxHashMap<Vec<Id>, Vec<usize>> {
+        let mut idx: FxHashMap<Vec<Id>, Vec<usize>> = FxHashMap::default();
+        for r in 0..self.len() {
+            let row = self.row(r);
+            let key: Vec<Id> = cols.iter().map(|&c| row[c]).collect();
+            idx.entry(key).or_default().push(r);
+        }
+        idx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> ViewTable {
+        ViewTable::from_rows(
+            2,
+            vec![
+                vec![Id(1), Id(10)],
+                vec![Id(2), Id(10)],
+                vec![Id(1), Id(20)],
+                vec![Id(1), Id(10)], // dup
+            ],
+        )
+    }
+
+    #[test]
+    fn construction_dedups() {
+        let t = table();
+        assert_eq!(t.arity(), 2);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.cell_count(), 6);
+    }
+
+    #[test]
+    fn row_access_and_iteration() {
+        let t = table();
+        let rows: Vec<&[Id]> = t.rows().collect();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(t.row(0), rows[0]);
+    }
+
+    #[test]
+    fn index_groups_rows() {
+        let t = table();
+        let idx = t.build_index(&[1]);
+        assert_eq!(idx[&vec![Id(10)]].len(), 2);
+        assert_eq!(idx[&vec![Id(20)]].len(), 1);
+        let idx2 = t.build_index(&[0, 1]);
+        assert_eq!(idx2.len(), 3);
+    }
+}

@@ -1,0 +1,161 @@
+//! The encoding dictionary.
+//!
+//! As in the paper's experimental platform, data is stored in a
+//! dictionary-encoded triple table "using a distinct integer for each
+//! distinct URI or literal appearing in an s, p or o value", with the
+//! dictionary indexed both ways (id → term and term → id).
+
+use crate::fxhash::FxHashMap;
+use crate::term::{Id, Term};
+
+/// Bidirectional term ↔ id mapping.
+///
+/// Ids are dense and allocated in interning order, which lets downstream
+/// components use them directly as vector indexes.
+#[derive(Debug, Default, Clone)]
+pub struct Dictionary {
+    terms: Vec<Term>,
+    lookup: FxHashMap<Term, Id>,
+}
+
+impl Dictionary {
+    /// Creates an empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a dictionary with pre-allocated capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            terms: Vec::with_capacity(cap),
+            lookup: FxHashMap::with_capacity_and_hasher(cap, Default::default()),
+        }
+    }
+
+    /// Interns a term, returning its id (allocating a fresh one if new).
+    pub fn intern(&mut self, term: Term) -> Id {
+        if let Some(&id) = self.lookup.get(&term) {
+            return id;
+        }
+        let id =
+            Id(u32::try_from(self.terms.len()).expect("dictionary overflow: > u32::MAX terms"));
+        self.terms.push(term.clone());
+        self.lookup.insert(term, id);
+        id
+    }
+
+    /// Convenience: intern a URI given as a string.
+    pub fn intern_uri(&mut self, uri: &str) -> Id {
+        self.intern(Term::uri(uri))
+    }
+
+    /// Convenience: intern a literal given as a string.
+    pub fn intern_literal(&mut self, lit: &str) -> Id {
+        self.intern(Term::literal(lit))
+    }
+
+    /// Convenience: intern a blank node given by label.
+    pub fn intern_blank(&mut self, label: &str) -> Id {
+        self.intern(Term::blank(label))
+    }
+
+    /// Looks up an already-interned term.
+    pub fn lookup(&self, term: &Term) -> Option<Id> {
+        self.lookup.get(term).copied()
+    }
+
+    /// Looks up a URI by spelling.
+    pub fn lookup_uri(&self, uri: &str) -> Option<Id> {
+        self.lookup(&Term::uri(uri))
+    }
+
+    /// Decodes an id. Panics on unknown ids (they can only come from a
+    /// foreign dictionary, which is a programming error).
+    pub fn term(&self, id: Id) -> &Term {
+        &self.terms[id.index()]
+    }
+
+    /// Decodes an id if it is known.
+    pub fn get(&self, id: Id) -> Option<&Term> {
+        self.terms.get(id.index())
+    }
+
+    /// Number of distinct terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Whether the dictionary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Iterates `(id, term)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (Id, &Term)> {
+        self.terms
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (Id(i as u32), t))
+    }
+
+    /// Byte width of an id's lexical form (used for space-occupancy
+    /// estimates).
+    pub fn byte_width(&self, id: Id) -> usize {
+        self.term(id).byte_width()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut d = Dictionary::new();
+        let a = d.intern(Term::uri("ex:a"));
+        let b = d.intern(Term::uri("ex:b"));
+        let a2 = d.intern(Term::uri("ex:a"));
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn ids_are_dense_and_ordered() {
+        let mut d = Dictionary::new();
+        for i in 0..100 {
+            let id = d.intern(Term::literal(format!("{i}")));
+            assert_eq!(id, Id(i));
+        }
+    }
+
+    #[test]
+    fn lookup_and_decode_roundtrip() {
+        let mut d = Dictionary::new();
+        let t = Term::blank("node1");
+        let id = d.intern(t.clone());
+        assert_eq!(d.lookup(&t), Some(id));
+        assert_eq!(d.term(id), &t);
+        assert_eq!(d.get(Id(999)), None);
+    }
+
+    #[test]
+    fn kinds_do_not_collide() {
+        let mut d = Dictionary::new();
+        let u = d.intern(Term::uri("x"));
+        let l = d.intern(Term::literal("x"));
+        let b = d.intern(Term::blank("x"));
+        assert_ne!(u, l);
+        assert_ne!(u, b);
+        assert_ne!(l, b);
+    }
+
+    #[test]
+    fn iter_visits_in_id_order() {
+        let mut d = Dictionary::new();
+        d.intern_uri("a");
+        d.intern_uri("b");
+        let ids: Vec<u32> = d.iter().map(|(id, _)| id.0).collect();
+        assert_eq!(ids, vec![0, 1]);
+    }
+}

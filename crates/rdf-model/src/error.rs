@@ -1,0 +1,56 @@
+//! Error types for the data model layer.
+
+use std::fmt;
+
+/// Errors produced while parsing or validating RDF data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// A line of N-Triples-style input could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Human-readable explanation.
+        message: String,
+    },
+    /// A triple violated RDF well-formedness (e.g. literal subject).
+    IllFormed {
+        /// 1-based line number (0 when constructed programmatically).
+        line: usize,
+        /// Which position was invalid.
+        position: &'static str,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            ModelError::IllFormed { line, position } => {
+                write!(f, "ill-formed triple at line {line}: invalid {position}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = ModelError::Parse {
+            line: 3,
+            message: "missing object".into(),
+        };
+        assert!(e.to_string().contains("line 3"));
+        let e = ModelError::IllFormed {
+            line: 1,
+            position: "subject",
+        };
+        assert!(e.to_string().contains("subject"));
+    }
+}

@@ -1,0 +1,116 @@
+//! Store-level triple patterns.
+//!
+//! A [`StorePattern`] binds each of the three columns either to a constant id
+//! or leaves it free. This is the interface between the query processor and
+//! the index layer: variable *names* and intra-atom equality (e.g.
+//! `t(X, p, X)`) are handled by the evaluator, which post-filters; the store
+//! only needs to know which columns are fixed.
+
+use crate::term::Id;
+
+/// One column of a pattern: bound to a constant or free.
+pub type Slot = Option<Id>;
+
+/// A triple pattern over the encoded triple table: `(s?, p?, o?)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct StorePattern {
+    /// Subject slot.
+    pub s: Slot,
+    /// Property slot.
+    pub p: Slot,
+    /// Object slot.
+    pub o: Slot,
+}
+
+impl StorePattern {
+    /// The all-free pattern (full scan).
+    pub const ALL: StorePattern = StorePattern {
+        s: None,
+        p: None,
+        o: None,
+    };
+
+    /// Builds a pattern from three slots.
+    pub fn new(s: Slot, p: Slot, o: Slot) -> Self {
+        Self { s, p, o }
+    }
+
+    /// Pattern with only the subject bound.
+    pub fn with_s(s: Id) -> Self {
+        Self::new(Some(s), None, None)
+    }
+
+    /// Pattern with only the property bound.
+    pub fn with_p(p: Id) -> Self {
+        Self::new(None, Some(p), None)
+    }
+
+    /// Pattern with only the object bound.
+    pub fn with_o(o: Id) -> Self {
+        Self::new(None, None, Some(o))
+    }
+
+    /// Pattern with property and object bound.
+    pub fn with_po(p: Id, o: Id) -> Self {
+        Self::new(None, Some(p), Some(o))
+    }
+
+    /// Pattern with subject and property bound.
+    pub fn with_sp(s: Id, p: Id) -> Self {
+        Self::new(Some(s), Some(p), None)
+    }
+
+    /// Pattern with subject and object bound.
+    pub fn with_so(s: Id, o: Id) -> Self {
+        Self::new(Some(s), None, Some(o))
+    }
+
+    /// Fully bound pattern (membership test).
+    pub fn exact(s: Id, p: Id, o: Id) -> Self {
+        Self::new(Some(s), Some(p), Some(o))
+    }
+
+    /// The slots as an array in `(s, p, o)` order.
+    #[inline]
+    pub fn slots(&self) -> [Slot; 3] {
+        [self.s, self.p, self.o]
+    }
+
+    /// Number of bound columns (0–3).
+    pub fn bound_count(&self) -> usize {
+        self.slots().iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Whether the given encoded triple matches this pattern.
+    #[inline]
+    pub fn matches(&self, t: [Id; 3]) -> bool {
+        self.slots()
+            .iter()
+            .zip(t.iter())
+            .all(|(slot, v)| slot.is_none_or(|c| c == *v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matching() {
+        let t = [Id(1), Id(2), Id(3)];
+        assert!(StorePattern::ALL.matches(t));
+        assert!(StorePattern::with_p(Id(2)).matches(t));
+        assert!(!StorePattern::with_p(Id(9)).matches(t));
+        assert!(StorePattern::exact(Id(1), Id(2), Id(3)).matches(t));
+        assert!(!StorePattern::exact(Id(1), Id(2), Id(4)).matches(t));
+        assert!(StorePattern::with_so(Id(1), Id(3)).matches(t));
+    }
+
+    #[test]
+    fn bound_count() {
+        assert_eq!(StorePattern::ALL.bound_count(), 0);
+        assert_eq!(StorePattern::with_s(Id(0)).bound_count(), 1);
+        assert_eq!(StorePattern::with_po(Id(0), Id(1)).bound_count(), 2);
+        assert_eq!(StorePattern::exact(Id(0), Id(1), Id(2)).bound_count(), 3);
+    }
+}

@@ -1,0 +1,48 @@
+//! RDF / RDFS vocabulary constants.
+//!
+//! Only the handful of special URIs the paper's entailment rules need
+//! (Table 1 and Section 4.1).
+
+/// `rdf:type` — class membership.
+pub const RDF_TYPE: &str = "rdf:type";
+
+/// `rdfs:subClassOf` — class inclusion.
+pub const RDFS_SUB_CLASS_OF: &str = "rdfs:subClassOf";
+
+/// `rdfs:subPropertyOf` — property inclusion.
+pub const RDFS_SUB_PROPERTY_OF: &str = "rdfs:subPropertyOf";
+
+/// `rdfs:domain` — domain typing of a property.
+pub const RDFS_DOMAIN: &str = "rdfs:domain";
+
+/// `rdfs:range` — range typing of a property.
+pub const RDFS_RANGE: &str = "rdfs:range";
+
+/// `rdfs:Class` — the class of classes.
+pub const RDFS_CLASS: &str = "rdfs:Class";
+
+/// All RDFS schema properties (the four semantic relationships of Table 1).
+pub const SCHEMA_PROPERTIES: [&str; 4] = [
+    RDFS_SUB_CLASS_OF,
+    RDFS_SUB_PROPERTY_OF,
+    RDFS_DOMAIN,
+    RDFS_RANGE,
+];
+
+/// Returns `true` if `uri` is one of the four RDFS schema properties.
+pub fn is_schema_property(uri: &str) -> bool {
+    SCHEMA_PROPERTIES.contains(&uri)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_property_detection() {
+        assert!(is_schema_property(RDFS_DOMAIN));
+        assert!(is_schema_property(RDFS_SUB_CLASS_OF));
+        assert!(!is_schema_property(RDF_TYPE));
+        assert!(!is_schema_property("ex:hasPainted"));
+    }
+}

@@ -1,0 +1,92 @@
+//! Property tests for the store: every index order must agree with a
+//! linear scan, for arbitrary triple sets and patterns.
+
+use proptest::prelude::*;
+use rdf_model::{Id, StorePattern, TripleStore};
+
+fn triples_strategy() -> impl Strategy<Value = Vec<[u32; 3]>> {
+    prop::collection::vec([0u32..12, 0u32..6, 0u32..12], 0..120)
+}
+
+fn pattern_strategy() -> impl Strategy<Value = [Option<u32>; 3]> {
+    [
+        prop::option::of(0u32..12),
+        prop::option::of(0u32..6),
+        prop::option::of(0u32..12),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn index_scans_agree_with_linear_scan(
+        triples in triples_strategy(),
+        pats in prop::collection::vec(pattern_strategy(), 1..12),
+    ) {
+        let mut store = TripleStore::new();
+        for t in &triples {
+            store.insert([Id(t[0]), Id(t[1]), Id(t[2])]);
+        }
+        for p in pats {
+            let pat = StorePattern::new(p[0].map(Id), p[1].map(Id), p[2].map(Id));
+            let mut expected: Vec<[Id; 3]> = store
+                .triples()
+                .iter()
+                .copied()
+                .filter(|&t| pat.matches(t))
+                .collect();
+            expected.sort_unstable();
+            let mut got = store.matching(&pat);
+            got.sort_unstable();
+            prop_assert_eq!(&got, &expected);
+            prop_assert_eq!(store.match_count(&pat), expected.len());
+        }
+    }
+
+    #[test]
+    fn insert_then_contains(triples in triples_strategy()) {
+        let mut store = TripleStore::new();
+        let mut reference = std::collections::HashSet::new();
+        for t in &triples {
+            let t = [Id(t[0]), Id(t[1]), Id(t[2])];
+            prop_assert_eq!(store.insert(t), reference.insert(t));
+        }
+        prop_assert_eq!(store.len(), reference.len());
+        for t in &reference {
+            prop_assert!(store.contains(*t));
+        }
+    }
+
+    #[test]
+    fn distinct_counts_are_exact(triples in triples_strategy()) {
+        let mut store = TripleStore::new();
+        for t in &triples {
+            store.insert([Id(t[0]), Id(t[1]), Id(t[2])]);
+        }
+        let counts = store.distinct_counts();
+        for col in 0..3 {
+            let expected: std::collections::HashSet<Id> =
+                store.triples().iter().map(|t| t[col]).collect();
+            prop_assert_eq!(counts[col], expected.len());
+        }
+    }
+
+    #[test]
+    fn interleaved_insert_and_scan(
+        batches in prop::collection::vec(triples_strategy(), 1..4),
+    ) {
+        // Index snapshots must be correctly invalidated by writes.
+        let mut store = TripleStore::new();
+        for batch in &batches {
+            for t in batch {
+                store.insert([Id(t[0]), Id(t[1]), Id(t[2])]);
+            }
+            let pat = StorePattern::with_p(Id(1));
+            let expected = store
+                .triples()
+                .iter()
+                .filter(|t| t[1] == Id(1))
+                .count();
+            prop_assert_eq!(store.match_count(&pat), expected);
+        }
+    }
+}

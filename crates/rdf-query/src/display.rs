@@ -1,0 +1,71 @@
+//! Pretty-printing of queries against a dictionary.
+
+use rdf_model::{Dictionary, Term};
+
+use crate::query::{Atom, ConjunctiveQuery, QTerm};
+use crate::ucq::UnionQuery;
+
+/// Renders a term; variables as `X<n>`, constants decoded through `dict`.
+pub fn term_to_string(t: &QTerm, dict: &Dictionary) -> String {
+    match t {
+        QTerm::Var(v) => format!("{v}"),
+        QTerm::Const(c) => match dict.get(*c) {
+            Some(Term::Uri(u)) => format!("<{u}>"),
+            Some(Term::Blank(b)) => format!("_:{b}"),
+            Some(Term::Literal(l)) => format!("\"{l}\""),
+            None => format!("#{}", c.0),
+        },
+    }
+}
+
+/// Renders one atom.
+pub fn atom_to_string(a: &Atom, dict: &Dictionary) -> String {
+    let [s, p, o] = a.terms();
+    format!(
+        "t({}, {}, {})",
+        term_to_string(s, dict),
+        term_to_string(p, dict),
+        term_to_string(o, dict)
+    )
+}
+
+/// Renders a query in the parser's syntax.
+pub fn query_to_string(name: &str, q: &ConjunctiveQuery, dict: &Dictionary) -> String {
+    let head: Vec<String> = q.head.iter().map(|t| term_to_string(t, dict)).collect();
+    let body: Vec<String> = q.atoms.iter().map(|a| atom_to_string(a, dict)).collect();
+    format!("{name}({}) :- {}", head.join(", "), body.join(", "))
+}
+
+/// Renders a union of conjunctive queries, one branch per line.
+pub fn ucq_to_string(name: &str, u: &UnionQuery, dict: &Dictionary) -> String {
+    u.branches()
+        .iter()
+        .map(|cq| query_to_string(name, cq, dict))
+        .collect::<Vec<_>>()
+        .join("\n∪ ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+
+    #[test]
+    fn roundtrip_through_parser() {
+        let mut dict = Dictionary::new();
+        let text = "q(X0, X2) :- t(X0, <hasPainted>, <starryNight>), t(X0, <isParentOf>, X1), t(X1, <hasPainted>, X2)";
+        let p = parse_query(text, &mut dict).unwrap();
+        let printed = query_to_string("q", &p.query, &dict);
+        let p2 = parse_query(&printed, &mut dict).unwrap();
+        assert_eq!(p.query, p2.query);
+    }
+
+    #[test]
+    fn literal_and_blank_rendering() {
+        let mut dict = Dictionary::new();
+        let p = parse_query("q(X) :- t(X, <p>, \"v\"), t(X, <p>, _:b)", &mut dict).unwrap();
+        let s = query_to_string("q", &p.query, &dict);
+        assert!(s.contains("\"v\""));
+        assert!(s.contains("_:b"));
+    }
+}

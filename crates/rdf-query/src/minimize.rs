@@ -1,0 +1,172 @@
+//! Query minimization (core computation).
+//!
+//! Definition 2.1 assumes queries and views are *minimal*: "the only
+//! containment mapping from a query to itself is the identity". A
+//! conjunctive query's core is obtained by repeatedly dropping any atom
+//! whose removal leaves an equivalent query; equivalence is witnessed by a
+//! head-preserving homomorphism from the full query into the reduced one.
+
+use crate::containment::containment_mapping;
+use crate::query::ConjunctiveQuery;
+
+/// Returns the minimized (core) query, equivalent to the input.
+pub fn minimize(q: &ConjunctiveQuery) -> ConjunctiveQuery {
+    let mut current = q.clone();
+    loop {
+        let mut shrunk = false;
+        for i in 0..current.atoms.len() {
+            if current.atoms.len() == 1 {
+                break;
+            }
+            let mut candidate = current.clone();
+            candidate.atoms.remove(i);
+            // The candidate must keep head variables safe.
+            if !candidate.is_safe() {
+                continue;
+            }
+            // current ⊒ candidate always (candidate has fewer atoms);
+            // equivalence needs a mapping from current into candidate.
+            if containment_mapping(&current, &candidate).is_some() {
+                current = candidate;
+                shrunk = true;
+                break;
+            }
+        }
+        if !shrunk {
+            return current;
+        }
+    }
+}
+
+/// Whether `q` is already minimal.
+pub fn is_minimal(q: &ConjunctiveQuery) -> bool {
+    minimize(q).atoms.len() == q.atoms.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::containment::equivalent;
+    use crate::query::{Atom, QTerm, Var};
+    use rdf_model::Id;
+
+    fn v(i: u32) -> QTerm {
+        QTerm::Var(Var(i))
+    }
+
+    #[test]
+    fn redundant_atom_removed() {
+        // q(X) :- t(X,p,Y), t(X,p,Z) minimizes to a single atom.
+        let q = ConjunctiveQuery::new(
+            vec![v(0)],
+            vec![
+                Atom::new(Var(0), Id(1), Var(1)),
+                Atom::new(Var(0), Id(1), Var(2)),
+            ],
+        );
+        let m = minimize(&q);
+        assert_eq!(m.atoms.len(), 1);
+        assert!(equivalent(&q, &m));
+        assert!(!is_minimal(&q));
+        assert!(is_minimal(&m));
+    }
+
+    #[test]
+    fn chain_is_minimal() {
+        let q = ConjunctiveQuery::new(
+            vec![v(0)],
+            vec![
+                Atom::new(Var(0), Id(1), Var(1)),
+                Atom::new(Var(1), Id(1), Var(2)),
+            ],
+        );
+        assert!(is_minimal(&q));
+        assert_eq!(minimize(&q), q);
+    }
+
+    #[test]
+    fn existential_folds_onto_head_atom() {
+        // q(X,Z) :- t(X,p,Y), t(X,p,Z) IS reducible: mapping Y→Z folds the
+        // first atom onto the second while fixing the head.
+        let q = ConjunctiveQuery::new(
+            vec![v(0), v(2)],
+            vec![
+                Atom::new(Var(0), Id(1), Var(1)),
+                Atom::new(Var(0), Id(1), Var(2)),
+            ],
+        );
+        let m = minimize(&q);
+        assert_eq!(m.atoms, vec![Atom::new(Var(0), Id(1), Var(2))]);
+    }
+
+    #[test]
+    fn symmetric_cycle_is_minimal() {
+        // q(X) :- t(X,p,Y), t(Y,p,X): folding would have to swap X and Y,
+        // but X is a head variable, so the query is minimal.
+        let q = ConjunctiveQuery::new(
+            vec![v(0)],
+            vec![
+                Atom::new(Var(0), Id(1), Var(1)),
+                Atom::new(Var(1), Id(1), Var(0)),
+            ],
+        );
+        assert!(is_minimal(&q));
+    }
+
+    #[test]
+    fn distinct_properties_are_minimal() {
+        let q = ConjunctiveQuery::new(
+            vec![v(0), v(2)],
+            vec![
+                Atom::new(Var(0), Id(1), Var(1)),
+                Atom::new(Var(0), Id(2), Var(2)),
+            ],
+        );
+        assert!(is_minimal(&q));
+    }
+
+    #[test]
+    fn constant_specialization_not_removed() {
+        // q(X) :- t(X,p,Y), t(X,p,c): the constant atom is strictly more
+        // selective; the variable atom folds onto it.
+        let q = ConjunctiveQuery::new(
+            vec![v(0)],
+            vec![
+                Atom::new(Var(0), Id(1), Var(1)),
+                Atom::new(Var(0), Id(1), Id(9)),
+            ],
+        );
+        let m = minimize(&q);
+        assert_eq!(m.atoms.len(), 1);
+        assert_eq!(m.atoms[0], Atom::new(Var(0), Id(1), Id(9)));
+    }
+
+    #[test]
+    fn multi_step_minimization() {
+        // Three copies of the same pattern with fresh existentials collapse
+        // to one.
+        let q = ConjunctiveQuery::new(
+            vec![v(0)],
+            vec![
+                Atom::new(Var(0), Id(1), Var(1)),
+                Atom::new(Var(0), Id(1), Var(2)),
+                Atom::new(Var(0), Id(1), Var(3)),
+            ],
+        );
+        assert_eq!(minimize(&q).atoms.len(), 1);
+    }
+
+    #[test]
+    fn boolean_query_minimization() {
+        // Boolean (empty-head) query: q() :- t(X,p,Y), t(Z,p,W) — the two
+        // atoms fold together.
+        let q = ConjunctiveQuery::new(
+            vec![],
+            vec![
+                Atom::new(Var(0), Id(1), Var(1)),
+                Atom::new(Var(2), Id(1), Var(3)),
+            ],
+        );
+        assert_eq!(minimize(&q).atoms.len(), 1);
+    }
+}

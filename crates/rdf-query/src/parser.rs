@@ -1,0 +1,332 @@
+//! A small Datalog-style text format for queries and views.
+//!
+//! ```text
+//! q1(X, Z) :- t(X, <hasPainted>, <starryNight>), t(X, <isParentOf>, Y),
+//!             t(Y, <hasPainted>, Z)
+//! ```
+//!
+//! * variables are identifiers starting with an uppercase letter (or `?x`);
+//! * URIs are wrapped in `<…>`, literals in `"…"`, blank-node constants as
+//!   `_:label`;
+//! * the head may contain constants (as produced by reformulation).
+//!
+//! Constants are interned into the caller's [`Dictionary`].
+
+use rdf_model::{Dictionary, FxHashMap, Term};
+
+use crate::query::{Atom, ConjunctiveQuery, QTerm, Var};
+
+/// A parsed query: the query plus its variable names (indexed by `Var`).
+#[derive(Debug, Clone)]
+pub struct ParsedQuery {
+    /// The parsed conjunctive query.
+    pub query: ConjunctiveQuery,
+    /// `var_names[v.0 as usize]` is the source name of variable `v`.
+    pub var_names: Vec<String>,
+    /// The predicate name before the head parenthesis (e.g. `q1`).
+    pub name: String,
+}
+
+/// A parse failure with a byte offset into the input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset where the failure occurred.
+    pub offset: usize,
+    /// Explanation.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "parse error at offset {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Parser<'a> {
+    input: &'a str,
+    pos: usize,
+    dict: &'a mut Dictionary,
+    vars: FxHashMap<String, Var>,
+    var_names: Vec<String>,
+}
+
+impl<'a> Parser<'a> {
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            offset: self.pos,
+            message: message.into(),
+        })
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.input[self.pos..]
+    }
+
+    fn skip_ws(&mut self) {
+        let trimmed = self.rest().trim_start();
+        self.pos = self.input.len() - trimmed.len();
+    }
+
+    fn eat(&mut self, token: &str) -> bool {
+        self.skip_ws();
+        if self.rest().starts_with(token) {
+            self.pos += token.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, token: &str) -> Result<(), ParseError> {
+        if self.eat(token) {
+            Ok(())
+        } else {
+            self.err(format!("expected {token:?}"))
+        }
+    }
+
+    fn ident(&mut self) -> Result<&'a str, ParseError> {
+        self.skip_ws();
+        let rest = self.rest();
+        let end = rest
+            .find(|c: char| !(c.is_alphanumeric() || c == '_' || c == ':' || c == '.'))
+            .unwrap_or(rest.len());
+        if end == 0 {
+            return self.err("expected identifier");
+        }
+        self.pos += end;
+        Ok(&rest[..end])
+    }
+
+    fn variable(&mut self, name: &str) -> Var {
+        if let Some(&v) = self.vars.get(name) {
+            return v;
+        }
+        let v = Var(self.var_names.len() as u32);
+        self.vars.insert(name.to_string(), v);
+        self.var_names.push(name.to_string());
+        v
+    }
+
+    fn term(&mut self) -> Result<QTerm, ParseError> {
+        self.skip_ws();
+        let rest = self.rest();
+        if rest.starts_with('<') {
+            let end = match rest.find('>') {
+                Some(e) => e,
+                None => return self.err("unterminated '<'"),
+            };
+            let uri = &rest[1..end];
+            self.pos += end + 1;
+            return Ok(QTerm::Const(self.dict.intern(Term::uri(uri))));
+        }
+        if let Some(tail) = rest.strip_prefix('"') {
+            let end = match tail.find('"') {
+                Some(e) => e + 1,
+                None => return self.err("unterminated literal"),
+            };
+            let lit = &rest[1..end];
+            self.pos += end + 1;
+            return Ok(QTerm::Const(self.dict.intern(Term::literal(lit))));
+        }
+        if rest.starts_with("_:") {
+            self.pos += 2;
+            let label = self.ident()?;
+            return Ok(QTerm::Const(self.dict.intern(Term::blank(label))));
+        }
+        if rest.starts_with('?') {
+            self.pos += 1;
+            let name = self.ident()?.to_string();
+            return Ok(QTerm::Var(self.variable(&name)));
+        }
+        let name = self.ident()?;
+        if name.chars().next().is_some_and(|c| c.is_uppercase()) {
+            let name = name.to_string();
+            Ok(QTerm::Var(self.variable(&name)))
+        } else {
+            // Bare lowercase identifiers read as URIs, which keeps the
+            // paper's examples terse: t(X, hasPainted, starryNight).
+            Ok(QTerm::Const(self.dict.intern(Term::uri(name))))
+        }
+    }
+
+    fn term_list(&mut self) -> Result<Vec<QTerm>, ParseError> {
+        let mut out = Vec::new();
+        self.expect("(")?;
+        self.skip_ws();
+        if self.eat(")") {
+            return Ok(out);
+        }
+        loop {
+            out.push(self.term()?);
+            if self.eat(")") {
+                return Ok(out);
+            }
+            self.expect(",")?;
+        }
+    }
+
+    fn atom(&mut self) -> Result<Atom, ParseError> {
+        self.skip_ws();
+        if !self.eat("t") {
+            return self.err("expected atom 't(…)'");
+        }
+        let terms = self.term_list()?;
+        if terms.len() != 3 {
+            return self.err(format!("atom needs 3 terms, got {}", terms.len()));
+        }
+        Ok(Atom([terms[0], terms[1], terms[2]]))
+    }
+
+    fn query(&mut self) -> Result<ParsedQuery, ParseError> {
+        self.skip_ws();
+        let name = self.ident()?.to_string();
+        let head = self.term_list()?;
+        self.expect(":-")?;
+        let mut atoms = vec![self.atom()?];
+        while self.eat(",") {
+            atoms.push(self.atom()?);
+        }
+        self.skip_ws();
+        if !self.rest().is_empty() {
+            return self.err("trailing input");
+        }
+        Ok(ParsedQuery {
+            query: ConjunctiveQuery::new(head, atoms),
+            var_names: std::mem::take(&mut self.var_names),
+            name,
+        })
+    }
+}
+
+/// Parses a query, interning constants into `dict`.
+pub fn parse_query(input: &str, dict: &mut Dictionary) -> Result<ParsedQuery, ParseError> {
+    let mut p = Parser {
+        input,
+        pos: 0,
+        dict,
+        vars: FxHashMap::default(),
+        var_names: Vec::new(),
+    };
+    p.query()
+}
+
+/// Parses a workload file: one query per non-empty line; `#` starts a
+/// comment. Returns the queries in file order.
+pub fn parse_workload(input: &str, dict: &mut Dictionary) -> Result<Vec<ParsedQuery>, ParseError> {
+    let mut out = Vec::new();
+    let mut offset = 0usize;
+    for line in input.lines() {
+        let trimmed = line.trim();
+        if !trimmed.is_empty() && !trimmed.starts_with('#') {
+            out.push(parse_query(trimmed, dict).map_err(|e| ParseError {
+                offset: offset + e.offset,
+                message: e.message,
+            })?);
+        }
+        offset += line.len() + 1;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_running_example() {
+        let mut dict = Dictionary::new();
+        let p = parse_query(
+            "q1(X, Z) :- t(X, <hasPainted>, <starryNight>), t(X, <isParentOf>, Y), \
+             t(Y, <hasPainted>, Z)",
+            &mut dict,
+        )
+        .unwrap();
+        assert_eq!(p.name, "q1");
+        assert_eq!(p.query.head.len(), 2);
+        assert_eq!(p.query.atoms.len(), 3);
+        assert_eq!(p.var_names, vec!["X", "Z", "Y"]);
+        // X appears in head and two atoms.
+        assert_eq!(p.query.head[0], QTerm::Var(Var(0)));
+        assert_eq!(p.query.atoms[0].0[0], QTerm::Var(Var(0)));
+        assert_eq!(p.query.atoms[1].0[0], QTerm::Var(Var(0)));
+        assert!(p.query.is_safe());
+    }
+
+    #[test]
+    fn bare_lowercase_is_uri() {
+        let mut dict = Dictionary::new();
+        let p = parse_query("q(X) :- t(X, rdf:type, picture)", &mut dict).unwrap();
+        assert_eq!(p.query.atoms[0].const_count(), 2);
+        assert!(dict.lookup_uri("rdf:type").is_some());
+        assert!(dict.lookup_uri("picture").is_some());
+    }
+
+    #[test]
+    fn question_mark_variables_and_literals() {
+        let mut dict = Dictionary::new();
+        let p = parse_query("q(?x) :- t(?x, <p>, \"Starry Night\")", &mut dict).unwrap();
+        assert_eq!(p.var_names, vec!["x"]);
+        assert!(dict.lookup(&Term::literal("Starry Night")).is_some());
+    }
+
+    #[test]
+    fn head_constants_allowed() {
+        let mut dict = Dictionary::new();
+        let p = parse_query(
+            "q4(X1, <isLocatIn>) :- t(X1, <isLocatIn>, <picture>)",
+            &mut dict,
+        )
+        .unwrap();
+        assert!(matches!(p.query.head[1], QTerm::Const(_)));
+    }
+
+    #[test]
+    fn boolean_query() {
+        let mut dict = Dictionary::new();
+        let p = parse_query("q() :- t(X, <p>, Y)", &mut dict).unwrap();
+        assert!(p.query.head.is_empty());
+    }
+
+    #[test]
+    fn blank_node_constants() {
+        let mut dict = Dictionary::new();
+        let p = parse_query("q(X) :- t(X, <p>, _:b1)", &mut dict).unwrap();
+        assert_eq!(
+            p.query.atoms[0].0[2],
+            QTerm::Const(dict.lookup(&Term::blank("b1")).unwrap())
+        );
+    }
+
+    #[test]
+    fn workload_files_parse_linewise() {
+        let mut dict = Dictionary::new();
+        let text = "# painter workload\n\
+                    q1(X) :- t(X, <hasPainted>, Y)\n\
+                    \n\
+                    q2(X, Z) :- t(X, <isParentOf>, Y), t(Y, <hasPainted>, Z)\n";
+        let ws = parse_workload(text, &mut dict).unwrap();
+        assert_eq!(ws.len(), 2);
+        assert_eq!(ws[0].name, "q1");
+        assert_eq!(ws[1].query.atoms.len(), 2);
+    }
+
+    #[test]
+    fn workload_errors_carry_file_offsets() {
+        let mut dict = Dictionary::new();
+        let text = "q1(X) :- t(X, <p>, Y)\nbroken :-\n";
+        let err = parse_workload(text, &mut dict).unwrap_err();
+        assert!(err.offset > 20, "offset should point into line 2: {err:?}");
+    }
+
+    #[test]
+    fn errors_have_positions() {
+        let mut dict = Dictionary::new();
+        assert!(parse_query("q(X) :- t(X, <p>)", &mut dict).is_err());
+        assert!(parse_query("q(X) : t(X, <p>, Y)", &mut dict).is_err());
+        assert!(parse_query("q(X) :- t(X, <p>, Y) garbage", &mut dict).is_err());
+        assert!(parse_query("", &mut dict).is_err());
+    }
+}

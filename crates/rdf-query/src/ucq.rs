@@ -1,0 +1,144 @@
+//! Unions of conjunctive queries.
+//!
+//! `Reformulate(q, S)` outputs a UCQ (Algorithm 1); pre-reformulation makes
+//! the initial state's rewritings UCQs too (Section 4.3). Branches are
+//! deduplicated by canonical form, so a `UnionQuery` is a set of
+//! pairwise-non-identical (up to renaming) CQs.
+
+use rdf_model::FxHashSet;
+
+use crate::canonical::{canonical_form, CTok, HeadMode};
+use crate::query::ConjunctiveQuery;
+
+/// A union of conjunctive queries with renaming-invariant deduplication.
+#[derive(Debug, Clone, Default)]
+pub struct UnionQuery {
+    branches: Vec<ConjunctiveQuery>,
+    keys: FxHashSet<Vec<CTok>>,
+}
+
+impl UnionQuery {
+    /// An empty union (the unsatisfiable query).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A union with a single branch.
+    pub fn singleton(q: ConjunctiveQuery) -> Self {
+        let mut u = Self::new();
+        u.push(q);
+        u
+    }
+
+    /// Adds a branch unless an isomorphic one is present; returns whether it
+    /// was added.
+    pub fn push(&mut self, q: ConjunctiveQuery) -> bool {
+        let key = canonical_form(&q, HeadMode::Ordered).key;
+        if self.keys.insert(key) {
+            self.branches.push(q);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whether an isomorphic branch is already present.
+    pub fn contains(&self, q: &ConjunctiveQuery) -> bool {
+        self.keys
+            .contains(&canonical_form(q, HeadMode::Ordered).key)
+    }
+
+    /// The branches in insertion order.
+    pub fn branches(&self) -> &[ConjunctiveQuery] {
+        &self.branches
+    }
+
+    /// Number of branches.
+    pub fn len(&self) -> usize {
+        self.branches.len()
+    }
+
+    /// Whether the union has no branches.
+    pub fn is_empty(&self) -> bool {
+        self.branches.is_empty()
+    }
+
+    /// Total number of atoms across branches (`#a` in the paper's Table 3).
+    pub fn atom_count(&self) -> usize {
+        self.branches.iter().map(|b| b.atoms.len()).sum()
+    }
+
+    /// Total number of body constants across branches (`#c` in Table 3).
+    pub fn const_count(&self) -> usize {
+        self.branches.iter().map(|b| b.const_count()).sum()
+    }
+
+    /// Iterates branches.
+    pub fn iter(&self) -> std::slice::Iter<'_, ConjunctiveQuery> {
+        self.branches.iter()
+    }
+}
+
+impl IntoIterator for UnionQuery {
+    type Item = ConjunctiveQuery;
+    type IntoIter = std::vec::IntoIter<ConjunctiveQuery>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.branches.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a UnionQuery {
+    type Item = &'a ConjunctiveQuery;
+    type IntoIter = std::slice::Iter<'a, ConjunctiveQuery>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.branches.iter()
+    }
+}
+
+impl FromIterator<ConjunctiveQuery> for UnionQuery {
+    fn from_iter<I: IntoIterator<Item = ConjunctiveQuery>>(iter: I) -> Self {
+        let mut u = UnionQuery::new();
+        for q in iter {
+            u.push(q);
+        }
+        u
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::{Atom, QTerm, Var};
+    use rdf_model::Id;
+
+    fn q(p: u32) -> ConjunctiveQuery {
+        ConjunctiveQuery::new(
+            vec![QTerm::Var(Var(0))],
+            vec![Atom::new(Var(0), Id(p), Var(1))],
+        )
+    }
+
+    #[test]
+    fn dedup_by_isomorphism() {
+        let mut u = UnionQuery::new();
+        assert!(u.push(q(1)));
+        // Same query with renamed variables.
+        let renamed = ConjunctiveQuery::new(
+            vec![QTerm::Var(Var(5))],
+            vec![Atom::new(Var(5), Id(1), Var(9))],
+        );
+        assert!(!u.push(renamed));
+        assert!(u.push(q(2)));
+        assert_eq!(u.len(), 2);
+    }
+
+    #[test]
+    fn counting_helpers() {
+        let u: UnionQuery = vec![q(1), q(2)].into_iter().collect();
+        assert_eq!(u.atom_count(), 2);
+        assert_eq!(u.const_count(), 2);
+        assert!(!u.is_empty());
+        assert!(u.contains(&q(1)));
+        assert!(!u.contains(&q(3)));
+    }
+}

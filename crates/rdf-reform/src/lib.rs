@@ -1,0 +1,58 @@
+//! # rdf-reform
+//!
+//! Query reformulation w.r.t. an RDF Schema — **Algorithm 1** of *View
+//! Selection in Semantic Web Databases* (Goasdoué et al., VLDB 2011),
+//! with the six backward rules of its Figure 2:
+//!
+//! ```text
+//! (1) t(s, rdf:type, c1) ⇒ t(s, rdf:type, c2)   if c1 ⊑ c2 ∈ S
+//! (2) t(s, p1, o)        ⇒ t(s, p2, o)          if p1 ⊑p p2 ∈ S
+//! (3) t(s, p, X)         ⇒ t(s, rdf:type, c)    if p domain c ∈ S
+//! (4) t(X, p, o)         ⇒ t(o, rdf:type, c)    if p range c ∈ S
+//! (5) t(s, rdf:type, ci) ⇒ t(s, rdf:type, X)    for any class ci of S
+//! (6) t(s, pi, o)        ⇒ t(s, X, o)           for any property pi of S,
+//!                                               and rdf:type
+//! ```
+//!
+//! `reformulate(q, S)` returns a union of conjunctive queries `ucq` such
+//! that for any database `D`:
+//! `evaluate(q, saturate(D, S)) = evaluate(ucq, D)` (Theorem 4.2) — the
+//! reformulation-based route to complete answers without touching the
+//! database. The algorithm extends prior DL-fragment reformulation by
+//! supporting atoms with *variable* classes and properties
+//! (`t(s, rdf:type, X)`, `t(s, X, o)`), which is why rules 5 and 6 bind the
+//! variable throughout the whole query (σ in the paper) — including the
+//! head, so reformulated heads may contain constants (Table 2).
+//!
+//! ```
+//! use rdf_model::Dictionary;
+//! use rdf_query::parser::parse_query;
+//! use rdf_schema::{Schema, SchemaStatement, VocabIds};
+//! use rdf_reform::reformulate;
+//!
+//! let mut dict = Dictionary::new();
+//! let vocab = VocabIds::intern(&mut dict);
+//! let q = parse_query("q(X1) :- t(X1, rdf:type, picture)", &mut dict).unwrap();
+//! let painting = dict.lookup_uri("painting");
+//!
+//! let mut schema = Schema::new();
+//! let mut d2 = dict.clone();
+//! let painting = d2.intern_uri("painting");
+//! let picture = d2.lookup_uri("picture").unwrap();
+//! schema.add(SchemaStatement::SubClassOf(painting, picture));
+//!
+//! let ucq = reformulate(&q.query, &schema, &vocab);
+//! assert_eq!(ucq.len(), 2); // the original + the painting variant
+//! ```
+
+mod reformulate;
+
+pub use reformulate::{
+    reformulate, reformulate_atom, reformulate_with_limit, theorem_4_1_bound, ReformLimit,
+};
+
+#[cfg(test)]
+mod tests {
+    // Integration-style tests live in `reformulate.rs` and in the workspace
+    // `tests/` directory (Theorem 4.2 equivalence against saturation).
+}

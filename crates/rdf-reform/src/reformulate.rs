@@ -1,0 +1,353 @@
+//! The fixpoint reformulation engine (Algorithm 1).
+
+use rdf_model::{FxHashMap, Id};
+use rdf_query::{Atom, ConjunctiveQuery, QTerm, UnionQuery, Var};
+use rdf_schema::{Schema, VocabIds};
+
+/// Safety limits for the fixpoint. Reformulation is worst-case exponential
+/// in the query size (Theorem 4.1); the limit turns a runaway expansion into
+/// an explicit error instead of memory exhaustion.
+#[derive(Debug, Clone, Copy)]
+pub struct ReformLimit {
+    /// Maximum number of distinct queries in the output union.
+    pub max_queries: usize,
+}
+
+impl Default for ReformLimit {
+    fn default() -> Self {
+        Self {
+            max_queries: 1_000_000,
+        }
+    }
+}
+
+/// The worst-case output size of Theorem 4.1: `(2·|S|²)^m` for a schema of
+/// `|S|` statements and a query of `m` atoms (saturating arithmetic).
+pub fn theorem_4_1_bound(schema_len: usize, atoms: usize) -> u128 {
+    let base = 2u128.saturating_mul((schema_len as u128).saturating_mul(schema_len as u128));
+    base.saturating_pow(atoms as u32)
+}
+
+/// Reformulates `q` w.r.t. `schema` into a union of conjunctive queries.
+///
+/// The first branch of the result is (a normalized copy of) `q` itself.
+pub fn reformulate(q: &ConjunctiveQuery, schema: &Schema, vocab: &VocabIds) -> UnionQuery {
+    match reformulate_with_limit(q, schema, vocab, ReformLimit::default()) {
+        Ok(ucq) => ucq,
+        Err(partial) => panic!(
+            "reformulation limit exceeded: > {} branches for a {}-atom query over a {}-statement schema",
+            partial.len(),
+            q.atoms.len(),
+            schema.len()
+        ),
+    }
+}
+
+/// [`reformulate`] with an explicit output-size limit; `Err` carries the
+/// partially built union when the limit is hit.
+pub fn reformulate_with_limit(
+    q: &ConjunctiveQuery,
+    schema: &Schema,
+    vocab: &VocabIds,
+    limit: ReformLimit,
+) -> Result<UnionQuery, UnionQuery> {
+    let start = q.normalized();
+    let mut ucq = UnionQuery::singleton(start.clone());
+    let mut queue: Vec<ConjunctiveQuery> = vec![start];
+    let mut out_buf: Vec<ConjunctiveQuery> = Vec::new();
+    while let Some(cur) = queue.pop() {
+        expand_one(&cur, schema, vocab, &mut out_buf);
+        for new_q in out_buf.drain(..) {
+            if ucq.len() >= limit.max_queries {
+                return Err(ucq);
+            }
+            let new_q = new_q.normalized();
+            if ucq.push(new_q.clone()) {
+                queue.push(new_q);
+            }
+        }
+    }
+    Ok(ucq)
+}
+
+/// Applies every rule once to every atom of `q`, collecting the rewritten
+/// queries (the body of Algorithm 1's inner loop, lines 5–16).
+fn expand_one(
+    q: &ConjunctiveQuery,
+    schema: &Schema,
+    vocab: &VocabIds,
+    out: &mut Vec<ConjunctiveQuery>,
+) {
+    let rdf_type = QTerm::Const(vocab.rdf_type);
+    for (gi, g) in q.atoms.iter().enumerate() {
+        let [s, p, o] = *g.terms();
+        match p {
+            QTerm::Const(pc) => {
+                if p == rdf_type {
+                    if let QTerm::Const(c2) = o {
+                        // Rule 1: c1 ⊑ c2 ⇒ replace the class by each
+                        // direct subclass.
+                        for &c1 in schema.direct_sub_classes(c2) {
+                            out.push(
+                                q.with_atom_replaced(gi, Atom([s, rdf_type, QTerm::Const(c1)])),
+                            );
+                        }
+                        // Rule 3: p domain c ⇒ ∃X t(s, p, X).
+                        for &dp in schema.domain_properties(c2) {
+                            let x = QTerm::Var(q.fresh_var());
+                            out.push(q.with_atom_replaced(gi, Atom([s, QTerm::Const(dp), x])));
+                        }
+                        // Rule 4: p range c ⇒ ∃X t(X, p, s).
+                        for &rp in schema.range_properties(c2) {
+                            let x = QTerm::Var(q.fresh_var());
+                            out.push(q.with_atom_replaced(gi, Atom([x, QTerm::Const(rp), s])));
+                        }
+                    } else if let QTerm::Var(x) = o {
+                        // Rule 5: bind the class variable to every class of
+                        // S (σ substitutes throughout the query, head
+                        // included, to retain the join on X).
+                        for ci in schema.classes() {
+                            out.push(bind_var(q, x, ci));
+                        }
+                    }
+                } else {
+                    // Rule 2: p1 ⊑p p2 ⇒ replace the property by each
+                    // direct subproperty.
+                    for &p1 in schema.direct_sub_properties(pc) {
+                        out.push(q.with_atom_replaced(gi, Atom([s, QTerm::Const(p1), o])));
+                    }
+                }
+            }
+            QTerm::Var(x) => {
+                // Rule 6: bind the property variable to every property of S
+                // and to rdf:type. With an empty schema no triple is
+                // entailed, so the rule (including its rdf:type branch,
+                // which would be redundant) does not fire at all.
+                if !schema.is_empty() {
+                    for pi in schema.properties() {
+                        out.push(bind_var(q, x, pi));
+                    }
+                    out.push(bind_var(q, x, vocab.rdf_type));
+                }
+            }
+        }
+    }
+}
+
+/// `qσ=[x/c]`: substitutes the constant `c` for every occurrence of `x`.
+fn bind_var(q: &ConjunctiveQuery, x: Var, c: Id) -> ConjunctiveQuery {
+    let mut map: FxHashMap<Var, QTerm> = FxHashMap::default();
+    map.insert(x, QTerm::Const(c));
+    q.substitute(&map)
+}
+
+/// Reformulates a single atom, projected on all of its variables — the
+/// per-atom statistic reformulation of Section 4.3 (post-reformulation
+/// collects `|Reformulate(vᵢ, S)|` for every view atom `vᵢ`).
+pub fn reformulate_atom(atom: &Atom, schema: &Schema, vocab: &VocabIds) -> UnionQuery {
+    let mut head = Vec::new();
+    let mut seen = rdf_model::FxHashSet::default();
+    for v in atom.vars() {
+        if seen.insert(v) {
+            head.push(QTerm::Var(v));
+        }
+    }
+    let q = ConjunctiveQuery::new(head, vec![*atom]);
+    reformulate(&q, schema, vocab)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdf_model::Dictionary;
+    use rdf_query::parser::parse_query;
+    use rdf_schema::SchemaStatement;
+
+    struct Fix {
+        dict: Dictionary,
+        vocab: VocabIds,
+        schema: Schema,
+    }
+
+    /// The paper's Section 4.3 example schema:
+    /// painting ⊑ picture, isExpIn ⊑p isLocatIn.
+    fn section_4_3_fixture() -> Fix {
+        let mut dict = Dictionary::new();
+        let vocab = VocabIds::intern(&mut dict);
+        let painting = dict.intern_uri("painting");
+        let picture = dict.intern_uri("picture");
+        let is_exp_in = dict.intern_uri("isExpIn");
+        let is_locat_in = dict.intern_uri("isLocatIn");
+        let mut schema = Schema::new();
+        schema.add(SchemaStatement::SubClassOf(painting, picture));
+        schema.add(SchemaStatement::SubPropertyOf(is_exp_in, is_locat_in));
+        Fix {
+            dict,
+            vocab,
+            schema,
+        }
+    }
+
+    #[test]
+    fn table2_q1_class_atom() {
+        // q1(X1) :- t(X1, rdf:type, picture) reformulates into exactly two
+        // union terms: itself and the painting variant (Table 2, top).
+        let mut f = section_4_3_fixture();
+        let q = parse_query("q1(X1) :- t(X1, rdf:type, picture)", &mut f.dict).unwrap();
+        let ucq = reformulate(&q.query, &f.schema, &f.vocab);
+        assert_eq!(ucq.len(), 2);
+        let painting = f.dict.lookup_uri("painting").unwrap();
+        assert!(ucq
+            .iter()
+            .any(|b| b.atoms[0].0[2] == QTerm::Const(painting)));
+    }
+
+    #[test]
+    fn table2_q4_property_variable() {
+        // q4(X1, X2) :- t(X1, X2, picture): rule 6 grounds X2 to isLocatIn,
+        // isExpIn and rdf:type; the rdf:type branch then triggers rule 1 and
+        // the isLocatIn branch triggers rule 2 — six union terms in all
+        // (Table 2, bottom).
+        let mut f = section_4_3_fixture();
+        let q = parse_query("q4(X1, X2) :- t(X1, X2, picture)", &mut f.dict).unwrap();
+        let ucq = reformulate(&q.query, &f.schema, &f.vocab);
+        assert_eq!(ucq.len(), 6);
+        // Heads now contain constants for the bound branches.
+        let with_const_head = ucq
+            .iter()
+            .filter(|b| b.head.iter().any(|t| !t.is_var()))
+            .count();
+        assert_eq!(with_const_head, 5);
+        // The isExpIn branch keeps head isLocatIn (term 5 of Table 2):
+        let is_locat_in = QTerm::Const(f.dict.lookup_uri("isLocatIn").unwrap());
+        let is_exp_in = QTerm::Const(f.dict.lookup_uri("isExpIn").unwrap());
+        assert!(ucq
+            .iter()
+            .any(|b| b.head[1] == is_locat_in && b.atoms[0].0[1] == is_exp_in));
+        // The painting branch keeps head rdf:type (term 6 of Table 2):
+        let rdf_type = QTerm::Const(f.vocab.rdf_type);
+        let painting = QTerm::Const(f.dict.lookup_uri("painting").unwrap());
+        assert!(ucq
+            .iter()
+            .any(|b| b.head[1] == rdf_type && b.atoms[0].0[2] == painting));
+    }
+
+    #[test]
+    fn domain_and_range_rules() {
+        // q(X) :- t(X, rdf:type, person) with domain(worksFor)=person,
+        // range(employs)=person: rules 3 and 4 add existential variants.
+        let mut dict = Dictionary::new();
+        let vocab = VocabIds::intern(&mut dict);
+        let q = parse_query("q(X) :- t(X, rdf:type, person)", &mut dict).unwrap();
+        let person = dict.lookup_uri("person").unwrap();
+        let works_for = dict.intern_uri("worksFor");
+        let employs = dict.intern_uri("employs");
+        let mut schema = Schema::new();
+        schema.add(SchemaStatement::Domain(works_for, person));
+        schema.add(SchemaStatement::Range(employs, person));
+        let ucq = reformulate(&q.query, &schema, &vocab);
+        // q itself, t(X, worksFor, F), t(F, employs, X).
+        assert_eq!(ucq.len(), 3);
+        let wf = QTerm::Const(works_for);
+        let em = QTerm::Const(employs);
+        assert!(ucq.iter().any(|b| b.atoms[0].0[1] == wf
+            && b.atoms[0].0[0] == b.head[0]
+            && b.atoms[0].0[2].is_var()));
+        assert!(ucq.iter().any(|b| b.atoms[0].0[1] == em
+            && b.atoms[0].0[2] == b.head[0]
+            && b.atoms[0].0[0].is_var()));
+    }
+
+    #[test]
+    fn transitive_chain_via_fixpoint() {
+        // c1 ⊑ c2 ⊑ c3: querying c3 reaches c1 through repeated rule 1.
+        let mut dict = Dictionary::new();
+        let vocab = VocabIds::intern(&mut dict);
+        let q = parse_query("q(X) :- t(X, rdf:type, c3)", &mut dict).unwrap();
+        let c1 = dict.intern_uri("c1");
+        let c2 = dict.intern_uri("c2");
+        let c3 = dict.lookup_uri("c3").unwrap();
+        let mut schema = Schema::new();
+        schema.add(SchemaStatement::SubClassOf(c1, c2));
+        schema.add(SchemaStatement::SubClassOf(c2, c3));
+        let ucq = reformulate(&q.query, &schema, &vocab);
+        assert_eq!(ucq.len(), 3);
+    }
+
+    #[test]
+    fn multi_atom_queries_expand_independently() {
+        let mut f = section_4_3_fixture();
+        let q = parse_query(
+            "q(X1, X2) :- t(X1, rdf:type, picture), t(X1, isLocatIn, X2)",
+            &mut f.dict,
+        )
+        .unwrap();
+        let ucq = reformulate(&q.query, &f.schema, &f.vocab);
+        // 2 variants of the class atom × 2 variants of the property atom.
+        assert_eq!(ucq.len(), 4);
+    }
+
+    #[test]
+    fn rule5_binds_class_variable() {
+        let mut f = section_4_3_fixture();
+        let q = parse_query("q(X, C) :- t(X, rdf:type, C)", &mut f.dict).unwrap();
+        let ucq = reformulate(&q.query, &f.schema, &f.vocab);
+        // Original + C∈{painting, picture}; the painting grounding also
+        // re-derives picture's subclass — but that equals the painting
+        // grounding itself, so: q, q[C/painting], q[C/picture],
+        // q[C/picture] with body painting (head picture) — 4 in total.
+        assert_eq!(ucq.len(), 4);
+        // Every grounded branch must carry the binding in the head.
+        for b in ucq.iter().skip(1) {
+            assert!(b.head[1].as_const().is_some());
+        }
+    }
+
+    #[test]
+    fn empty_schema_is_identity() {
+        let mut dict = Dictionary::new();
+        let vocab = VocabIds::intern(&mut dict);
+        let q = parse_query("q(X, Y, P) :- t(X, P, Y)", &mut dict).unwrap();
+        let ucq = reformulate(&q.query, &Schema::new(), &vocab);
+        assert_eq!(ucq.len(), 1);
+    }
+
+    #[test]
+    fn limit_is_enforced() {
+        let mut dict = Dictionary::new();
+        let vocab = VocabIds::intern(&mut dict);
+        let q = parse_query("q(X, P) :- t(X, P, Y)", &mut dict).unwrap();
+        let mut schema = Schema::new();
+        for i in 0..20 {
+            let p1 = dict.intern_uri(&format!("p{i}"));
+            let p2 = dict.intern_uri(&format!("q{i}"));
+            schema.add(SchemaStatement::SubPropertyOf(p1, p2));
+        }
+        let res = reformulate_with_limit(&q.query, &schema, &vocab, ReformLimit { max_queries: 5 });
+        assert!(res.is_err());
+        assert_eq!(res.unwrap_err().len(), 5);
+    }
+
+    #[test]
+    fn theorem_4_1_bound_holds() {
+        let mut f = section_4_3_fixture();
+        let q = parse_query(
+            "q(X1, X2) :- t(X1, X2, picture), t(X1, rdf:type, C)",
+            &mut f.dict,
+        )
+        .unwrap();
+        let ucq = reformulate(&q.query, &f.schema, &f.vocab);
+        let bound = theorem_4_1_bound(f.schema.len(), q.query.atoms.len());
+        assert!((ucq.len() as u128) <= bound);
+    }
+
+    #[test]
+    fn reformulate_atom_projects_all_vars() {
+        let f = section_4_3_fixture();
+        let picture = f.dict.lookup_uri("picture").unwrap();
+        let atom = Atom::new(Var(0), Var(1), picture);
+        let ucq = reformulate_atom(&atom, &f.schema, &f.vocab);
+        assert_eq!(ucq.len(), 6); // same as table2_q4
+        assert_eq!(ucq.branches()[0].head.len(), 2);
+    }
+}

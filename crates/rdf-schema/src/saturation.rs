@@ -1,0 +1,286 @@
+//! Database saturation: materializing all implicit triples entailed by an
+//! RDFS.
+//!
+//! The paper's Section 4.2 describes saturation as the inflationary fixpoint
+//! of the RDF entailment rules; as in its experiments, we consider the four
+//! instance-level rules derived from an RDFS (Table 1):
+//!
+//! 1. `(s, rdf:type, c1)` and `c1 ⊑ c2`     ⇒ `(s, rdf:type, c2)`
+//! 2. `(s, p1, o)` and `p1 ⊑p p2`           ⇒ `(s, p2, o)`
+//! 3. `(s, p, o)` and `p rdfs:domain c`     ⇒ `(s, rdf:type, c)`
+//! 4. `(s, p, o)` and `p rdfs:range c`      ⇒ `(o, rdf:type, c)`
+//!
+//! The fixpoint is computed semi-naïvely: each triple is processed exactly
+//! once, and rule chaining (e.g. subproperty then domain then subclass) is
+//! handled by the worklist. The derived-triple bound `O(|D| × |S|)` quoted
+//! in Section 6.5 follows: each data triple can trigger at most one
+//! derivation per schema statement per chain step.
+
+use rdf_model::{Id, Triple, TripleStore};
+
+use crate::schema::Schema;
+use crate::VocabIds;
+
+/// Counters describing a saturation run.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SaturationStats {
+    /// Triples present before saturation.
+    pub explicit: usize,
+    /// Implicit triples added.
+    pub implicit: usize,
+    /// Worklist items processed (explicit + implicit).
+    pub processed: usize,
+}
+
+impl SaturationStats {
+    /// Total triples after saturation.
+    pub fn total(&self) -> usize {
+        self.explicit + self.implicit
+    }
+}
+
+/// Saturates `store` in place; returns the number of implicit triples
+/// added.
+pub fn saturate(store: &mut TripleStore, schema: &Schema, vocab: &VocabIds) -> usize {
+    saturate_with_stats(store, schema, vocab).implicit
+}
+
+/// Saturates `store` in place and reports counters.
+pub fn saturate_with_stats(
+    store: &mut TripleStore,
+    schema: &Schema,
+    vocab: &VocabIds,
+) -> SaturationStats {
+    let mut stats = SaturationStats {
+        explicit: store.len(),
+        ..Default::default()
+    };
+    let rdf_type = vocab.rdf_type;
+    let mut queue: Vec<Triple> = store.triples().to_vec();
+    let mut derived: Vec<Triple> = Vec::new();
+    while let Some(t) = queue.pop() {
+        stats.processed += 1;
+        derive_one(t, rdf_type, schema, &mut derived);
+        for nt in derived.drain(..) {
+            if store.insert(nt) {
+                stats.implicit += 1;
+                queue.push(nt);
+            }
+        }
+    }
+    stats
+}
+
+/// Applies each rule once to `t`, pushing consequents into `out`.
+fn derive_one(t: Triple, rdf_type: Id, schema: &Schema, out: &mut Vec<Triple>) {
+    let [s, p, o] = t;
+    if p == rdf_type {
+        // Rule 1: propagate membership to direct superclasses.
+        for &c2 in schema.direct_super_classes(o) {
+            out.push([s, rdf_type, c2]);
+        }
+    } else {
+        // Rule 2: propagate the triple to direct superproperties.
+        for &p2 in schema.direct_super_properties(p) {
+            out.push([s, p2, o]);
+        }
+        // Rule 3: domain typing.
+        for &c in schema.domains(p) {
+            out.push([s, rdf_type, c]);
+        }
+        // Rule 4: range typing.
+        for &c in schema.ranges(p) {
+            out.push([o, rdf_type, c]);
+        }
+    }
+}
+
+/// Returns a saturated copy, leaving `store` untouched (the paper's
+/// "reformulation scenario" keeps the database unchanged; this helper exists
+/// for comparing the two sides of Theorem 4.2).
+pub fn saturated_copy(store: &TripleStore, schema: &Schema, vocab: &VocabIds) -> TripleStore {
+    let mut copy = store.clone();
+    saturate(&mut copy, schema, vocab);
+    copy
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::SchemaStatement;
+    use rdf_model::{Dataset, Dictionary};
+
+    struct Fixture {
+        vocab: VocabIds,
+        ids: std::collections::HashMap<&'static str, Id>,
+    }
+
+    fn fixture(names: &[&'static str]) -> (Dictionary, Fixture) {
+        let mut dict = Dictionary::new();
+        let vocab = VocabIds::intern(&mut dict);
+        let ids = names.iter().map(|&n| (n, dict.intern_uri(n))).collect();
+        (dict, Fixture { vocab, ids })
+    }
+
+    #[test]
+    fn paper_section_4_1_example() {
+        // hasPainted ⊑ hasCreated; range(hasPainted)=painting;
+        // range(hasCreated)=masterpiece; painting ⊑ masterpiece ⊑ work.
+        // (u, hasPainted, b) must entail (u, hasCreated, b) and
+        // b : painting, masterpiece, work.
+        let (mut dict, f) = fixture(&[
+            "hasPainted",
+            "hasCreated",
+            "painting",
+            "masterpiece",
+            "work",
+            "u",
+        ]);
+        let b = dict.intern_blank("b");
+        let id = |n: &str| f.ids[n];
+        let mut schema = Schema::new();
+        schema.add(SchemaStatement::SubPropertyOf(
+            id("hasPainted"),
+            id("hasCreated"),
+        ));
+        schema.add(SchemaStatement::Range(id("hasPainted"), id("painting")));
+        schema.add(SchemaStatement::Range(id("hasCreated"), id("masterpiece")));
+        schema.add(SchemaStatement::SubClassOf(
+            id("painting"),
+            id("masterpiece"),
+        ));
+        schema.add(SchemaStatement::SubClassOf(id("masterpiece"), id("work")));
+
+        let mut store = TripleStore::new();
+        store.insert([id("u"), id("hasPainted"), b]);
+        let stats = saturate_with_stats(&mut store, &schema, &f.vocab);
+
+        let ty = f.vocab.rdf_type;
+        assert!(store.contains([id("u"), id("hasCreated"), b]));
+        assert!(store.contains([b, ty, id("painting")]));
+        assert!(store.contains([b, ty, id("masterpiece")]));
+        assert!(store.contains([b, ty, id("work")]));
+        assert_eq!(stats.explicit, 1);
+        assert_eq!(stats.implicit, 4);
+        assert_eq!(store.len(), 5);
+    }
+
+    #[test]
+    fn introduction_driver_license_example() {
+        // domain(driverLicenseNo) = person; the fact that John has a license
+        // implies John is a person.
+        let (_dict, f) = fixture(&["driverLicenseNo", "person", "john", "12345"]);
+        let id = |n: &str| f.ids[n];
+        let mut schema = Schema::new();
+        schema.add(SchemaStatement::Domain(id("driverLicenseNo"), id("person")));
+        let mut store = TripleStore::new();
+        store.insert([id("john"), id("driverLicenseNo"), id("12345")]);
+        saturate(&mut store, &schema, &f.vocab);
+        assert!(store.contains([id("john"), f.vocab.rdf_type, id("person")]));
+    }
+
+    #[test]
+    fn saturation_is_idempotent() {
+        let (_dict, f) = fixture(&["p", "q", "c", "a", "b"]);
+        let id = |n: &str| f.ids[n];
+        let mut schema = Schema::new();
+        schema.add(SchemaStatement::SubPropertyOf(id("p"), id("q")));
+        schema.add(SchemaStatement::Domain(id("q"), id("c")));
+        let mut store = TripleStore::new();
+        store.insert([id("a"), id("p"), id("b")]);
+        let first = saturate(&mut store, &schema, &f.vocab);
+        assert_eq!(first, 2); // (a,q,b) and (a,type,c)
+        let second = saturate(&mut store, &schema, &f.vocab);
+        assert_eq!(second, 0);
+    }
+
+    #[test]
+    fn saturated_copy_leaves_original() {
+        let (_dict, f) = fixture(&["p", "c", "a", "b"]);
+        let id = |n: &str| f.ids[n];
+        let mut schema = Schema::new();
+        schema.add(SchemaStatement::Range(id("p"), id("c")));
+        let mut store = TripleStore::new();
+        store.insert([id("a"), id("p"), id("b")]);
+        let sat = saturated_copy(&store, &schema, &f.vocab);
+        assert_eq!(store.len(), 1);
+        assert_eq!(sat.len(), 2);
+    }
+
+    #[test]
+    fn empty_schema_adds_nothing() {
+        let (_dict, f) = fixture(&["p", "a", "b"]);
+        let id = |n: &str| f.ids[n];
+        let mut store = TripleStore::new();
+        store.insert([id("a"), id("p"), id("b")]);
+        assert_eq!(saturate(&mut store, &Schema::new(), &f.vocab), 0);
+    }
+
+    #[test]
+    fn cyclic_schema_terminates() {
+        let (_dict, f) = fixture(&["c1", "c2", "x"]);
+        let id = |n: &str| f.ids[n];
+        let mut schema = Schema::new();
+        schema.add(SchemaStatement::SubClassOf(id("c1"), id("c2")));
+        schema.add(SchemaStatement::SubClassOf(id("c2"), id("c1")));
+        let mut store = TripleStore::new();
+        store.insert([id("x"), f.vocab.rdf_type, id("c1")]);
+        let added = saturate(&mut store, &schema, &f.vocab);
+        assert_eq!(added, 1); // only (x, type, c2)
+    }
+
+    #[test]
+    fn diamond_saturation_no_duplicates() {
+        let (_dict, f) = fixture(&["a", "b", "c", "d", "x"]);
+        let id = |n: &str| f.ids[n];
+        let mut schema = Schema::new();
+        schema.add(SchemaStatement::SubClassOf(id("d"), id("b")));
+        schema.add(SchemaStatement::SubClassOf(id("d"), id("c")));
+        schema.add(SchemaStatement::SubClassOf(id("b"), id("a")));
+        schema.add(SchemaStatement::SubClassOf(id("c"), id("a")));
+        let mut store = TripleStore::new();
+        store.insert([id("x"), f.vocab.rdf_type, id("d")]);
+        let added = saturate(&mut store, &schema, &f.vocab);
+        // b, c, and a (once, despite two derivation paths).
+        assert_eq!(added, 3);
+    }
+
+    #[test]
+    fn domain_of_superproperty_applies_to_subproperty_triples() {
+        // p1 ⊑ p2, domain(p2) = c: (s, p1, o) entails (s, type, c) through
+        // the chained rules.
+        let (_dict, f) = fixture(&["p1", "p2", "c", "s", "o"]);
+        let id = |n: &str| f.ids[n];
+        let mut schema = Schema::new();
+        schema.add(SchemaStatement::SubPropertyOf(id("p1"), id("p2")));
+        schema.add(SchemaStatement::Domain(id("p2"), id("c")));
+        let mut store = TripleStore::new();
+        store.insert([id("s"), id("p1"), id("o")]);
+        saturate(&mut store, &schema, &f.vocab);
+        assert!(store.contains([id("s"), f.vocab.rdf_type, id("c")]));
+    }
+
+    #[test]
+    fn bound_is_linear_in_data_times_schema() {
+        // |implicit| ≤ |D| × |S| for a subclass chain.
+        let mut db = Dataset::new();
+        let vocab = VocabIds::intern(db.dict_mut());
+        let classes: Vec<Id> = (0..10)
+            .map(|i| db.dict_mut().intern_uri(&format!("c{i}")))
+            .collect();
+        let mut schema = Schema::new();
+        for w in classes.windows(2) {
+            schema.add(SchemaStatement::SubClassOf(w[0], w[1]));
+        }
+        let instances: Vec<Id> = (0..20)
+            .map(|i| db.dict_mut().intern_uri(&format!("x{i}")))
+            .collect();
+        for &x in &instances {
+            db.store_mut().insert([x, vocab.rdf_type, classes[0]]);
+        }
+        let explicit = db.store().len();
+        let added = saturate(db.store_mut(), &schema, &vocab);
+        assert_eq!(added, instances.len() * (classes.len() - 1));
+        assert!(added <= explicit * schema.len());
+    }
+}

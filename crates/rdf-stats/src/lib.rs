@@ -1,0 +1,37 @@
+//! # rdf-stats
+//!
+//! Workload-driven statistics and cardinality estimation — Section 3.3 of
+//! *View Selection in Semantic Web Databases*.
+//!
+//! Because the workload is known up front, the paper gathers **exact**
+//! counts only for the patterns the search can ever produce:
+//!
+//! 1. the number of triples matching each workload query atom, and
+//! 2. the counts of all *relaxations* of those atoms (constants replaced by
+//!    fresh variables — exactly what Selection Cut does during the search),
+//!
+//! plus per-column distinct-value counts, min/max, and average term widths.
+//! Multi-atom view cardinalities are then estimated with the classic
+//! uniformity + independence formulas of the relational literature
+//! (Ramakrishnan & Gehrke [18]).
+//!
+//! Three catalog flavors correspond to the paper's three reasoning
+//! scenarios (Section 4.3):
+//!
+//! * [`collect_stats`] on the original store — no implicit triples;
+//! * [`collect_stats`] on a saturated store — the *database saturation*
+//!   scenario;
+//! * [`collect_stats_post_reform`] — the *post-reformulation* scenario:
+//!   counts of `Reformulate(atom, S)` evaluated on the **non-saturated**
+//!   store, which equal the saturated counts without ever materializing
+//!   implicit triples (Theorem 4.2).
+
+mod catalog;
+mod collector;
+mod estimator;
+mod postreform;
+
+pub use catalog::{AtomKey, StatsCatalog};
+pub use collector::{collect_stats, count_atom, relaxations_of};
+pub use estimator::{estimate_conjunction, CardinalityEstimator, RelAtom, RelStats};
+pub use postreform::{collect_stats_post_reform, reformulated_atom_count};

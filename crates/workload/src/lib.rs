@@ -1,0 +1,29 @@
+//! # rdfviews-workload
+//!
+//! Synthetic datasets and query workloads reproducing the experimental
+//! setup of *View Selection in Semantic Web Databases* (Section 6):
+//!
+//! * [`barton`] — a **Barton-like** dataset generator. The paper evaluates
+//!   on the Barton library catalog (≈35M distinct triples after cleaning,
+//!   with an RDFS of 39 classes, 61 properties and 106 schema statements).
+//!   The real dataset is not redistributable here, so this module
+//!   synthesizes a dataset with the same schema *shape* (class/property
+//!   hierarchies, domain/range typing, identical statement counts) and
+//!   Zipf-skewed instance data at a configurable scale — view-selection
+//!   quality depends only on per-atom statistics and schema shape, which
+//!   the generator preserves.
+//! * [`generator`] — the paper's two query generators: a free-form one
+//!   producing queries "of controllable size, shape, and commonality"
+//!   (star, chain, cycle, random sparse/dense graph, mixed; high/low
+//!   commonality), and —
+//! * [`satisfiable`] — the second generator, which samples the dataset so
+//!   every produced query has non-empty answers.
+
+pub mod barton;
+pub mod generator;
+pub mod satisfiable;
+mod zipf;
+
+pub use barton::{generate_barton, BartonDataset, BartonSpec};
+pub use generator::{generate_matching_data, generate_workload, Commonality, Shape, WorkloadSpec};
+pub use satisfiable::{generate_satisfiable, SatisfiableSpec};

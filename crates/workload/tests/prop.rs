@@ -1,0 +1,72 @@
+//! Property tests for the workload generators: every generated query must
+//! be safe, connected and minimal, across the whole parameter space.
+
+use proptest::prelude::*;
+use rdfviews_workload::{
+    generate_barton, generate_satisfiable, generate_workload, BartonSpec, Commonality,
+    SatisfiableSpec, Shape, WorkloadSpec,
+};
+
+fn shape_strategy() -> impl Strategy<Value = Shape> {
+    prop_oneof![
+        Just(Shape::Star),
+        Just(Shape::Chain),
+        Just(Shape::Cycle),
+        Just(Shape::RandomSparse),
+        Just(Shape::RandomDense),
+        Just(Shape::Mixed),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn free_generator_invariants(
+        seed in 0u64..10_000,
+        shape in shape_strategy(),
+        queries in 1usize..8,
+        atoms in 1usize..8,
+        high in any::<bool>(),
+        obj_prob in 0.0f64..1.0,
+    ) {
+        let mut dict = rdf_model::Dictionary::new();
+        let mut spec = WorkloadSpec::new(
+            queries,
+            atoms,
+            shape,
+            if high { Commonality::High } else { Commonality::Low },
+        )
+        .with_seed(seed);
+        spec.object_const_prob = obj_prob;
+        let ws = generate_workload(&spec, &mut dict);
+        prop_assert_eq!(ws.len(), queries);
+        for q in &ws {
+            prop_assert_eq!(q.atoms.len(), atoms);
+            prop_assert!(q.is_safe());
+            prop_assert!(rdf_query::graph::JoinGraph::new(&q.atoms).is_connected());
+            prop_assert!(rdf_query::minimize::is_minimal(q), "{q:?}");
+            prop_assert!(!q.head.is_empty());
+        }
+    }
+
+    #[test]
+    fn satisfiable_generator_invariants(
+        seed in 0u64..2_000,
+        queries in 1usize..5,
+        atoms in 1usize..5,
+    ) {
+        let data = generate_barton(&BartonSpec::tiny());
+        let ws = generate_satisfiable(
+            &data.db,
+            &SatisfiableSpec::new(queries, atoms, Shape::Mixed).with_seed(seed),
+        );
+        prop_assert_eq!(ws.len(), queries);
+        for q in &ws {
+            prop_assert!(q.is_safe());
+            prop_assert!(rdf_query::graph::JoinGraph::new(&q.atoms).is_connected());
+            let answers = rdf_engine::evaluate(data.db.store(), q);
+            prop_assert!(!answers.is_empty(), "{q:?}");
+        }
+    }
+}

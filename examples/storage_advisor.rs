@@ -1,0 +1,82 @@
+//! Storage-tuning advisor: how the cost weights steer the recommendation.
+//!
+//! The paper's cost model exposes three knobs (Section 3.3): "if storage
+//! space is cheap cs can be set very low, if the triple table is rarely
+//! updated cm can be reduced etc." This example sweeps those regimes on
+//! one workload and reports how the recommended design changes.
+//!
+//! Run with: `cargo run --release --example storage_advisor`
+
+use rdfviews::prelude::*;
+
+fn main() {
+    let data = generate_barton(&BartonSpec::default().with_size(2_000, 20_000));
+    let workload = generate_satisfiable(&data.db, &SatisfiableSpec::new(4, 5, Shape::Star));
+
+    let regimes: [(&str, CostWeights); 4] = [
+        ("balanced (paper defaults)", CostWeights::default()),
+        (
+            "storage is cheap (cs ≪)",
+            CostWeights {
+                cs: 0.01,
+                ..CostWeights::default()
+            },
+        ),
+        (
+            "storage is precious (cs ≫)",
+            CostWeights {
+                cs: 100.0,
+                ..CostWeights::default()
+            },
+        ),
+        (
+            "update-heavy feed (cm ≫, f = 3)",
+            CostWeights {
+                cm: 50.0,
+                f: 3.0,
+                ..CostWeights::default()
+            },
+        ),
+    ];
+
+    println!(
+        "{:<32} {:>6} {:>12} {:>12} {:>8}",
+        "regime", "views", "est. bytes", "avg atoms", "rcr"
+    );
+    for (name, weights) in regimes {
+        let rec = select_views(
+            data.db.store(),
+            data.db.dict(),
+            Some((&data.schema, &data.vocab)),
+            &workload,
+            &SelectionOptions {
+                weights,
+                // Keep cm as configured: this sweep explores raw weights.
+                calibrate_cm: false,
+                search: SearchConfig {
+                    time_budget: Some(std::time::Duration::from_secs(3)),
+                    ..SearchConfig::default()
+                },
+                reasoning: ReasoningMode::Plain,
+            },
+        );
+        let cat = &rec.catalog;
+        let model = CostModel::new(cat, weights);
+        let b = model.breakdown(&rec.outcome.best_state);
+        let total_atoms: usize = rec.views.iter().map(|v| v.atoms.len()).sum();
+        let avg_atoms = total_atoms as f64 / rec.views.len().max(1) as f64;
+        println!(
+            "{:<32} {:>6} {:>12.0} {:>12.2} {:>8.3}",
+            name,
+            rec.views.len(),
+            b.vso,
+            avg_atoms,
+            rec.rcr()
+        );
+    }
+
+    println!(
+        "\nreading: cheap storage favors fewer, fatter views (less joining at query time); \
+         expensive storage and heavy updates favor smaller, more factorized views."
+    );
+}

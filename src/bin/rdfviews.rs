@@ -1,0 +1,204 @@
+//! `rdfviews` — command-line view selection for RDF databases.
+//!
+//! ```text
+//! rdfviews <data.nt> <workload.rq> [options]
+//!
+//! options:
+//!   --mode plain|saturate|pre|post   entailment handling (default: plain;
+//!                                    all but plain extract the RDFS from
+//!                                    the data triples)
+//!   --strategy dfs|gstr|exnaive|exstr|pruning|greedy|heuristic
+//!   --budget <seconds>               search time budget (default: 10)
+//!   --max-states <n>                 state budget (default: 1000000)
+//!   --materialize                    also materialize and report view sizes
+//! ```
+//!
+//! `data.nt` holds one triple per line (`<s> <p> <o> .`); schema statements
+//! (`rdfs:subClassOf`, `rdfs:subPropertyOf`, `rdfs:domain`, `rdfs:range`)
+//! are read from the same file. `workload.rq` holds one conjunctive query
+//! per line: `q1(X, Z) :- t(X, <p>, Y), t(Y, <q>, Z)`.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use rdfviews::core::display::state_to_string;
+use rdfviews::prelude::*;
+
+struct Args {
+    data: String,
+    workload: String,
+    mode: ReasoningMode,
+    strategy: StrategyKind,
+    budget: Duration,
+    max_states: usize,
+    materialize: bool,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: rdfviews <data.nt> <workload.rq> [--mode plain|saturate|pre|post] \
+         [--strategy dfs|gstr|exnaive|exstr|pruning|greedy|heuristic] \
+         [--budget SECONDS] [--max-states N] [--materialize]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_args() -> Result<Args, ExitCode> {
+    let mut positional: Vec<String> = Vec::new();
+    let mut args = Args {
+        data: String::new(),
+        workload: String::new(),
+        mode: ReasoningMode::Plain,
+        strategy: StrategyKind::Dfs,
+        budget: Duration::from_secs(10),
+        max_states: 1_000_000,
+        materialize: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--mode" => {
+                args.mode = match it.next().as_deref() {
+                    Some("plain") => ReasoningMode::Plain,
+                    Some("saturate") => ReasoningMode::Saturation,
+                    Some("pre") => ReasoningMode::PreReformulation,
+                    Some("post") => ReasoningMode::PostReformulation,
+                    _ => return Err(usage()),
+                }
+            }
+            "--strategy" => {
+                args.strategy = match it.next().as_deref() {
+                    Some("dfs") => StrategyKind::Dfs,
+                    Some("gstr") => StrategyKind::Gstr,
+                    Some("exnaive") => StrategyKind::ExNaive,
+                    Some("exstr") => StrategyKind::ExStr,
+                    Some("pruning") => StrategyKind::Pruning,
+                    Some("greedy") => StrategyKind::Greedy,
+                    Some("heuristic") => StrategyKind::Heuristic,
+                    _ => return Err(usage()),
+                }
+            }
+            "--budget" => {
+                let secs: u64 = it.next().and_then(|v| v.parse().ok()).ok_or_else(usage)?;
+                args.budget = Duration::from_secs(secs);
+            }
+            "--max-states" => {
+                args.max_states = it.next().and_then(|v| v.parse().ok()).ok_or_else(usage)?;
+            }
+            "--materialize" => args.materialize = true,
+            "--help" | "-h" => return Err(usage()),
+            other => positional.push(other.to_string()),
+        }
+    }
+    if positional.len() != 2 {
+        return Err(usage());
+    }
+    args.data = positional.remove(0);
+    args.workload = positional.remove(0);
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(code) => return code,
+    };
+
+    // -- Load data. -------------------------------------------------------
+    let text = match std::fs::read_to_string(&args.data) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {}: {e}", args.data);
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut db = match rdfviews::model::ntriples::parse_dataset(&text) {
+        Ok(db) => db,
+        Err(e) => {
+            eprintln!("error: {}: {e}", args.data);
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!("loaded {} triples from {}", db.len(), args.data);
+
+    // -- Load workload. ---------------------------------------------------
+    let wtext = match std::fs::read_to_string(&args.workload) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {}: {e}", args.workload);
+            return ExitCode::FAILURE;
+        }
+    };
+    let parsed = match rdfviews::query::parser::parse_workload(&wtext, db.dict_mut()) {
+        Ok(ws) => ws,
+        Err(e) => {
+            eprintln!("error: {}: {e}", args.workload);
+            return ExitCode::FAILURE;
+        }
+    };
+    if parsed.is_empty() {
+        eprintln!("error: empty workload");
+        return ExitCode::FAILURE;
+    }
+    let workload: Vec<_> = parsed.into_iter().map(|p| p.query).collect();
+    eprintln!("parsed {} workload queries", workload.len());
+
+    // -- Schema (extracted from data when reasoning is requested). --------
+    let schema = Schema::from_dataset(&db);
+    let vocab = VocabIds::intern(db.dict_mut());
+    let schema_ref = match args.mode {
+        ReasoningMode::Plain => None,
+        _ => {
+            eprintln!("schema: {} RDFS statements", schema.len());
+            Some((&schema, &vocab))
+        }
+    };
+
+    // -- Select. -----------------------------------------------------------
+    let options = SelectionOptions {
+        reasoning: args.mode,
+        calibrate_cm: true,
+        search: SearchConfig {
+            strategy: args.strategy,
+            time_budget: Some(args.budget),
+            max_states: Some(args.max_states),
+            ..SearchConfig::default()
+        },
+        ..Default::default()
+    };
+    let rec = select_views(db.store(), db.dict(), schema_ref, &workload, &options);
+
+    println!("# initial cost : {:.4e}", rec.outcome.initial_cost);
+    println!("# best cost    : {:.4e}", rec.outcome.best_cost);
+    println!("# rcr          : {:.4}", rec.rcr());
+    println!(
+        "# states       : {} created / {} duplicates / {} discarded",
+        rec.outcome.stats.created, rec.outcome.stats.duplicates, rec.outcome.stats.discarded
+    );
+    if rec.outcome.stats.out_of_budget {
+        println!("# WARNING: state budget exhausted; recommendation may be improvable");
+    }
+    println!("#\n# recommended views and rewritings:");
+    print!("{}", state_to_string(&rec.outcome.best_state, db.dict()));
+    if args.mode == ReasoningMode::PostReformulation {
+        println!("#\n# materialization definitions (reformulated):");
+        for (v, u) in rec.views.iter().zip(rec.materialization.iter()) {
+            println!(
+                "{}",
+                rdfviews::query::display::ucq_to_string(&v.id.to_string(), u, db.dict())
+            );
+        }
+    }
+
+    if args.materialize {
+        let mv = rdfviews::exec::materialize_recommendation(db.store(), &rec);
+        println!(
+            "#\n# materialized: {} views, {} rows, {} cells ({:.1}% of the triple table)",
+            mv.len(),
+            mv.total_rows(),
+            mv.total_cells(),
+            100.0 * mv.total_cells() as f64 / (db.len() * 3).max(1) as f64
+        );
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,86 @@
+//! # rdfviews
+//!
+//! **View selection for Semantic Web databases** — a from-scratch Rust
+//! reproduction of Goasdoué, Karanasos, Leblay & Manolescu, *View Selection
+//! in Semantic Web Databases*, PVLDB 5(2) / VLDB 2012 (arXiv:1110.6648).
+//!
+//! Given an RDF database (triples + optional RDF Schema) and a workload of
+//! conjunctive queries, the library recommends a set of materialized views
+//! and one equivalent rewriting per query, such that **every workload query
+//! can be answered from the views alone** — enabling three-tier or offline
+//! deployments where clients never touch the database — while minimizing a
+//! weighted combination of rewriting evaluation cost, view storage space
+//! and view maintenance cost.
+//!
+//! The workspace crates map to the paper's components:
+//!
+//! | crate | contents |
+//! |-------|----------|
+//! | [`model`] (`rdf-model`) | dictionary-encoded triple store, six permutation indexes |
+//! | [`schema`] (`rdf-schema`) | RDFS statements, closure, database saturation |
+//! | [`query`] (`rdf-query`) | conjunctive queries, containment, minimization, canonical forms |
+//! | [`reform`] (`rdf-reform`) | query reformulation — Algorithm 1 / Theorems 4.1–4.2 |
+//! | [`stats`] (`rdf-stats`) | workload statistics, cardinality estimation, post-reformulation statistics |
+//! | [`engine`] (`rdf-engine`) | SPJ evaluation, view materialization, rewriting execution |
+//! | [`core`] (`rdfviews-core`) | states, transitions SC/JC/VB/VF, cost model, search strategies |
+//! | [`workload`] (`rdfviews-workload`) | Barton-like dataset, star/chain/cycle/random/mixed workload generators |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use rdfviews::prelude::*;
+//!
+//! // 1. Load data.
+//! let mut db = Dataset::new();
+//! # use rdfviews::model::Term;
+//! # for i in 0..20 {
+//! #   db.insert_terms(Term::uri(format!("s{i}")), Term::uri("p"), Term::uri(format!("o{}", i % 4)));
+//! #   db.insert_terms(Term::uri(format!("s{i}")), Term::uri("q"), Term::uri("c"));
+//! # }
+//!
+//! // 2. Declare a workload.
+//! let q = parse_query("q(X) :- t(X, <p>, <o1>), t(X, <q>, <c>)", db.dict_mut()).unwrap();
+//! let workload = vec![q.query];
+//!
+//! // 3. Select views.
+//! let rec = select_views(db.store(), db.dict(), None, &workload, &SelectionOptions::recommended());
+//!
+//! // 4. Materialize them and answer the workload from the views alone.
+//! let mv = rdfviews::exec::materialize_recommendation(db.store(), &rec);
+//! let from_views = rdfviews::exec::answer_original_query(&rec, &mv, 0);
+//! let direct = rdfviews::engine::evaluate(db.store(), &rec.workload[0]);
+//! assert_eq!(from_views, direct);
+//! ```
+
+pub use rdf_engine as engine;
+pub use rdf_model as model;
+pub use rdf_query as query;
+pub use rdf_reform as reform;
+pub use rdf_schema as schema;
+pub use rdf_stats as stats;
+pub use rdfviews_core as core;
+pub use rdfviews_workload as workload;
+
+pub mod exec;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use crate::core::{
+        select_views, select_views_partitioned, CostModel, CostWeights, ReasoningMode,
+        Recommendation, SearchConfig, SearchOutcome, SelectionOptions, State, StrategyKind,
+    };
+    pub use crate::engine::{
+        evaluate, evaluate_union, materialize, Answers, MaintainedView, ViewTable,
+    };
+    pub use crate::exec::{answer_original_query, answer_query, materialize_recommendation};
+    pub use crate::model::{Dataset, Dictionary, Term, TripleStore};
+    pub use crate::query::parser::parse_query;
+    pub use crate::query::{ConjunctiveQuery, UnionQuery};
+    pub use crate::reform::reformulate;
+    pub use crate::schema::{saturate, Schema, SchemaStatement, VocabIds};
+    pub use crate::stats::collect_stats;
+    pub use crate::workload::{
+        generate_barton, generate_satisfiable, generate_workload, BartonSpec, Commonality,
+        SatisfiableSpec, Shape, WorkloadSpec,
+    };
+}

@@ -1,0 +1,97 @@
+//! Property tests for the transition cost laws of Section 3.3:
+//!
+//! * "SC always increases the state cost";
+//! * "VF always reduces the overall cost of a state" (never increases it
+//!   in our model: the reduction is weak when the fused views' rewritings
+//!   already coincide);
+//! * JC and VB may go either way — so we only check they produce finite,
+//!   non-negative costs.
+
+use proptest::prelude::*;
+
+use rdfviews::core::transitions::{apply, enumerate, TransitionConfig, TransitionKind};
+use rdfviews::core::{CostModel, CostWeights, State};
+use rdfviews::model::Dataset;
+use rdfviews::stats::collect_stats;
+use rdfviews::workload::{
+    generate_matching_data, generate_workload, Commonality, Shape, WorkloadSpec,
+};
+
+fn shape_strategy() -> impl Strategy<Value = Shape> {
+    prop_oneof![
+        Just(Shape::Star),
+        Just(Shape::Chain),
+        Just(Shape::Cycle),
+        Just(Shape::RandomSparse),
+        Just(Shape::RandomDense),
+    ]
+}
+
+fn setup(seed: u64, shape: Shape) -> (Dataset, Vec<rdfviews::query::ConjunctiveQuery>) {
+    let mut db = Dataset::new();
+    let spec = WorkloadSpec::new(2, 3, shape, Commonality::High).with_seed(seed);
+    let workload = generate_workload(&spec, db.dict_mut());
+    let (mut dict, mut store) = db.into_parts();
+    generate_matching_data(&spec, &mut dict, &mut store, 500);
+    (Dataset::from_parts(dict, store), workload)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn sc_increases_and_vf_never_increases(
+        seed in 0u64..10_000,
+        shape in shape_strategy(),
+        warmup in prop::collection::vec((0usize..4, 0usize..32), 0..3),
+    ) {
+        let (db, workload) = setup(seed, shape);
+        let cat = collect_stats(db.store(), db.dict(), &workload);
+        let model = CostModel::new(&cat, CostWeights::default());
+        let cfg = TransitionConfig::default();
+
+        // Random warm-up walk so the laws are checked on arbitrary states,
+        // not just S0.
+        let mut state = State::initial(&workload);
+        for (k, i) in warmup {
+            let ts = enumerate(&state, TransitionKind::ALL[k], &cfg);
+            if !ts.is_empty() {
+                state = apply(&state, &ts[i % ts.len()]);
+            }
+        }
+        let base = model.cost(&state);
+        prop_assert!(base.is_finite() && base >= 0.0);
+
+        for t in enumerate(&state, TransitionKind::Sc, &cfg) {
+            let c = model.cost(&apply(&state, &t));
+            // Strict increase whenever the cut view has any estimated
+            // extent; views estimated empty contribute nothing to VSO/REC,
+            // so SC can only keep the cost equal there (the paper's law
+            // assumes non-degenerate sizes).
+            let cut_view_card = match &t {
+                rdfviews::core::Transition::SelectionCut { view, .. } => {
+                    model.estimator().cq_card(&state.view(*view).as_query())
+                }
+                _ => unreachable!("SC enumeration yields selection cuts"),
+            };
+            if cut_view_card > 0.0 {
+                prop_assert!(c > base, "SC must increase cost: {c} vs {base} ({t:?})");
+            } else {
+                prop_assert!(c >= base, "SC must not decrease cost: {c} vs {base} ({t:?})");
+            }
+        }
+        for t in enumerate(&state, TransitionKind::Vf, &cfg) {
+            let c = model.cost(&apply(&state, &t));
+            prop_assert!(
+                c <= base + 1e-9 * base.abs().max(1.0),
+                "VF must not increase cost: {c} vs {base} ({t:?})"
+            );
+        }
+        for kind in [TransitionKind::Jc, TransitionKind::Vb] {
+            for t in enumerate(&state, kind, &cfg) {
+                let c = model.cost(&apply(&state, &t));
+                prop_assert!(c.is_finite() && c >= 0.0, "{t:?}");
+            }
+        }
+    }
+}

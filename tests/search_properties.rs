@@ -1,0 +1,254 @@
+//! Search-level properties: exhaustive strategies agree, heuristics trade
+//! completeness for speed as the paper describes, and large-workload
+//! behavior matches Section 6 qualitatively.
+
+use std::time::Duration;
+
+use rdfviews::core::{search, CostModel, CostWeights, SearchConfig, State, StrategyKind};
+use rdfviews::model::Dataset;
+use rdfviews::query::ConjunctiveQuery;
+use rdfviews::stats::collect_stats;
+use rdfviews::workload::{
+    generate_matching_data, generate_workload, Commonality, Shape, WorkloadSpec,
+};
+
+fn setup(
+    seed: u64,
+    shape: Shape,
+    commonality: Commonality,
+    queries: usize,
+    atoms: usize,
+    triples: usize,
+) -> (Dataset, Vec<ConjunctiveQuery>) {
+    let mut db = Dataset::new();
+    let spec = WorkloadSpec::new(queries, atoms, shape, commonality).with_seed(seed);
+    let workload = generate_workload(&spec, db.dict_mut());
+    let (mut dict, mut store) = db.into_parts();
+    generate_matching_data(&spec, &mut dict, &mut store, triples);
+    (Dataset::from_parts(dict, store), workload)
+}
+
+fn exhaustive(strategy: StrategyKind) -> SearchConfig {
+    SearchConfig {
+        strategy,
+        avf: false,
+        stop_var: false,
+        stop_tt: false,
+        time_budget: None,
+        max_states: Some(400_000),
+        vb_overlap_limit: 1,
+    }
+}
+
+#[test]
+fn exhaustive_strategies_find_the_same_optimum() {
+    let (db, workload) = setup(3, Shape::Chain, Commonality::Low, 2, 3, 400);
+    let cat = collect_stats(db.store(), db.dict(), &workload);
+    let model = CostModel::new(&cat, CostWeights::default());
+    let mut costs = Vec::new();
+    for strat in [
+        StrategyKind::ExNaive,
+        StrategyKind::ExStr,
+        StrategyKind::Dfs,
+    ] {
+        let out = search(State::initial(&workload), &model, &exhaustive(strat));
+        assert!(!out.stats.out_of_budget, "{strat:?} must finish");
+        costs.push((strat, out.best_cost));
+    }
+    for (strat, c) in &costs {
+        assert!(
+            (c - costs[0].1).abs() <= 1e-6 * costs[0].1.abs().max(1.0),
+            "{strat:?} found {c}, expected {}",
+            costs[0].1
+        );
+    }
+}
+
+#[test]
+fn avf_and_stop_var_preserve_exhaustive_optimum_here() {
+    // AVF preserves optimality (Section 5.2); STV may lose it in theory but
+    // not on this workload — matching the paper's observation that
+    // AVF-STV "reduces the search space while preserving view set quality".
+    let (db, workload) = setup(11, Shape::Chain, Commonality::High, 2, 3, 400);
+    let cat = collect_stats(db.store(), db.dict(), &workload);
+    let model = CostModel::new(&cat, CostWeights::default());
+    let plain = search(
+        State::initial(&workload),
+        &model,
+        &exhaustive(StrategyKind::Dfs),
+    );
+    let avf = search(
+        State::initial(&workload),
+        &model,
+        &SearchConfig {
+            avf: true,
+            ..exhaustive(StrategyKind::Dfs)
+        },
+    );
+    assert!((avf.best_cost - plain.best_cost).abs() <= 1e-6 * plain.best_cost.max(1.0));
+    assert!(avf.stats.created <= plain.stats.created);
+    let stv = search(
+        State::initial(&workload),
+        &model,
+        &SearchConfig {
+            avf: true,
+            stop_var: true,
+            ..exhaustive(StrategyKind::Dfs)
+        },
+    );
+    assert!(stv.stats.created <= avf.stats.created);
+    assert!((stv.best_cost - plain.best_cost).abs() <= 1e-6 * plain.best_cost.max(1.0));
+}
+
+#[test]
+fn ten_atom_queries_get_large_reductions() {
+    // The headline effect (Figure 6): on unselective 10-atom queries the
+    // initial state (materializing whole query results, whose multi-join
+    // cardinality estimates grow with the atom count) is far costlier than
+    // a factorized view set.
+    let mut db = Dataset::new();
+    let mut spec = WorkloadSpec::new(3, 10, Shape::Star, Commonality::High).with_seed(21);
+    spec.object_const_prob = 0.0; // all atoms unselective, as in Barton-scale queries
+    let workload = generate_workload(&spec, db.dict_mut());
+    let (mut dict, mut store) = db.into_parts();
+    generate_matching_data(&spec, &mut dict, &mut store, 3_000);
+    let db = Dataset::from_parts(dict, store);
+    let cat = collect_stats(db.store(), db.dict(), &workload);
+    let mut model = CostModel::new(&cat, CostWeights::default());
+    let s0 = State::initial(&workload);
+    model.calibrate_cm(&s0);
+    let out = search(
+        s0,
+        &model,
+        &SearchConfig {
+            time_budget: Some(Duration::from_secs(5)),
+            ..SearchConfig::default()
+        },
+    );
+    assert!(
+        out.rcr() > 0.5,
+        "expected a large relative cost reduction, got {:.3}",
+        out.rcr()
+    );
+}
+
+#[test]
+fn gstr_explores_fewer_states_than_dfs() {
+    let (db, workload) = setup(5, Shape::Star, Commonality::Low, 2, 5, 800);
+    let cat = collect_stats(db.store(), db.dict(), &workload);
+    let model = CostModel::new(&cat, CostWeights::default());
+    let budget = SearchConfig {
+        time_budget: Some(Duration::from_secs(4)),
+        ..SearchConfig::default()
+    };
+    let dfs = search(State::initial(&workload), &model, &budget);
+    let gstr = search(
+        State::initial(&workload),
+        &model,
+        &SearchConfig {
+            strategy: StrategyKind::Gstr,
+            ..budget
+        },
+    );
+    assert!(gstr.stats.created <= dfs.stats.created);
+    // Both are anytime algorithms: under a wall-clock budget either may be
+    // ahead (GSTR races to low-cost states, DFS covers more of the space),
+    // but neither can be worse than the initial state.
+    assert!(gstr.best_cost <= gstr.initial_cost);
+    assert!(dfs.best_cost <= dfs.initial_cost);
+}
+
+#[test]
+fn competitors_fail_on_ten_atom_queries() {
+    // Figure 4's right panel: the relational strategies outgrow memory on
+    // 10-atom queries before producing any full-workload state, while DFS
+    // keeps running.
+    let (db, workload) = setup(9, Shape::Star, Commonality::Low, 5, 10, 3_000);
+    let cat = collect_stats(db.store(), db.dict(), &workload);
+    let model = CostModel::new(&cat, CostWeights::default());
+    let budget = 50_000;
+    for strat in [
+        StrategyKind::Pruning,
+        StrategyKind::Greedy,
+        StrategyKind::Heuristic,
+    ] {
+        let out = search(
+            State::initial(&workload),
+            &model,
+            &SearchConfig {
+                strategy: strat,
+                max_states: Some(budget),
+                ..SearchConfig::default()
+            },
+        );
+        assert!(
+            out.stats.out_of_budget,
+            "{strat:?} should exhaust the state budget"
+        );
+        assert_eq!(
+            out.best_cost, out.initial_cost,
+            "{strat:?} found no solution"
+        );
+    }
+    // DFS with the same budget still achieves a reduction.
+    let dfs = search(
+        State::initial(&workload),
+        &model,
+        &SearchConfig {
+            max_states: Some(budget),
+            ..SearchConfig::default()
+        },
+    );
+    assert!(dfs.rcr() > 0.0, "DFS must improve within the same budget");
+}
+
+#[test]
+fn best_cost_trace_is_monotone() {
+    let (db, workload) = setup(13, Shape::Mixed, Commonality::High, 3, 6, 1_000);
+    let cat = collect_stats(db.store(), db.dict(), &workload);
+    let model = CostModel::new(&cat, CostWeights::default());
+    let out = search(
+        State::initial(&workload),
+        &model,
+        &SearchConfig {
+            time_budget: Some(Duration::from_secs(3)),
+            ..SearchConfig::default()
+        },
+    );
+    let trace = &out.stats.best_cost_trace;
+    assert!(!trace.is_empty());
+    for w in trace.windows(2) {
+        assert!(w[1].1 <= w[0].1, "cost trace must decrease");
+        assert!(w[1].0 >= w[0].0, "time must increase");
+    }
+    assert_eq!(trace.last().unwrap().1, out.best_cost);
+}
+
+#[test]
+fn recommended_state_counts_match_figure5_shape() {
+    // Figure 5's qualitative claims: duplicates are plentiful without
+    // heuristics; AVF and STV shrink every counter.
+    let (db, workload) = setup(17, Shape::Star, Commonality::Low, 2, 4, 800);
+    let cat = collect_stats(db.store(), db.dict(), &workload);
+    let model = CostModel::new(&cat, CostWeights::default());
+    let run = |avf: bool, stv: bool| {
+        search(
+            State::initial(&workload),
+            &model,
+            &SearchConfig {
+                avf,
+                stop_var: stv,
+                ..exhaustive(StrategyKind::Dfs)
+            },
+        )
+    };
+    let none = run(false, false);
+    let avf = run(true, false);
+    let stv = run(false, true);
+    let both = run(true, true);
+    assert!(none.stats.duplicates > 0);
+    assert!(avf.stats.created <= none.stats.created);
+    assert!(stv.stats.created <= none.stats.created);
+    assert!(both.stats.created <= stv.stats.created.max(avf.stats.created));
+    assert!(stv.stats.discarded > 0);
+}
