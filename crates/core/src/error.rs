@@ -1,0 +1,109 @@
+//! Fallible-path errors for the selection pipeline and the advisor
+//! session API built on top of it.
+
+use crate::pipeline::ReasoningMode;
+use rdf_query::parser::ParseError;
+
+/// Everything that can go wrong while configuring or running view
+/// selection.
+///
+/// Before this type existed the pipeline panicked on misconfiguration
+/// (`expect("… needs a schema")`); every fallible entry point now returns
+/// `Result<_, SelectionError>` instead.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectionError {
+    /// The chosen [`ReasoningMode`] needs an RDF Schema, but none was
+    /// provided.
+    SchemaRequired(ReasoningMode),
+    /// The workload has no queries; a state needs at least one rewriting.
+    EmptyWorkload,
+    /// A workload query failed to parse.
+    Parse(ParseError),
+    /// The search ran out of its state or time budget before completing,
+    /// and the caller asked for that to be an error
+    /// (`SelectionOptions::fail_on_exhausted_budget`).
+    BudgetExhausted {
+        /// States created before the budget ran out.
+        created: u64,
+    },
+    /// A query index outside the workload (or recommendation) was
+    /// referenced.
+    UnknownQuery {
+        /// The offending index.
+        index: usize,
+        /// The number of known queries.
+        len: usize,
+    },
+    /// A prepared session was asked to run under a different reasoning
+    /// mode than it was built for.
+    ModeMismatch {
+        /// The mode the session was prepared for.
+        prepared: ReasoningMode,
+        /// The mode the call requested.
+        requested: ReasoningMode,
+    },
+}
+
+impl std::fmt::Display for SelectionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SelectionError::SchemaRequired(mode) => {
+                write!(f, "{mode:?} reasoning requires a schema; none was provided")
+            }
+            SelectionError::EmptyWorkload => write!(f, "the workload is empty"),
+            SelectionError::Parse(e) => write!(f, "workload query: {e}"),
+            SelectionError::BudgetExhausted { created } => {
+                write!(f, "search budget exhausted after creating {created} states")
+            }
+            SelectionError::UnknownQuery { index, len } => {
+                write!(f, "query index {index} out of range (workload has {len})")
+            }
+            SelectionError::ModeMismatch {
+                prepared,
+                requested,
+            } => write!(
+                f,
+                "session was prepared for {prepared:?} reasoning but {requested:?} was requested"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SelectionError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SelectionError::Parse(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ParseError> for SelectionError {
+    fn from(e: ParseError) -> Self {
+        SelectionError::Parse(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_mode() {
+        let e = SelectionError::SchemaRequired(ReasoningMode::Saturation);
+        assert!(e.to_string().contains("Saturation"));
+        let e = SelectionError::UnknownQuery { index: 4, len: 2 };
+        assert!(e.to_string().contains('4'));
+    }
+
+    #[test]
+    fn parse_errors_convert() {
+        let p = ParseError {
+            offset: 3,
+            message: "bad token".into(),
+        };
+        let e: SelectionError = p.clone().into();
+        assert_eq!(e, SelectionError::Parse(p));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -56,6 +56,7 @@
 
 pub mod cost;
 pub mod display;
+pub mod error;
 pub mod partition;
 pub mod pipeline;
 pub mod search;
@@ -64,8 +65,15 @@ pub mod transitions;
 pub mod unfold;
 
 pub use cost::{CostBreakdown, CostModel, CostWeights};
-pub use partition::{partition_workload, select_views_partitioned};
-pub use pipeline::{select_views, ReasoningMode, Recommendation, SelectionOptions};
+pub use error::SelectionError;
+pub use partition::{
+    partition_workload, select_views_partitioned, select_views_partitioned_session,
+    try_select_views_partitioned,
+};
+pub use pipeline::{
+    search_session, select_views, select_views_session, try_select_views, Preparation,
+    ReasoningMode, Recommendation, SelectionOptions,
+};
 pub use search::{search, SearchConfig, SearchOutcome, SearchStats, StrategyKind};
 pub use state::{Rewriting, State, View, ViewId};
 pub use transitions::Transition;

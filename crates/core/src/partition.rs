@@ -15,7 +15,10 @@ use rdf_query::{ConjunctiveQuery, UnionQuery};
 use rdf_schema::{Schema, VocabIds};
 use rdf_stats::AtomKey;
 
-use crate::pipeline::{select_views, Recommendation, SelectionOptions};
+use crate::error::SelectionError;
+use crate::pipeline::{
+    effective_workload, search_session, Preparation, Recommendation, SelectionOptions,
+};
 use crate::search::{SearchOutcome, SearchStats};
 use crate::state::State;
 
@@ -61,12 +64,89 @@ pub fn partition_workload(queries: &[ConjunctiveQuery]) -> Vec<Vec<usize>> {
     out
 }
 
-/// Runs view selection per sharing group (optionally on threads) and
-/// merges the results into one recommendation covering the full workload.
+/// Runs view selection per sharing group (optionally on threads) through
+/// a prepared session, and merges the results into one recommendation
+/// covering the full workload.
+///
+/// The session's catalog is topped up for **all** groups first
+/// (sequentially), so the parallel phase shares one read-only
+/// [`Preparation`] across threads instead of recollecting statistics per
+/// group — the saturated copy and every atom count are computed at most
+/// once for the session's lifetime.
 ///
 /// The merged `outcome` aggregates costs and counters across groups; its
 /// `best_state` holds every group's views and rewritings, with
 /// `branch_of` mapping each rewriting back to its original query index.
+pub fn select_views_partitioned_session(
+    prep: &mut Preparation,
+    store: &rdf_model::TripleStore,
+    schema: Option<(&Schema, &VocabIds)>,
+    workload: &[ConjunctiveQuery],
+    options: &SelectionOptions,
+    parallel: bool,
+) -> Result<Recommendation, SelectionError> {
+    if workload.is_empty() {
+        return Err(SelectionError::EmptyWorkload);
+    }
+    if options.reasoning != prep.reasoning() {
+        return Err(SelectionError::ModeMismatch {
+            prepared: prep.reasoning(),
+            requested: options.reasoning,
+        });
+    }
+    let groups = partition_workload(workload);
+    // Phase 1, sequential: effective workloads and catalog top-up.
+    let mut jobs: Vec<(Vec<ConjunctiveQuery>, Vec<usize>)> = Vec::with_capacity(groups.len());
+    for group in &groups {
+        let sub: Vec<ConjunctiveQuery> = group.iter().map(|&i| workload[i].clone()).collect();
+        let (effective, branch_of) = effective_workload(prep.reasoning(), schema, &sub)?;
+        prep.extend(store, schema, &effective)?;
+        jobs.push((effective, branch_of));
+    }
+    // Phase 2: group searches, read-only on the shared session.
+    let prep_ref: &Preparation = prep;
+    let results: Vec<Result<Recommendation, SelectionError>> = if parallel && jobs.len() > 1 {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = jobs
+                .into_iter()
+                .map(|(effective, branch_of)| {
+                    scope.spawn(move || {
+                        search_session(prep_ref, schema, effective, branch_of, options)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("group search thread"))
+                .collect()
+        })
+    } else {
+        jobs.into_iter()
+            .map(|(effective, branch_of)| {
+                search_session(prep_ref, schema, effective, branch_of, options)
+            })
+            .collect()
+    };
+    let recs: Vec<Recommendation> = results.into_iter().collect::<Result<_, _>>()?;
+    Ok(merge_recommendations(&groups, recs))
+}
+
+/// One-shot fallible partitioned selection: prepares a throwaway session
+/// and runs [`select_views_partitioned_session`] once.
+pub fn try_select_views_partitioned(
+    store: &rdf_model::TripleStore,
+    dict: &rdf_model::Dictionary,
+    schema: Option<(&Schema, &VocabIds)>,
+    workload: &[ConjunctiveQuery],
+    options: &SelectionOptions,
+    parallel: bool,
+) -> Result<Recommendation, SelectionError> {
+    let mut prep = Preparation::new(store, dict, schema, options.reasoning)?;
+    select_views_partitioned_session(&mut prep, store, schema, workload, options, parallel)
+}
+
+/// Backward-compatible wrapper over [`try_select_views_partitioned`];
+/// panics on misconfiguration.
 pub fn select_views_partitioned(
     store: &rdf_model::TripleStore,
     dict: &rdf_model::Dictionary,
@@ -75,26 +155,8 @@ pub fn select_views_partitioned(
     options: &SelectionOptions,
     parallel: bool,
 ) -> Recommendation {
-    let groups = partition_workload(workload);
-    let run_group = |group: &Vec<usize>| -> Recommendation {
-        let sub: Vec<ConjunctiveQuery> = group.iter().map(|&i| workload[i].clone()).collect();
-        select_views(store, dict, schema, &sub, options)
-    };
-    let recs: Vec<Recommendation> = if parallel && groups.len() > 1 {
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = groups
-                .iter()
-                .map(|g| scope.spawn(move || run_group(g)))
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("group search"))
-                .collect()
-        })
-    } else {
-        groups.iter().map(run_group).collect()
-    };
-    merge_recommendations(&groups, recs)
+    try_select_views_partitioned(store, dict, schema, workload, options, parallel)
+        .unwrap_or_else(|e| panic!("select_views_partitioned: {e}"))
 }
 
 fn merge_recommendations(groups: &[Vec<usize>], recs: Vec<Recommendation>) -> Recommendation {
@@ -150,6 +212,7 @@ fn merge_recommendations(groups: &[Vec<usize>], recs: Vec<Recommendation>) -> Re
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::pipeline::select_views;
     use crate::search::SearchConfig;
     use rdf_model::{Dataset, Term};
     use rdf_query::parser::parse_query;
@@ -251,6 +314,47 @@ mod tests {
             seen.extend(rec.branch_of.iter().copied());
             assert_eq!(seen.len(), 3);
         }
+    }
+
+    #[test]
+    fn partitioned_session_shares_one_catalog() {
+        let mut db = db();
+        let queries = vec![
+            parse_query("q0(X) :- t(X, <p0>, Y)", db.dict_mut())
+                .unwrap()
+                .query,
+            parse_query("q1(X) :- t(X, <p1>, <o1>)", db.dict_mut())
+                .unwrap()
+                .query,
+        ];
+        let opts = SelectionOptions {
+            calibrate_cm: true,
+            ..Default::default()
+        };
+        let mut prep = Preparation::new(
+            db.store(),
+            db.dict(),
+            None,
+            crate::pipeline::ReasoningMode::Plain,
+        )
+        .unwrap();
+        for parallel in [false, true] {
+            let rec = select_views_partitioned_session(
+                &mut prep,
+                db.store(),
+                None,
+                &queries,
+                &opts,
+                parallel,
+            )
+            .unwrap();
+            assert_eq!(rec.branch_of.len(), 2);
+        }
+        let collected = prep.stats_collections();
+        // A third run over the same workload must not count anything new.
+        select_views_partitioned_session(&mut prep, db.store(), None, &queries, &opts, true)
+            .unwrap();
+        assert_eq!(prep.stats_collections(), collected);
     }
 
     #[test]

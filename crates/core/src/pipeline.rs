@@ -1,33 +1,46 @@
 //! End-to-end view selection, including the RDF entailment scenarios of
 //! Section 4.3.
 //!
-//! Given a store, an optional RDF Schema and a workload, [`select_views`]:
+//! The pipeline is split in two so that a long-lived advisor session can
+//! cache the expensive per-database work and share it across searches:
 //!
-//! 1. minimizes and normalizes the workload queries (Definition 2.1
-//!    assumes minimality);
-//! 2. prepares the statistics catalog for the chosen [`ReasoningMode`]:
-//!    * [`ReasoningMode::Plain`] — ignore entailment;
-//!    * [`ReasoningMode::Saturation`] — statistics from a saturated copy
-//!      of the store;
-//!    * [`ReasoningMode::PreReformulation`] — reformulate every workload
-//!      query and search over all branches (the paper's baseline, whose
-//!      search space explodes with `|Qr|`);
-//!    * [`ReasoningMode::PostReformulation`] — the paper's contribution:
-//!      per-atom reformulated statistics, search over the *original*
-//!      workload, and reformulation of the recommended views afterwards
-//!      (Theorem 4.2 makes materializing the reformulated views over the
-//!      original store equivalent to materializing the plain views over
-//!      the saturated store);
-//! 3. runs the configured search;
-//! 4. packages the recommended views, their rewritings, and the
-//!    *materialization definitions* (reformulated where applicable).
+//! 1. [`Preparation`] — built once per database/mode pair: the saturated
+//!    copy of the store (saturation mode), the store-level statistics, and
+//!    an incrementally-growing [`StatsCatalog`]. Re-running a workload
+//!    whose atom shapes are already recorded touches the store **zero**
+//!    times.
+//! 2. [`select_views_session`] — minimizes the workload, expands
+//!    reformulation branches where applicable, tops up the catalog, runs
+//!    the configured search and packages a [`Recommendation`].
+//!
+//! The one-shot entry points remain: [`try_select_views`] builds a
+//! throwaway [`Preparation`] and runs once; [`select_views`] is the
+//! original panicking signature kept for backward compatibility.
+//!
+//! Reasoning modes ([`ReasoningMode`], Section 4.3):
+//!
+//! * [`ReasoningMode::Plain`] — ignore entailment;
+//! * [`ReasoningMode::Saturation`] — statistics from a saturated copy
+//!   of the store;
+//! * [`ReasoningMode::PreReformulation`] — reformulate every workload
+//!   query and search over all branches (the paper's baseline, whose
+//!   search space explodes with `|Qr|`);
+//! * [`ReasoningMode::PostReformulation`] — the paper's contribution:
+//!   per-atom reformulated statistics, search over the *original*
+//!   workload, and reformulation of the recommended views afterwards
+//!   (Theorem 4.2 makes materializing the reformulated views over the
+//!   original store equivalent to materializing the plain views over
+//!   the saturated store).
+
+use std::sync::Arc;
 
 use rdf_model::{Dictionary, TripleStore};
 use rdf_query::{minimize, ConjunctiveQuery, UnionQuery};
 use rdf_schema::{saturated_copy, Schema, VocabIds};
-use rdf_stats::{collect_stats, collect_stats_post_reform, StatsCatalog};
+use rdf_stats::StatsCatalog;
 
 use crate::cost::{CostModel, CostWeights};
+use crate::error::SelectionError;
 use crate::search::{search, SearchConfig, SearchOutcome};
 use crate::state::{State, View};
 
@@ -45,6 +58,13 @@ pub enum ReasoningMode {
     PostReformulation,
 }
 
+impl ReasoningMode {
+    /// Whether this mode needs an RDF Schema.
+    pub fn needs_schema(self) -> bool {
+        !matches!(self, ReasoningMode::Plain)
+    }
+}
+
 /// Options for [`select_views`].
 #[derive(Debug, Clone, Default)]
 pub struct SelectionOptions {
@@ -56,6 +76,10 @@ pub struct SelectionOptions {
     pub search: SearchConfig,
     /// Entailment handling.
     pub reasoning: ReasoningMode,
+    /// Treat an exhausted state/time budget as an error
+    /// ([`SelectionError::BudgetExhausted`]) instead of returning the best
+    /// state found so far.
+    pub fail_on_exhausted_budget: bool,
 }
 
 impl SelectionOptions {
@@ -66,6 +90,134 @@ impl SelectionOptions {
             calibrate_cm: true,
             ..Default::default()
         }
+    }
+}
+
+/// The cached per-database artifacts of a view-selection session: the
+/// saturated copy of the store (when the mode needs one) and the
+/// statistics catalog, grown incrementally as workloads arrive.
+///
+/// Building one runs the expensive store-level work exactly once;
+/// [`Preparation::extend`] then only counts atom shapes the catalog has
+/// not seen yet, so repeated searches over similar workloads skip the
+/// store entirely. The counters ([`Preparation::stats_collections`],
+/// [`Preparation::saturation_runs`]) exist so callers — and tests — can
+/// verify that reuse actually happens.
+#[derive(Debug, Clone)]
+pub struct Preparation {
+    mode: ReasoningMode,
+    saturated: Option<TripleStore>,
+    // Shared copy-on-write with the `Recommendation`s handed out:
+    // `extend` only deep-clones when a recommendation still holds the
+    // previous snapshot.
+    catalog: Arc<StatsCatalog>,
+    stats_collections: usize,
+    saturation_runs: usize,
+}
+
+impl Preparation {
+    /// Runs the per-database preparation for `mode`: saturates the store
+    /// (saturation mode), derives the saturated statistics without
+    /// saturating (post-reformulation), or records plain store-level
+    /// statistics.
+    ///
+    /// Returns [`SelectionError::SchemaRequired`] when `mode` needs a
+    /// schema and none is given.
+    pub fn new(
+        store: &TripleStore,
+        dict: &Dictionary,
+        schema: Option<(&Schema, &VocabIds)>,
+        mode: ReasoningMode,
+    ) -> Result<Self, SelectionError> {
+        if mode.needs_schema() && schema.is_none() {
+            return Err(SelectionError::SchemaRequired(mode));
+        }
+        let mut saturation_runs = 0;
+        let (saturated, catalog) = match mode {
+            ReasoningMode::Plain | ReasoningMode::PreReformulation => {
+                (None, StatsCatalog::store_level(store, dict))
+            }
+            ReasoningMode::Saturation => {
+                let (schema, vocab) = schema.expect("checked above");
+                let sat = saturated_copy(store, schema, vocab);
+                saturation_runs += 1;
+                let cat = StatsCatalog::store_level(&sat, dict);
+                (Some(sat), cat)
+            }
+            ReasoningMode::PostReformulation => {
+                let (schema, vocab) = schema.expect("checked above");
+                let triples = rdf_stats::postreform::saturated_triples(store, schema, vocab);
+                let cat = StatsCatalog::store_level_from_triples(triples.into_iter(), dict);
+                (None, cat)
+            }
+        };
+        Ok(Self {
+            mode,
+            saturated,
+            catalog: Arc::new(catalog),
+            stats_collections: 0,
+            saturation_runs,
+        })
+    }
+
+    /// The reasoning mode this session was prepared for.
+    pub fn reasoning(&self) -> ReasoningMode {
+        self.mode
+    }
+
+    /// The statistics catalog accumulated so far.
+    pub fn catalog(&self) -> &StatsCatalog {
+        &self.catalog
+    }
+
+    /// The cached saturated copy (saturation mode only).
+    pub fn saturated_store(&self) -> Option<&TripleStore> {
+        self.saturated.as_ref()
+    }
+
+    /// Cumulative number of atom shapes counted against the store. Stays
+    /// flat across [`Preparation::extend`] calls whose workload shapes are
+    /// already recorded — the observable proof that a session skips
+    /// re-collection.
+    pub fn stats_collections(&self) -> usize {
+        self.stats_collections
+    }
+
+    /// How many times the store was saturated (0 or 1 for the session's
+    /// lifetime — never once per call).
+    pub fn saturation_runs(&self) -> usize {
+        self.saturation_runs
+    }
+
+    /// Tops up the catalog with the counts for `queries` that it does not
+    /// record yet; returns how many atom shapes were newly counted.
+    pub fn extend(
+        &mut self,
+        store: &TripleStore,
+        schema: Option<(&Schema, &VocabIds)>,
+        queries: &[ConjunctiveQuery],
+    ) -> Result<usize, SelectionError> {
+        // Check coverage first: the common warm-session case must not
+        // deep-clone a catalog that recommendations still share.
+        if rdf_stats::stats_cover(&self.catalog, queries) {
+            return Ok(0);
+        }
+        let catalog = Arc::make_mut(&mut self.catalog);
+        let added = match self.mode {
+            ReasoningMode::Plain | ReasoningMode::PreReformulation => {
+                rdf_stats::extend_stats(catalog, store, queries)
+            }
+            ReasoningMode::Saturation => {
+                let sat = self.saturated.as_ref().expect("prepared with saturation");
+                rdf_stats::extend_stats(catalog, sat, queries)
+            }
+            ReasoningMode::PostReformulation => {
+                let (schema, vocab) = schema.ok_or(SelectionError::SchemaRequired(self.mode))?;
+                rdf_stats::extend_stats_post_reform(catalog, store, queries, schema, vocab)
+            }
+        };
+        self.stats_collections += added;
+        Ok(added)
     }
 }
 
@@ -85,8 +237,9 @@ pub struct Recommendation {
     /// What to actually materialize for each recommended view: the view
     /// itself, or its reformulation in post-reformulation mode.
     pub materialization: Vec<UnionQuery>,
-    /// The statistics catalog used (exposed for inspection/tests).
-    pub catalog: StatsCatalog,
+    /// The statistics catalog used (exposed for inspection/tests; shared
+    /// copy-on-write with the advisor session that produced it).
+    pub catalog: Arc<StatsCatalog>,
 }
 
 impl Recommendation {
@@ -94,11 +247,139 @@ impl Recommendation {
     pub fn rcr(&self) -> f64 {
         self.outcome.rcr()
     }
+
+    /// Number of original workload queries this recommendation answers.
+    pub fn original_query_count(&self) -> usize {
+        self.branch_of.iter().copied().max().map_or(0, |m| m + 1)
+    }
+}
+
+/// Minimizes the workload and expands reformulation branches where the
+/// mode calls for it. Returns the effective workload plus the map from
+/// effective entries back to original query indexes.
+pub(crate) fn effective_workload(
+    mode: ReasoningMode,
+    schema: Option<(&Schema, &VocabIds)>,
+    workload: &[ConjunctiveQuery],
+) -> Result<(Vec<ConjunctiveQuery>, Vec<usize>), SelectionError> {
+    // Definition 2.1: queries are assumed minimal.
+    let minimized: Vec<ConjunctiveQuery> =
+        workload.iter().map(|q| minimize(q).normalized()).collect();
+    match mode {
+        ReasoningMode::PreReformulation => {
+            let (schema, vocab) = schema.ok_or(SelectionError::SchemaRequired(mode))?;
+            let mut effective = Vec::new();
+            let mut branch_of = Vec::new();
+            for (qi, q) in minimized.iter().enumerate() {
+                for branch in rdf_reform::reformulate(q, schema, vocab) {
+                    effective.push(branch.normalized());
+                    branch_of.push(qi);
+                }
+            }
+            Ok((effective, branch_of))
+        }
+        _ => {
+            let branch_of = (0..minimized.len()).collect();
+            Ok((minimized, branch_of))
+        }
+    }
+}
+
+/// Runs the search over an already-prepared session and packages the
+/// result. Read-only on the [`Preparation`], so partitioned selection can
+/// run group searches in parallel against one shared session.
+pub fn search_session(
+    prep: &Preparation,
+    schema: Option<(&Schema, &VocabIds)>,
+    effective: Vec<ConjunctiveQuery>,
+    branch_of: Vec<usize>,
+    options: &SelectionOptions,
+) -> Result<Recommendation, SelectionError> {
+    let s0 = State::initial(&effective);
+    let mut model = CostModel::new(prep.catalog(), options.weights);
+    if options.calibrate_cm {
+        model.calibrate_cm(&s0);
+    }
+    let outcome = search(s0, &model, &options.search);
+    if options.fail_on_exhausted_budget && (outcome.stats.out_of_budget || outcome.stats.timed_out)
+    {
+        return Err(SelectionError::BudgetExhausted {
+            created: outcome.stats.created,
+        });
+    }
+
+    let views: Vec<View> = outcome.best_state.views().cloned().collect();
+    let materialization: Vec<UnionQuery> = match prep.reasoning() {
+        ReasoningMode::PostReformulation => {
+            let (schema, vocab) = schema.ok_or(SelectionError::SchemaRequired(prep.reasoning()))?;
+            views
+                .iter()
+                .map(|v| rdf_reform::reformulate(&v.as_query(), schema, vocab))
+                .collect()
+        }
+        _ => views
+            .iter()
+            .map(|v| UnionQuery::singleton(v.as_query()))
+            .collect(),
+    };
+
+    Ok(Recommendation {
+        workload: effective,
+        branch_of,
+        outcome,
+        views,
+        materialization,
+        catalog: Arc::clone(&prep.catalog),
+    })
+}
+
+/// Runs view selection through a prepared session, reusing its cached
+/// saturated store and statistics catalog.
+pub fn select_views_session(
+    prep: &mut Preparation,
+    store: &TripleStore,
+    schema: Option<(&Schema, &VocabIds)>,
+    workload: &[ConjunctiveQuery],
+    options: &SelectionOptions,
+) -> Result<Recommendation, SelectionError> {
+    if workload.is_empty() {
+        return Err(SelectionError::EmptyWorkload);
+    }
+    if options.reasoning != prep.reasoning() {
+        return Err(SelectionError::ModeMismatch {
+            prepared: prep.reasoning(),
+            requested: options.reasoning,
+        });
+    }
+    let (effective, branch_of) = effective_workload(prep.reasoning(), schema, workload)?;
+    prep.extend(store, schema, &effective)?;
+    search_session(prep, schema, effective, branch_of, options)
+}
+
+/// Runs view selection over a store and workload, returning every failure
+/// as a [`SelectionError`].
+///
+/// `schema` is required for every mode except [`ReasoningMode::Plain`].
+/// For repeated selections over the same database, build a
+/// [`Preparation`] once (or use the facade crate's `Advisor`) and call
+/// [`select_views_session`] instead — this entry point redoes the
+/// per-database preparation on every call.
+pub fn try_select_views(
+    store: &TripleStore,
+    dict: &Dictionary,
+    schema: Option<(&Schema, &VocabIds)>,
+    workload: &[ConjunctiveQuery],
+    options: &SelectionOptions,
+) -> Result<Recommendation, SelectionError> {
+    let mut prep = Preparation::new(store, dict, schema, options.reasoning)?;
+    select_views_session(&mut prep, store, schema, workload, options)
 }
 
 /// Runs view selection over a store and workload.
 ///
-/// `schema` is required for every mode except [`ReasoningMode::Plain`].
+/// Backward-compatible wrapper over [`try_select_views`]; panics on
+/// misconfiguration (missing schema, empty workload). New code should use
+/// [`try_select_views`] or the `Advisor` session API.
 pub fn select_views(
     store: &TripleStore,
     dict: &Dictionary,
@@ -106,72 +387,8 @@ pub fn select_views(
     workload: &[ConjunctiveQuery],
     options: &SelectionOptions,
 ) -> Recommendation {
-    // Definition 2.1: queries are assumed minimal.
-    let minimized: Vec<ConjunctiveQuery> =
-        workload.iter().map(|q| minimize(q).normalized()).collect();
-
-    let (effective, branch_of, catalog): (Vec<ConjunctiveQuery>, Vec<usize>, StatsCatalog) =
-        match options.reasoning {
-            ReasoningMode::Plain => {
-                let cat = collect_stats(store, dict, &minimized);
-                let branch_of = (0..minimized.len()).collect();
-                (minimized, branch_of, cat)
-            }
-            ReasoningMode::Saturation => {
-                let (schema, vocab) = schema.expect("saturation needs a schema");
-                let saturated = saturated_copy(store, schema, vocab);
-                let cat = collect_stats(&saturated, dict, &minimized);
-                let branch_of = (0..minimized.len()).collect();
-                (minimized, branch_of, cat)
-            }
-            ReasoningMode::PreReformulation => {
-                let (schema, vocab) = schema.expect("pre-reformulation needs a schema");
-                let mut effective = Vec::new();
-                let mut branch_of = Vec::new();
-                for (qi, q) in minimized.iter().enumerate() {
-                    for branch in rdf_reform::reformulate(q, schema, vocab) {
-                        effective.push(branch.normalized());
-                        branch_of.push(qi);
-                    }
-                }
-                let cat = collect_stats(store, dict, &effective);
-                (effective, branch_of, cat)
-            }
-            ReasoningMode::PostReformulation => {
-                let (schema, vocab) = schema.expect("post-reformulation needs a schema");
-                let cat = collect_stats_post_reform(store, dict, &minimized, schema, vocab);
-                let branch_of = (0..minimized.len()).collect();
-                (minimized, branch_of, cat)
-            }
-        };
-
-    let s0 = State::initial(&effective);
-    let mut model = CostModel::new(&catalog, options.weights);
-    if options.calibrate_cm {
-        model.calibrate_cm(&s0);
-    }
-    let outcome = search(s0, &model, &options.search);
-
-    let views: Vec<View> = outcome.best_state.views().cloned().collect();
-    let materialization: Vec<UnionQuery> = views
-        .iter()
-        .map(|v| match options.reasoning {
-            ReasoningMode::PostReformulation => {
-                let (schema, vocab) = schema.expect("post-reformulation needs a schema");
-                rdf_reform::reformulate(&v.as_query(), schema, vocab)
-            }
-            _ => UnionQuery::singleton(v.as_query()),
-        })
-        .collect();
-
-    Recommendation {
-        workload: effective,
-        branch_of,
-        outcome,
-        views,
-        materialization,
-        catalog,
-    }
+    try_select_views(store, dict, schema, workload, options)
+        .unwrap_or_else(|e| panic!("select_views: {e}"))
 }
 
 #[cfg(test)]
@@ -312,5 +529,134 @@ mod tests {
             sat.outcome.best_state.signature(),
             post.outcome.best_state.signature()
         );
+    }
+
+    #[test]
+    fn missing_schema_is_an_error_not_a_panic() {
+        let (mut db, _schema, _vocab) = museum_db();
+        let queries = workload(&mut db);
+        for mode in [
+            ReasoningMode::Saturation,
+            ReasoningMode::PreReformulation,
+            ReasoningMode::PostReformulation,
+        ] {
+            let err = try_select_views(
+                db.store(),
+                db.dict(),
+                None,
+                &queries,
+                &SelectionOptions {
+                    reasoning: mode,
+                    ..Default::default()
+                },
+            )
+            .unwrap_err();
+            assert_eq!(err, SelectionError::SchemaRequired(mode));
+        }
+    }
+
+    #[test]
+    fn empty_workload_is_an_error() {
+        let (db, _schema, _vocab) = museum_db();
+        let err = try_select_views(
+            db.store(),
+            db.dict(),
+            None,
+            &[],
+            &SelectionOptions::default(),
+        )
+        .unwrap_err();
+        assert_eq!(err, SelectionError::EmptyWorkload);
+    }
+
+    #[test]
+    fn session_reuse_skips_stats_recollection() {
+        let (mut db, schema, vocab) = museum_db();
+        let queries = workload(&mut db);
+        let options = SelectionOptions {
+            reasoning: ReasoningMode::Saturation,
+            calibrate_cm: true,
+            ..Default::default()
+        };
+        let mut prep = Preparation::new(
+            db.store(),
+            db.dict(),
+            Some((&schema, &vocab)),
+            ReasoningMode::Saturation,
+        )
+        .unwrap();
+        assert_eq!(prep.saturation_runs(), 1);
+        let first = select_views_session(
+            &mut prep,
+            db.store(),
+            Some((&schema, &vocab)),
+            &queries,
+            &options,
+        )
+        .unwrap();
+        let collected = prep.stats_collections();
+        assert!(collected > 0, "first run must count atoms");
+        let second = select_views_session(
+            &mut prep,
+            db.store(),
+            Some((&schema, &vocab)),
+            &queries,
+            &options,
+        )
+        .unwrap();
+        assert_eq!(
+            prep.stats_collections(),
+            collected,
+            "second run over the same workload must not touch the store"
+        );
+        assert_eq!(prep.saturation_runs(), 1, "never re-saturates");
+        assert_eq!(first.outcome.best_cost, second.outcome.best_cost);
+        assert_eq!(
+            first.outcome.best_state.signature(),
+            second.outcome.best_state.signature()
+        );
+    }
+
+    #[test]
+    fn session_mode_mismatch_is_rejected() {
+        let (mut db, _schema, _vocab) = museum_db();
+        let queries = workload(&mut db);
+        let mut prep = Preparation::new(db.store(), db.dict(), None, ReasoningMode::Plain).unwrap();
+        let err = select_views_session(
+            &mut prep,
+            db.store(),
+            None,
+            &queries,
+            &SelectionOptions {
+                reasoning: ReasoningMode::Saturation,
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, SelectionError::ModeMismatch { .. }));
+    }
+
+    #[test]
+    fn strict_budget_surfaces_exhaustion() {
+        let (mut db, _schema, _vocab) = museum_db();
+        let queries = workload(&mut db);
+        let err = try_select_views(
+            db.store(),
+            db.dict(),
+            None,
+            &queries,
+            &SelectionOptions {
+                fail_on_exhausted_budget: true,
+                search: SearchConfig {
+                    max_states: Some(1),
+                    ..SearchConfig::default()
+                },
+                ..Default::default()
+            },
+        );
+        match err {
+            Err(SelectionError::BudgetExhausted { created }) => assert!(created >= 1),
+            other => panic!("expected BudgetExhausted, got {other:?}"),
+        }
     }
 }

@@ -45,7 +45,7 @@ pub use answers::Answers;
 pub use eval::{
     evaluate, evaluate_over_views, evaluate_union, evaluate_with, EvalOptions, ViewAtom,
 };
-pub use maintain::{MaintainedView, MaintenanceStats};
+pub use maintain::{DeleteDelta, MaintainedView, MaintenanceStats};
 pub use view_table::ViewTable;
 
 use rdf_model::TripleStore;

@@ -37,6 +37,34 @@ pub struct MaintenanceStats {
     pub delta_tuples: usize,
     /// Rows actually added to the view.
     pub added: usize,
+    /// Rows actually removed from the view.
+    pub removed: usize,
+}
+
+impl MaintenanceStats {
+    /// Accumulates another operation's counters.
+    pub fn merge(&mut self, other: MaintenanceStats) {
+        self.delta_tuples += other.delta_tuples;
+        self.added += other.added;
+        self.removed += other.removed;
+    }
+}
+
+/// The prepared phase of a deletion: candidate rows whose derivations may
+/// have used the deleted triple. Produced by
+/// [`MaintainedView::prepare_delete`] *before* the triple leaves the
+/// store, consumed by [`MaintainedView::commit_delete`] *after*.
+#[derive(Debug, Clone)]
+pub struct DeleteDelta {
+    triple: Triple,
+    candidates: Vec<Vec<Id>>,
+}
+
+impl DeleteDelta {
+    /// Candidate rows identified in the prepare phase.
+    pub fn candidates(&self) -> &[Vec<Id>] {
+        &self.candidates
+    }
 }
 
 impl MaintainedView {
@@ -94,11 +122,75 @@ impl MaintainedView {
     pub fn apply_batch(&mut self, store: &TripleStore, batch: &[Triple]) -> MaintenanceStats {
         let mut total = MaintenanceStats::default();
         for &t in batch {
-            let s = self.apply_insert(store, t);
-            total.delta_tuples += s.delta_tuples;
-            total.added += s.added;
+            total.merge(self.apply_insert(store, t));
         }
         total
+    }
+
+    /// Phase 1 of a deletion (delete-and-rederive): collects the rows whose
+    /// derivations may involve `triple`. Must run while `triple` is still
+    /// in `store` — once it is gone, derivations that used it in *several*
+    /// atoms at once can no longer be enumerated.
+    pub fn prepare_delete(&self, store: &TripleStore, triple: Triple) -> DeleteDelta {
+        let mut candidates: FxHashSet<Vec<Id>> = FxHashSet::default();
+        for i in 0..self.def.atoms.len() {
+            let Some(bound) = bind_atom_to_triple(&self.def, i, triple) else {
+                continue;
+            };
+            candidates.extend(evaluate(store, &bound).into_tuples());
+        }
+        DeleteDelta {
+            triple,
+            candidates: candidates.into_iter().collect(),
+        }
+    }
+
+    /// Phase 2 of a deletion: re-derives each candidate over the store
+    /// *after* `delta.triple` was removed, and drops the rows that no
+    /// longer have a derivation.
+    pub fn commit_delete(&mut self, store: &TripleStore, delta: &DeleteDelta) -> MaintenanceStats {
+        debug_assert!(
+            !store.contains(delta.triple),
+            "commit_delete runs after the triple leaves the store"
+        );
+        let mut stats = MaintenanceStats::default();
+        for row in &delta.candidates {
+            stats.delta_tuples += 1;
+            if !self.rows.contains(row.as_slice()) {
+                continue;
+            }
+            if !self.rederivable(store, row) {
+                self.rows.remove(row.as_slice());
+                stats.removed += 1;
+            }
+        }
+        stats
+    }
+
+    /// Whether `row` still has a derivation over `store`: evaluates the
+    /// definition with its head bound to the row's values.
+    fn rederivable(&self, store: &TripleStore, row: &[Id]) -> bool {
+        let mut subst: FxHashMap<Var, QTerm> = FxHashMap::default();
+        for (term, &value) in self.def.head.iter().zip(row.iter()) {
+            match term {
+                QTerm::Const(c) => {
+                    if *c != value {
+                        return false;
+                    }
+                }
+                QTerm::Var(v) => match subst.get(v) {
+                    Some(QTerm::Const(prev)) => {
+                        if *prev != value {
+                            return false;
+                        }
+                    }
+                    _ => {
+                        subst.insert(*v, QTerm::Const(value));
+                    }
+                },
+            }
+        }
+        !evaluate(store, &self.def.substitute(&subst)).is_empty()
     }
 }
 
@@ -284,6 +376,114 @@ mod tests {
         let stats = view.apply_insert(db.store(), t);
         assert_eq!(stats.added, 1);
         assert_consistent(&view, db.store());
+    }
+
+    /// The deployment-side deletion protocol: prepare while the triple is
+    /// still stored, remove it, commit against the shrunken store.
+    fn delete_triple(view: &mut MaintainedView, db: &mut Dataset, t: Triple) -> MaintenanceStats {
+        let delta = view.prepare_delete(db.store(), t);
+        assert!(db.store_mut().remove(t));
+        view.commit_delete(db.store(), &delta)
+    }
+
+    #[test]
+    fn delete_shrinks_join_views() {
+        let (mut db, q) = setup();
+        let mut view = MaintainedView::new(db.store(), q);
+        assert_eq!(view.len(), 1); // (b, acme)
+        let c = db.dict().lookup_uri("c").unwrap();
+        let works_at = db.dict().lookup_uri("worksAt").unwrap();
+        let acme = db.dict().lookup_uri("acme").unwrap();
+        let stats = delete_triple(&mut view, &mut db, [c, works_at, acme]);
+        assert_eq!(stats.removed, 1);
+        assert!(view.is_empty());
+        assert_consistent(&view, db.store());
+    }
+
+    #[test]
+    fn delete_keeps_rederivable_rows() {
+        // (b, acme) is derivable through two "knows" paths; removing one
+        // must keep the row.
+        let (mut db, q) = setup();
+        let a2 = db.dict_mut().intern_uri("a2");
+        let knows = db.dict().lookup_uri("knows").unwrap();
+        let b = db.dict().lookup_uri("b").unwrap();
+        db.store_mut().insert([a2, knows, b]);
+        let q2 = parse_query(
+            "v(W) :- t(X, <knows>, Y), t(Y, <worksAt>, W)",
+            db.dict_mut(),
+        )
+        .unwrap()
+        .query;
+        let mut view = MaintainedView::new(db.store(), q2);
+        assert_eq!(view.len(), 1); // (acme) via b←a and b←a2
+        let a = db.dict().lookup_uri("a").unwrap();
+        let stats = delete_triple(&mut view, &mut db, [a, knows, b]);
+        assert_eq!(stats.removed, 0, "still derivable via a2");
+        assert_eq!(view.len(), 1);
+        assert_consistent(&view, db.store());
+    }
+
+    #[test]
+    fn delete_of_irrelevant_triple_is_cheap() {
+        let (mut db, q) = setup();
+        let x = db.dict_mut().intern_uri("x");
+        let likes = db.dict_mut().intern_uri("likes");
+        let y = db.dict_mut().intern_uri("y");
+        db.store_mut().insert([x, likes, y]);
+        let mut view = MaintainedView::new(db.store(), q);
+        let stats = delete_triple(&mut view, &mut db, [x, likes, y]);
+        assert_eq!(stats, MaintenanceStats::default());
+        assert_consistent(&view, db.store());
+    }
+
+    #[test]
+    fn delete_with_triple_in_two_atoms() {
+        // v(X) :- t(X, p, Y), t(Y, p, X): the pair (a,b),(b,a) derives both
+        // a and b; deleting (b,p,a) must drop both rows.
+        let mut db = Dataset::new();
+        let q = parse_query("v(X) :- t(X, <p>, Y), t(Y, <p>, X)", db.dict_mut())
+            .unwrap()
+            .query;
+        let p = db.dict().lookup_uri("p").unwrap();
+        let a = db.dict_mut().intern_uri("a");
+        let b = db.dict_mut().intern_uri("b");
+        db.store_mut().insert([a, p, b]);
+        db.store_mut().insert([b, p, a]);
+        db.store_mut().insert([a, p, a]); // self-loop keeps a derivable
+        let mut view = MaintainedView::new(db.store(), q);
+        assert_eq!(view.len(), 2);
+        let stats = delete_triple(&mut view, &mut db, [b, p, a]);
+        assert_eq!(stats.removed, 1, "b gone, a survives via its self-loop");
+        assert_consistent(&view, db.store());
+    }
+
+    #[test]
+    fn interleaved_inserts_and_deletes_converge() {
+        let (mut db, q) = setup();
+        let mut view = MaintainedView::new(db.store(), q);
+        let knows = db.dict().lookup_uri("knows").unwrap();
+        let works_at = db.dict().lookup_uri("worksAt").unwrap();
+        let mut triples = Vec::new();
+        for i in 0..8 {
+            let s = db.dict_mut().intern_uri(&format!("w{i}"));
+            let o = db.dict_mut().intern_uri(&format!("w{}", (i + 1) % 8));
+            triples.push([s, knows, o]);
+            if i % 2 == 0 {
+                let site = db.dict_mut().intern_uri(&format!("site{i}"));
+                triples.push([s, works_at, site]);
+            }
+        }
+        for &t in &triples {
+            if db.store_mut().insert(t) {
+                view.apply_insert(db.store(), t);
+            }
+            assert_consistent(&view, db.store());
+        }
+        for &t in triples.iter().rev().step_by(2) {
+            delete_triple(&mut view, &mut db, t);
+            assert_consistent(&view, db.store());
+        }
     }
 
     #[test]

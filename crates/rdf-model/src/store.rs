@@ -161,6 +161,24 @@ impl TripleStore {
         iter.into_iter().filter(|&t| self.insert(t)).count()
     }
 
+    /// Removes a triple; returns `true` if it was present. Insertion order
+    /// of the remaining triples is preserved; index snapshots are
+    /// invalidated. O(n) — deletion feeds are expected to be rare relative
+    /// to scans (the paper's VMC model assumes insert-dominated updates).
+    pub fn remove(&mut self, t: Triple) -> bool {
+        if !self.seen.remove(&t) {
+            return false;
+        }
+        let pos = self
+            .triples
+            .iter()
+            .position(|&x| x == t)
+            .expect("seen-set and triple list in sync");
+        self.triples.remove(pos);
+        self.version += 1;
+        true
+    }
+
     /// Membership test (hash lookup, no index needed).
     pub fn contains(&self, t: Triple) -> bool {
         self.seen.contains(&t)
@@ -369,6 +387,34 @@ mod tests {
             assert_eq!(got, expect, "pattern {pat:?}");
             assert_eq!(st.match_count(&pat), expect.len(), "count {pat:?}");
         }
+    }
+
+    #[test]
+    fn remove_deletes_and_invalidates() {
+        let mut st = store_with(5);
+        let t = [Id(1), Id(100), Id(7 % 5)];
+        let before = st.match_count(&StorePattern::with_p(Id(100)));
+        assert!(st.contains(t));
+        assert!(st.remove(t));
+        assert!(!st.remove(t), "second removal is a no-op");
+        assert!(!st.contains(t));
+        assert_eq!(st.match_count(&StorePattern::with_p(Id(100))), before - 1);
+        // Re-insertion works and is visible to the indexes again.
+        assert!(st.insert(t));
+        assert_eq!(st.match_count(&StorePattern::with_p(Id(100))), before);
+    }
+
+    #[test]
+    fn remove_preserves_insertion_order() {
+        let mut st = TripleStore::new();
+        st.insert([Id(1), Id(2), Id(3)]);
+        st.insert([Id(4), Id(5), Id(6)]);
+        st.insert([Id(7), Id(8), Id(9)]);
+        st.remove([Id(4), Id(5), Id(6)]);
+        assert_eq!(
+            st.triples(),
+            &[[Id(1), Id(2), Id(3)], [Id(7), Id(8), Id(9)]]
+        );
     }
 
     #[test]

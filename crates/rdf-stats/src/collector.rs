@@ -67,17 +67,47 @@ pub fn collect_stats(
     queries: &[ConjunctiveQuery],
 ) -> StatsCatalog {
     let mut cat = StatsCatalog::store_level(store, dict);
+    extend_stats(&mut cat, store, queries);
+    cat
+}
+
+/// Whether `cat` already records every atom shape (including relaxations)
+/// that `queries` can need — the condition under which [`extend_stats`] /
+/// [`crate::extend_stats_post_reform`] would be a no-op. Kept here, next
+/// to the insertion loops, so the enumeration cannot drift from them.
+pub fn stats_cover(cat: &StatsCatalog, queries: &[ConjunctiveQuery]) -> bool {
+    queries.iter().all(|q| {
+        q.atoms.iter().all(|atom| {
+            relaxations_of(atom)
+                .iter()
+                .all(|r| cat.key_count(&AtomKey::of(r)).is_some())
+        })
+    })
+}
+
+/// Adds the counts for `queries` (atoms + relaxations) that `cat` does not
+/// already record, counting against `store`. Returns how many new atom
+/// shapes were actually counted — zero means the catalog already covered
+/// the workload and no store work happened, which is what lets a long-lived
+/// advisor session skip re-collection across `recommend` calls.
+pub fn extend_stats(
+    cat: &mut StatsCatalog,
+    store: &TripleStore,
+    queries: &[ConjunctiveQuery],
+) -> usize {
+    let mut added = 0;
     for q in queries {
         for atom in &q.atoms {
             for relaxed in relaxations_of(atom) {
                 let key = AtomKey::of(&relaxed);
                 if cat.key_count(&key).is_none() {
                     cat.insert_count(key, count_atom(store, &relaxed));
+                    added += 1;
                 }
             }
         }
     }
-    cat
+    added
 }
 
 #[cfg(test)]

@@ -29,9 +29,11 @@
 mod catalog;
 mod collector;
 mod estimator;
-mod postreform;
+pub mod postreform;
 
 pub use catalog::{AtomKey, StatsCatalog};
-pub use collector::{collect_stats, count_atom, relaxations_of};
+pub use collector::{collect_stats, count_atom, extend_stats, relaxations_of, stats_cover};
 pub use estimator::{estimate_conjunction, CardinalityEstimator, RelAtom, RelStats};
-pub use postreform::{collect_stats_post_reform, reformulated_atom_count};
+pub use postreform::{
+    collect_stats_post_reform, extend_stats_post_reform, reformulated_atom_count,
+};

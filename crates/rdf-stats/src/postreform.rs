@@ -109,6 +109,21 @@ pub fn collect_stats_post_reform(
 ) -> StatsCatalog {
     let saturated = saturated_triples(store, schema, vocab);
     let mut cat = StatsCatalog::store_level_from_triples(saturated.iter().copied(), dict);
+    extend_stats_post_reform(&mut cat, store, queries, schema, vocab);
+    cat
+}
+
+/// Adds the reformulated counts for `queries` that `cat` does not already
+/// record. Returns how many new atom shapes were counted (see
+/// [`crate::extend_stats`] for the session-reuse contract).
+pub fn extend_stats_post_reform(
+    cat: &mut StatsCatalog,
+    store: &TripleStore,
+    queries: &[ConjunctiveQuery],
+    schema: &Schema,
+    vocab: &VocabIds,
+) -> usize {
+    let mut added = 0;
     for q in queries {
         for atom in &q.atoms {
             for relaxed in relaxations_of(atom) {
@@ -116,11 +131,12 @@ pub fn collect_stats_post_reform(
                 if cat.key_count(&key).is_none() {
                     let n = reformulated_atom_count(store, &relaxed, schema, vocab);
                     cat.insert_count(key, n);
+                    added += 1;
                 }
             }
         }
     }
-    cat
+    added
 }
 
 #[cfg(test)]

@@ -3,14 +3,17 @@
 //! lose answers (Section 4 of the paper).
 //!
 //! The example contrasts the three entailment strategies: saturation,
-//! pre-reformulation and the paper's post-reformulation, and checks that
-//! all three return complete answers.
+//! pre-reformulation and the paper's post-reformulation — one advisor
+//! session per mode — and checks that all three deployments return
+//! complete answers. (Deployment picks the right materialization store
+//! automatically: the session's cached saturated copy under saturation,
+//! the original store under the reformulation modes.)
 //!
 //! Run with: `cargo run --example museum_portal`
 
 use rdfviews::prelude::*;
 
-fn main() {
+fn main() -> Result<(), SelectionError> {
     // -- 1. Museum data with an RDFS. -------------------------------------
     let mut db = Dataset::new();
     let vocab = VocabIds::intern(db.dict_mut());
@@ -62,40 +65,37 @@ fn main() {
     let truth = evaluate(&saturated, &workload[0]);
     println!("complete answers: {}", truth.len());
 
+    // A misconfigured session fails fast instead of panicking mid-search.
+    let err = Advisor::builder(&db)
+        .reasoning(ReasoningMode::Saturation)
+        .build()
+        .unwrap_err();
+    println!("(without a schema: {err})");
+
     // -- 3. Compare the three entailment strategies. ----------------------
     for mode in [
         ReasoningMode::Saturation,
         ReasoningMode::PreReformulation,
         ReasoningMode::PostReformulation,
     ] {
-        let rec = select_views(
-            db.store(),
-            db.dict(),
-            Some((&schema, &vocab)),
-            &workload,
-            &SelectionOptions {
-                reasoning: mode,
-                calibrate_cm: true,
-                ..Default::default()
-            },
-        );
-        // Saturation materializes over the saturated store; the
-        // reformulation modes stay on the original one.
-        let mv = match mode {
-            ReasoningMode::Saturation => {
-                rdfviews::exec::materialize_recommendation(&saturated, &rec)
-            }
-            _ => rdfviews::exec::materialize_recommendation(db.store(), &rec),
-        };
-        let answers = answer_original_query(&rec, &mv, 0);
+        let mut advisor = Advisor::builder(&db)
+            .schema(&schema, &vocab)
+            .reasoning(mode)
+            .build()?;
+        let rec = advisor.recommend(&workload)?;
+        let view_count = rec.views.len();
+        let rcr = rec.rcr();
+        let mut deployment = advisor.deploy(rec);
+        let answers = deployment.answer(0)?;
         println!(
             "{mode:?}: {} views, {} rows materialized, rcr {:.2}, answers {}",
-            rec.views.len(),
-            mv.total_rows(),
-            rec.rcr(),
+            view_count,
+            deployment.total_rows(),
+            rcr,
             answers.len()
         );
         assert_eq!(answers, truth, "{mode:?} must return the complete answers");
     }
     println!("\nall three strategies return the complete answers ✓");
+    Ok(())
 }

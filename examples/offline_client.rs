@@ -1,5 +1,5 @@
 //! Three-tier / offline deployment (the paper's Section 1 motivation):
-//! the client receives only the materialized views and answers its whole
+//! the client receives only the deployed views and answers its whole
 //! workload without ever connecting to the database server.
 //!
 //! Uses a Barton-like dataset and a satisfiable workload, then measures
@@ -12,7 +12,7 @@ use std::time::Instant;
 
 use rdfviews::prelude::*;
 
-fn main() {
+fn main() -> Result<(), SelectionError> {
     // -- 1. The server side: data + workload. ----------------------------
     let data = generate_barton(&BartonSpec::default().with_size(3_000, 30_000));
     println!(
@@ -29,23 +29,14 @@ fn main() {
         );
     }
 
-    // -- 2. Select and materialize the views. ----------------------------
+    // -- 2. The advisor session: select and deploy the views. ------------
     let started = Instant::now();
-    let rec = select_views(
-        data.db.store(),
-        data.db.dict(),
-        Some((&data.schema, &data.vocab)),
-        &workload,
-        &SelectionOptions {
-            reasoning: ReasoningMode::PostReformulation,
-            calibrate_cm: true,
-            search: SearchConfig {
-                time_budget: Some(std::time::Duration::from_secs(5)),
-                ..SearchConfig::default()
-            },
-            ..Default::default()
-        },
-    );
+    let mut advisor = Advisor::builder(&data.db)
+        .schema(&data.schema, &data.vocab)
+        .reasoning(ReasoningMode::PostReformulation)
+        .budget(std::time::Duration::from_secs(5))
+        .build()?;
+    let rec = advisor.recommend(&workload)?;
     println!(
         "\nsearch: {:.2}s, rcr {:.3}, {} views recommended",
         started.elapsed().as_secs_f64(),
@@ -54,14 +45,14 @@ fn main() {
     );
 
     let started = Instant::now();
-    let mv = materialize_recommendation(data.db.store(), &rec);
+    let mut client = advisor.deploy(rec);
     println!(
-        "materialized {} views / {} rows in {:.2}s — this is ALL the client needs",
-        mv.len(),
-        mv.total_rows(),
+        "deployed {} views / {} rows in {:.2}s — this is ALL the client needs",
+        client.view_count(),
+        client.total_rows(),
         started.elapsed().as_secs_f64()
     );
-    let view_cells = mv.total_cells();
+    let view_cells = client.total_cells();
     let base_cells = data.db.len() * 3;
     println!(
         "client footprint: {view_cells} cells vs {base_cells} cells in the full triple table \
@@ -73,12 +64,12 @@ fn main() {
     // Ground truth comes from the saturated database (complete answers).
     let saturated = rdfviews::schema::saturated_copy(data.db.store(), &data.schema, &data.vocab);
     println!("\nper-query latency (views vs saturated triple table):");
-    for (i, q) in workload.iter().enumerate() {
+    for i in 0..workload.len() {
         let t0 = Instant::now();
-        let offline = answer_original_query(&rec, &mv, i);
+        let offline = client.answer(i)?;
         let t_views = t0.elapsed();
         let t0 = Instant::now();
-        let direct = evaluate(&saturated, &rec.workload[i]);
+        let direct = evaluate(&saturated, &client.recommendation().workload[i]);
         let t_direct = t0.elapsed();
         assert_eq!(offline, direct, "offline answers must be complete");
         println!(
@@ -87,7 +78,7 @@ fn main() {
             t_views,
             t_direct
         );
-        let _ = q;
     }
     println!("\nall workload queries answered offline, completely ✓");
+    Ok(())
 }

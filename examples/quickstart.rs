@@ -1,11 +1,11 @@
-//! Quickstart: recommend views for a small painter database and answer the
-//! workload from the views alone.
+//! Quickstart: open an advisor session, recommend views for a small
+//! painter database and answer the workload from the deployed views alone.
 //!
 //! Run with: `cargo run --example quickstart`
 
 use rdfviews::prelude::*;
 
-fn main() {
+fn main() -> Result<(), SelectionError> {
     // -- 1. Build a small RDF database (the paper's running example). ----
     let mut db = Dataset::new();
     let mut add = |s: &str, p: &str, o: &str| {
@@ -37,14 +37,10 @@ fn main() {
     .expect("valid query");
     let workload = vec![q1.query];
 
-    // -- 3. Select views (DFS-AVF-STV, the paper's best configuration). --
-    let rec = select_views(
-        db.store(),
-        db.dict(),
-        None,
-        &workload,
-        &SelectionOptions::recommended(),
-    );
+    // -- 3. Open a session and select views (DFS-AVF-STV, the paper's
+    //       best configuration, is the builder default). -----------------
+    let mut advisor = Advisor::builder(&db).build()?;
+    let rec = advisor.recommend(&workload)?;
 
     println!("== search ==");
     println!("initial state cost : {:.1}", rec.outcome.initial_cost);
@@ -61,12 +57,23 @@ fn main() {
         rdfviews::core::display::state_to_string(&rec.outcome.best_state, db.dict())
     );
 
-    // -- 4. Materialize and answer the workload offline. -----------------
-    let mv = materialize_recommendation(db.store(), &rec);
-    println!("\n== materialization ==");
-    println!("{} views, {} total rows", mv.len(), mv.total_rows());
+    // A second recommendation over the same workload reuses every cached
+    // statistic — the session counter stays flat.
+    let collected = advisor.stats_collections();
+    advisor.recommend(&workload)?;
+    assert_eq!(advisor.stats_collections(), collected);
+    println!("\n(second recommend() reused all {collected} cached atom counts)");
 
-    let answers = answer_original_query(&rec, &mv, 0);
+    // -- 4. Deploy: materialize and answer the workload offline. ---------
+    let mut deployment = advisor.deploy(rec);
+    println!("\n== deployment ==");
+    println!(
+        "{} views, {} total rows",
+        deployment.view_count(),
+        deployment.total_rows()
+    );
+
+    let answers = deployment.answer(0)?;
     println!("\n== q1 answers (from views only) ==");
     for t in answers.tuples() {
         let x = db.dict().term(t[0]);
@@ -75,7 +82,8 @@ fn main() {
     }
 
     // Sanity: identical to evaluating q1 directly on the triple table.
-    let direct = evaluate(db.store(), &rec.workload[0]);
+    let direct = evaluate(db.store(), &deployment.recommendation().workload[0]);
     assert_eq!(answers, direct);
     println!("\n(matches direct evaluation on the triple table)");
+    Ok(())
 }

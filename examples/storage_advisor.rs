@@ -3,13 +3,15 @@
 //! The paper's cost model exposes three knobs (Section 3.3): "if storage
 //! space is cheap cs can be set very low, if the triple table is rarely
 //! updated cm can be reduced etc." This example sweeps those regimes on
-//! one workload and reports how the recommended design changes.
+//! one workload through a **single advisor session** — the statistics
+//! catalog is weight-independent, so after the first regime every search
+//! runs without touching the store again.
 //!
 //! Run with: `cargo run --release --example storage_advisor`
 
 use rdfviews::prelude::*;
 
-fn main() {
+fn main() -> Result<(), SelectionError> {
     let data = generate_barton(&BartonSpec::default().with_size(2_000, 20_000));
     let workload = generate_satisfiable(&data.db, &SatisfiableSpec::new(4, 5, Shape::Star));
 
@@ -39,27 +41,21 @@ fn main() {
         ),
     ];
 
+    // One session for the whole sweep. Keep cm as configured: this sweep
+    // explores raw weights.
+    let mut advisor = Advisor::builder(&data.db)
+        .calibrate_cm(false)
+        .budget(std::time::Duration::from_secs(3))
+        .build()?;
+
     println!(
         "{:<32} {:>6} {:>12} {:>12} {:>8}",
         "regime", "views", "est. bytes", "avg atoms", "rcr"
     );
+    let mut collected_after_first = None;
     for (name, weights) in regimes {
-        let rec = select_views(
-            data.db.store(),
-            data.db.dict(),
-            Some((&data.schema, &data.vocab)),
-            &workload,
-            &SelectionOptions {
-                weights,
-                // Keep cm as configured: this sweep explores raw weights.
-                calibrate_cm: false,
-                search: SearchConfig {
-                    time_budget: Some(std::time::Duration::from_secs(3)),
-                    ..SearchConfig::default()
-                },
-                reasoning: ReasoningMode::Plain,
-            },
-        );
+        advisor.set_weights(weights);
+        let rec = advisor.recommend(&workload)?;
         let cat = &rec.catalog;
         let model = CostModel::new(cat, weights);
         let b = model.breakdown(&rec.outcome.best_state);
@@ -73,10 +69,24 @@ fn main() {
             avg_atoms,
             rec.rcr()
         );
+        match collected_after_first {
+            None => collected_after_first = Some(advisor.stats_collections()),
+            Some(n) => assert_eq!(
+                advisor.stats_collections(),
+                n,
+                "later regimes must reuse the session's statistics"
+            ),
+        }
     }
+    println!(
+        "\n(all {} atom counts collected once, reused across {} regimes)",
+        collected_after_first.unwrap_or(0),
+        regimes.len()
+    );
 
     println!(
         "\nreading: cheap storage favors fewer, fatter views (less joining at query time); \
          expensive storage and heavy updates favor smaller, more factorized views."
     );
+    Ok(())
 }

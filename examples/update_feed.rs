@@ -2,18 +2,17 @@
 //!
 //! The paper's cost model charges every view `f^len(v)` maintenance cost
 //! per update (Section 3.3). This example closes the loop: it selects
-//! views, materializes them as *maintainable* views, streams insertions
-//! into the database, applies incremental deltas — and shows that the
-//! maintained views keep answering the workload exactly.
+//! views, deploys them, streams insertions *and deletions* into the
+//! deployment, which applies incremental deltas — and shows that the
+//! deployed views keep answering the workload exactly.
 //!
 //! Run with: `cargo run --release --example update_feed`
 
-use rdfviews::engine::maintain::MaintainedView;
-use rdfviews::engine::{evaluate, evaluate_over_views, ViewAtom};
+use rdfviews::engine::evaluate;
 use rdfviews::model::Triple;
 use rdfviews::prelude::*;
 
-fn main() {
+fn main() -> Result<(), SelectionError> {
     // -- 1. Base data + workload + view selection. ------------------------
     let mut db = Dataset::new();
     let spec = rdfviews::workload::WorkloadSpec::new(3, 4, Shape::Chain, Commonality::High);
@@ -22,30 +21,21 @@ fn main() {
     rdfviews::workload::generate_matching_data(&spec, &mut dict, &mut store, 3_000);
     let mut db = Dataset::from_parts(dict, store);
 
-    let rec = select_views(
-        db.store(),
-        db.dict(),
-        None,
-        &workload,
-        &SelectionOptions::recommended(),
-    );
+    let mut advisor = Advisor::builder(&db).build()?;
+    let rec = advisor.recommend(&workload)?;
     println!("selected {} views (rcr {:.3})", rec.views.len(), rec.rcr());
 
-    // -- 2. Materialize as maintainable views. ----------------------------
-    let mut maintained: Vec<(rdfviews::core::ViewId, MaintainedView)> = rec
-        .views
-        .iter()
-        .map(|v| (v.id, MaintainedView::new(db.store(), v.as_query())))
-        .collect();
-    let initial_rows: usize = maintained.iter().map(|(_, v)| v.len()).sum();
+    // -- 2. Deploy: the views materialize as maintainable instances. ------
+    let mut deployment = advisor.deploy(rec);
+    let initial_rows = deployment.total_rows();
     println!(
-        "materialized {initial_rows} rows across {} views",
-        maintained.len()
+        "deployed {initial_rows} rows across {} views",
+        deployment.view_count()
     );
 
-    // -- 3. Stream updates and maintain incrementally. --------------------
+    // -- 3. Stream insertions and maintain incrementally. -----------------
     let feed: Vec<Triple> = {
-        let mut feed_store = rdf_model::TripleStore::new();
+        let mut feed_store = rdfviews::model::TripleStore::new();
         let mut feed_spec = spec.clone();
         feed_spec.seed = 0xfeed;
         let mut dict = db.dict().clone();
@@ -55,36 +45,28 @@ fn main() {
             .triples()
             .iter()
             .copied()
-            .filter(|t| !db.store().contains(*t))
+            .filter(|t| !deployment.store().contains(*t))
             .collect()
     };
     println!("applying {} insertions …", feed.len());
-    let mut delta_total = 0usize;
-    for &t in &feed {
-        db.store_mut().insert(t);
-        for (_, view) in &mut maintained {
-            delta_total += view.apply_insert(db.store(), t).added;
-        }
-    }
-    println!("incremental maintenance added {delta_total} view rows");
+    let stats = deployment.insert_batch(&feed);
+    println!(
+        "incremental maintenance added {} view rows ({} delta tuples computed)",
+        stats.added, stats.delta_tuples
+    );
 
-    // -- 4. The maintained views still answer the workload exactly. -------
-    let tables: Vec<(rdfviews::core::ViewId, rdfviews::engine::ViewTable)> = maintained
-        .iter()
-        .map(|(id, v)| (*id, v.to_table()))
-        .collect();
-    for (qi, _q) in workload.iter().enumerate() {
-        let r = &rec.outcome.best_state.rewritings()[qi];
-        let atoms: Vec<ViewAtom<'_>> = r
-            .atoms
-            .iter()
-            .map(|a| ViewAtom {
-                table: &tables.iter().find(|(id, _)| *id == a.view).unwrap().1,
-                args: a.args.clone(),
-            })
-            .collect();
-        let from_views = evaluate_over_views(&atoms, &r.head);
-        let direct = evaluate(db.store(), &rec.workload[qi]);
+    // -- 4. Retract part of the feed again (delete-and-rederive). ---------
+    let retractions: Vec<Triple> = feed.iter().copied().step_by(3).collect();
+    let removed_rows = deployment.delete_batch(&retractions).removed;
+    println!("retracted every third insertion — {removed_rows} view rows removed");
+
+    // -- 5. The deployment still answers the workload exactly. ------------
+    for qi in 0..workload.len() {
+        let from_views = deployment.answer(qi)?;
+        let direct = evaluate(
+            deployment.store(),
+            &deployment.recommendation().workload[qi],
+        );
         assert_eq!(from_views, direct, "query {qi} diverged after maintenance");
         println!(
             "q{qi}: {} answers ✓ (views ≡ base after updates)",
@@ -92,4 +74,5 @@ fn main() {
         );
     }
     println!("\nall views stayed consistent through the update feed ✓");
+    Ok(())
 }

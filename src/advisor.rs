@@ -1,0 +1,409 @@
+//! The advisor session API — the crate's primary entry point.
+//!
+//! RDFViewS (Goasdoué et al., 2010) wraps the view-selection engine as a
+//! long-lived tuning advisor; this module is that deployment story as an
+//! API. An [`Advisor`] is built once per database via [`Advisor::builder`]
+//! and prepares the expensive per-database artifacts — the saturated copy
+//! of the store and the statistics catalog — exactly once. Every
+//! [`Advisor::recommend`] call after that reuses them, only counting atom
+//! shapes the catalog has never seen.
+//!
+//! ```
+//! use rdfviews::prelude::*;
+//! # use rdfviews::model::Term;
+//!
+//! let mut db = Dataset::new();
+//! # for i in 0..20 {
+//! #   db.insert_terms(Term::uri(format!("s{i}")), Term::uri("p"), Term::uri(format!("o{}", i % 4)));
+//! #   db.insert_terms(Term::uri(format!("s{i}")), Term::uri("q"), Term::uri("c"));
+//! # }
+//! let q = parse_query("q(X) :- t(X, <p>, <o1>), t(X, <q>, <c>)", db.dict_mut()).unwrap();
+//!
+//! let mut advisor = Advisor::builder(&db).build().unwrap();
+//! let rec = advisor.recommend(&[q.query]).unwrap();
+//! let mut deployment = advisor.deploy(rec);
+//! let answers = deployment.answer(0).unwrap();
+//! assert_eq!(answers, rdfviews::engine::evaluate(db.store(), &deployment.recommendation().workload[0]));
+//! ```
+
+use std::time::Duration;
+
+use rdf_model::{Dataset, Dictionary};
+use rdf_query::parser::parse_workload;
+use rdf_query::ConjunctiveQuery;
+use rdf_schema::{Schema, VocabIds};
+use rdfviews_core::{
+    select_views_partitioned_session, select_views_session, CostWeights, Preparation,
+    ReasoningMode, Recommendation, SelectionError, SelectionOptions, StrategyKind,
+};
+
+use crate::exec::Deployment;
+
+/// Configures and validates an [`Advisor`]. Created by
+/// [`Advisor::builder`]; every setter is chainable and [`build`]
+/// (`AdvisorBuilder::build`) performs the one-time per-database
+/// preparation.
+///
+/// [`build`]: AdvisorBuilder::build
+#[derive(Debug, Clone)]
+pub struct AdvisorBuilder<'a> {
+    db: &'a Dataset,
+    schema: Option<(&'a Schema, &'a VocabIds)>,
+    options: SelectionOptions,
+}
+
+impl<'a> AdvisorBuilder<'a> {
+    /// Attaches the RDF Schema (required for every reasoning mode except
+    /// [`ReasoningMode::Plain`]).
+    pub fn schema(mut self, schema: &'a Schema, vocab: &'a VocabIds) -> Self {
+        self.schema = Some((schema, vocab));
+        self
+    }
+
+    /// Sets how implicit triples participate (default:
+    /// [`ReasoningMode::Plain`]).
+    pub fn reasoning(mut self, mode: ReasoningMode) -> Self {
+        self.options.reasoning = mode;
+        self
+    }
+
+    /// Sets the cost weights (`cs`, `cr`, `cm`, `c1`, `c2`, `f`).
+    pub fn weights(mut self, weights: CostWeights) -> Self {
+        self.options.weights = weights;
+        self
+    }
+
+    /// Auto-scales `cm` against the initial state (default: on, as the
+    /// paper recommends).
+    pub fn calibrate_cm(mut self, on: bool) -> Self {
+        self.options.calibrate_cm = on;
+        self
+    }
+
+    /// Sets the wall-clock budget per search.
+    pub fn budget(mut self, budget: Duration) -> Self {
+        self.options.search.time_budget = Some(budget);
+        self
+    }
+
+    /// Caps the number of created states per search.
+    pub fn max_states(mut self, n: usize) -> Self {
+        self.options.search.max_states = Some(n);
+        self
+    }
+
+    /// Sets the search strategy (default: DFS, the paper's best scaling
+    /// strategy).
+    pub fn strategy(mut self, strategy: StrategyKind) -> Self {
+        self.options.search.strategy = strategy;
+        self
+    }
+
+    /// Makes an exhausted search budget an error
+    /// ([`SelectionError::BudgetExhausted`]) instead of a best-effort
+    /// result (default: best-effort).
+    pub fn strict_budget(mut self, on: bool) -> Self {
+        self.options.fail_on_exhausted_budget = on;
+        self
+    }
+
+    /// Replaces the whole option set (escape hatch for settings without a
+    /// dedicated builder method).
+    pub fn options(mut self, options: SelectionOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Validates the configuration and runs the one-time per-database
+    /// preparation: saturating the store (saturation mode) or deriving the
+    /// saturated statistics (post-reformulation), plus the store-level
+    /// catalog.
+    ///
+    /// Returns [`SelectionError::SchemaRequired`] when the reasoning mode
+    /// needs a schema and none was attached.
+    pub fn build(self) -> Result<Advisor<'a>, SelectionError> {
+        let prep = Preparation::new(
+            self.db.store(),
+            self.db.dict(),
+            self.schema,
+            self.options.reasoning,
+        )?;
+        Ok(Advisor {
+            db: self.db,
+            schema: self.schema,
+            options: self.options,
+            prep,
+            workload: Vec::new(),
+        })
+    }
+}
+
+/// An incremental change to an [`Advisor`]'s session workload, applied by
+/// [`Advisor::recommend_incremental`].
+#[derive(Debug, Clone)]
+pub enum WorkloadChange {
+    /// Appends a query to the session workload.
+    Add(ConjunctiveQuery),
+    /// Removes the query at this index from the session workload.
+    Remove(usize),
+}
+
+/// A long-lived view-selection session over one database.
+///
+/// Building the advisor prepares the per-database artifacts once; every
+/// recommendation after that reuses the cached saturated store and
+/// statistics catalog instead of recomputing them per invocation (the
+/// counters [`Advisor::stats_collections`] / [`Advisor::saturation_runs`]
+/// make the reuse observable). All fallible paths return
+/// [`SelectionError`] — nothing in the session API panics on
+/// misconfiguration.
+#[derive(Debug, Clone)]
+pub struct Advisor<'a> {
+    db: &'a Dataset,
+    schema: Option<(&'a Schema, &'a VocabIds)>,
+    options: SelectionOptions,
+    prep: Preparation,
+    workload: Vec<ConjunctiveQuery>,
+}
+
+impl<'a> Advisor<'a> {
+    /// Starts configuring an advisor for `db`.
+    pub fn builder(db: &'a Dataset) -> AdvisorBuilder<'a> {
+        AdvisorBuilder {
+            db,
+            schema: None,
+            options: SelectionOptions::recommended(),
+        }
+    }
+
+    /// The database this session advises.
+    pub fn dataset(&self) -> &'a Dataset {
+        self.db
+    }
+
+    /// The reasoning mode the session was prepared for.
+    pub fn reasoning(&self) -> ReasoningMode {
+        self.prep.reasoning()
+    }
+
+    /// The effective selection options.
+    pub fn options(&self) -> &SelectionOptions {
+        &self.options
+    }
+
+    /// Changes the cost weights for subsequent recommendations. Weights
+    /// only affect the cost model, never the cached statistics, so a
+    /// weight sweep reuses the whole preparation.
+    pub fn set_weights(&mut self, weights: CostWeights) {
+        self.options.weights = weights;
+    }
+
+    /// Changes the `cm` auto-calibration for subsequent recommendations.
+    pub fn set_calibrate_cm(&mut self, on: bool) {
+        self.options.calibrate_cm = on;
+    }
+
+    /// Changes the search strategy for subsequent recommendations.
+    pub fn set_strategy(&mut self, strategy: StrategyKind) {
+        self.options.search.strategy = strategy;
+    }
+
+    /// Cumulative number of atom shapes counted against the store. Flat
+    /// across calls whose workloads are already covered — the observable
+    /// proof that the session skips statistics re-collection.
+    pub fn stats_collections(&self) -> usize {
+        self.prep.stats_collections()
+    }
+
+    /// How many times the store was saturated (at most once, at build
+    /// time).
+    pub fn saturation_runs(&self) -> usize {
+        self.prep.saturation_runs()
+    }
+
+    /// Recommends views for `workload`, reusing the session's cached
+    /// artifacts.
+    pub fn recommend(
+        &mut self,
+        workload: &[ConjunctiveQuery],
+    ) -> Result<Recommendation, SelectionError> {
+        select_views_session(
+            &mut self.prep,
+            self.db.store(),
+            self.schema,
+            workload,
+            &self.options,
+        )
+    }
+
+    /// Recommends views per sharing group of `workload` (Section 8's
+    /// parallelization direction), optionally on threads, still through
+    /// the session's shared catalog.
+    pub fn recommend_partitioned(
+        &mut self,
+        workload: &[ConjunctiveQuery],
+        parallel: bool,
+    ) -> Result<Recommendation, SelectionError> {
+        select_views_partitioned_session(
+            &mut self.prep,
+            self.db.store(),
+            self.schema,
+            workload,
+            &self.options,
+            parallel,
+        )
+    }
+
+    /// The session workload maintained by
+    /// [`Advisor::recommend_incremental`].
+    pub fn workload(&self) -> &[ConjunctiveQuery] {
+        &self.workload
+    }
+
+    /// Applies one workload change and recommends for the updated session
+    /// workload. The statistics of unchanged queries are already in the
+    /// catalog, so only a genuinely new query costs collection work.
+    ///
+    /// The change only commits when the recommendation succeeds: after an
+    /// `Err` the session workload is exactly what it was before, so a
+    /// retry does not duplicate the added query.
+    pub fn recommend_incremental(
+        &mut self,
+        change: WorkloadChange,
+    ) -> Result<Recommendation, SelectionError> {
+        let mut workload = self.workload.clone();
+        match change {
+            WorkloadChange::Add(q) => workload.push(q),
+            WorkloadChange::Remove(idx) => {
+                if idx >= workload.len() {
+                    return Err(SelectionError::UnknownQuery {
+                        index: idx,
+                        len: workload.len(),
+                    });
+                }
+                workload.remove(idx);
+            }
+        }
+        let rec = self.recommend(&workload)?;
+        self.workload = workload;
+        Ok(rec)
+    }
+
+    /// Bundles a recommendation with its materialized views and a
+    /// maintenance base copy of the store — see [`Deployment`].
+    ///
+    /// In [`ReasoningMode::Saturation`] the views materialize over the
+    /// session's cached saturated copy and the deployment carries the
+    /// schema, keeping `insert`/`delete` entailment-aware; the
+    /// reformulation modes materialize over the original store, which
+    /// Theorem 4.2 makes equivalent.
+    pub fn deploy(&self, rec: Recommendation) -> Deployment {
+        match (self.prep.saturated_store(), self.schema) {
+            (Some(saturated), Some((schema, vocab))) => {
+                Deployment::with_entailment(self.db.store(), saturated, rec, schema.clone(), *vocab)
+            }
+            _ => Deployment::new(self.db.store(), rec),
+        }
+    }
+}
+
+/// Parses a newline-separated workload (the CLI/file format: one
+/// `q(X) :- t(X, <p>, Y)` query per line) into conjunctive queries,
+/// reporting failures as [`SelectionError::Parse`].
+pub fn parse_workload_queries(
+    text: &str,
+    dict: &mut Dictionary,
+) -> Result<Vec<ConjunctiveQuery>, SelectionError> {
+    let parsed = parse_workload(text, dict)?;
+    Ok(parsed.into_iter().map(|p| p.query).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdf_model::Term;
+    use rdf_query::parser::parse_query;
+
+    fn db() -> Dataset {
+        let mut db = Dataset::new();
+        for i in 0..24 {
+            let s = format!("s{i}");
+            db.insert_terms(
+                Term::uri(s.as_str()),
+                Term::uri("p"),
+                Term::uri(format!("o{}", i % 3)),
+            );
+            db.insert_terms(Term::uri(s.as_str()), Term::uri("q"), Term::uri("c"));
+        }
+        db
+    }
+
+    #[test]
+    fn builder_rejects_missing_schema() {
+        let db = db();
+        let err = Advisor::builder(&db)
+            .reasoning(ReasoningMode::Saturation)
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SelectionError::SchemaRequired(ReasoningMode::Saturation)
+        );
+    }
+
+    #[test]
+    fn empty_workload_is_rejected() {
+        let db = db();
+        let mut advisor = Advisor::builder(&db).build().unwrap();
+        assert_eq!(
+            advisor.recommend(&[]).unwrap_err(),
+            SelectionError::EmptyWorkload
+        );
+    }
+
+    #[test]
+    fn incremental_add_and_remove() {
+        let mut db = db();
+        let q0 = parse_query("q0(X) :- t(X, <p>, <o1>), t(X, <q>, <c>)", db.dict_mut())
+            .unwrap()
+            .query;
+        let q1 = parse_query("q1(X, Y) :- t(X, <p>, Y)", db.dict_mut())
+            .unwrap()
+            .query;
+        let mut advisor = Advisor::builder(&db).build().unwrap();
+        let r0 = advisor
+            .recommend_incremental(WorkloadChange::Add(q0.clone()))
+            .unwrap();
+        assert_eq!(r0.original_query_count(), 1);
+        let r01 = advisor
+            .recommend_incremental(WorkloadChange::Add(q1))
+            .unwrap();
+        assert_eq!(r01.original_query_count(), 2);
+        let after_adds = advisor.stats_collections();
+        // Removing q1 shrinks the workload; its stats stay cached, so no
+        // new collection happens.
+        let r0_again = advisor
+            .recommend_incremental(WorkloadChange::Remove(1))
+            .unwrap();
+        assert_eq!(r0_again.original_query_count(), 1);
+        assert_eq!(advisor.stats_collections(), after_adds);
+        assert_eq!(r0_again.outcome.best_cost, r0.outcome.best_cost);
+        // Out-of-range removal is an error and leaves the workload alone.
+        assert_eq!(
+            advisor
+                .recommend_incremental(WorkloadChange::Remove(5))
+                .unwrap_err(),
+            SelectionError::UnknownQuery { index: 5, len: 1 }
+        );
+        assert_eq!(advisor.workload().len(), 1);
+    }
+
+    #[test]
+    fn parse_workload_queries_reports_errors() {
+        let mut dict = Dictionary::new();
+        let ok = parse_workload_queries("q(X) :- t(X, <p>, Y)\n", &mut dict).unwrap();
+        assert_eq!(ok.len(), 1);
+        let err = parse_workload_queries("not a query", &mut dict).unwrap_err();
+        assert!(matches!(err, SelectionError::Parse(_)));
+    }
+}

@@ -10,7 +10,11 @@
 //!   --strategy dfs|gstr|exnaive|exstr|pruning|greedy|heuristic
 //!   --budget <seconds>               search time budget (default: 10)
 //!   --max-states <n>                 state budget (default: 1000000)
-//!   --materialize                    also materialize and report view sizes
+//!   --strict-budget                  fail instead of returning a partial
+//!                                    result when the budget runs out
+//!   --partition                      search independent workload groups
+//!                                    in parallel (one shared session)
+//!   --materialize                    also deploy and report view sizes
 //! ```
 //!
 //! `data.nt` holds one triple per line (`<s> <p> <o> .`); schema statements
@@ -31,6 +35,8 @@ struct Args {
     strategy: StrategyKind,
     budget: Duration,
     max_states: usize,
+    strict_budget: bool,
+    partition: bool,
     materialize: bool,
 }
 
@@ -38,7 +44,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: rdfviews <data.nt> <workload.rq> [--mode plain|saturate|pre|post] \
          [--strategy dfs|gstr|exnaive|exstr|pruning|greedy|heuristic] \
-         [--budget SECONDS] [--max-states N] [--materialize]"
+         [--budget SECONDS] [--max-states N] [--strict-budget] [--partition] [--materialize]"
     );
     ExitCode::from(2)
 }
@@ -52,6 +58,8 @@ fn parse_args() -> Result<Args, ExitCode> {
         strategy: StrategyKind::Dfs,
         budget: Duration::from_secs(10),
         max_states: 1_000_000,
+        strict_budget: false,
+        partition: false,
         materialize: false,
     };
     let mut it = std::env::args().skip(1);
@@ -85,6 +93,8 @@ fn parse_args() -> Result<Args, ExitCode> {
             "--max-states" => {
                 args.max_states = it.next().and_then(|v| v.parse().ok()).ok_or_else(usage)?;
             }
+            "--strict-budget" => args.strict_budget = true,
+            "--partition" => args.partition = true,
             "--materialize" => args.materialize = true,
             "--help" | "-h" => return Err(usage()),
             other => positional.push(other.to_string()),
@@ -121,7 +131,7 @@ fn main() -> ExitCode {
     };
     eprintln!("loaded {} triples from {}", db.len(), args.data);
 
-    // -- Load workload. ---------------------------------------------------
+    // -- Load workload (parse failures surface as SelectionError). --------
     let wtext = match std::fs::read_to_string(&args.workload) {
         Ok(t) => t,
         Err(e) => {
@@ -129,44 +139,51 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let parsed = match rdfviews::query::parser::parse_workload(&wtext, db.dict_mut()) {
+    let workload = match parse_workload_queries(&wtext, db.dict_mut()) {
         Ok(ws) => ws,
         Err(e) => {
             eprintln!("error: {}: {e}", args.workload);
             return ExitCode::FAILURE;
         }
     };
-    if parsed.is_empty() {
-        eprintln!("error: empty workload");
-        return ExitCode::FAILURE;
-    }
-    let workload: Vec<_> = parsed.into_iter().map(|p| p.query).collect();
     eprintln!("parsed {} workload queries", workload.len());
 
     // -- Schema (extracted from data when reasoning is requested). --------
-    let schema = Schema::from_dataset(&db);
+    // Intern the RDFS vocabulary first: extraction looks the vocabulary up
+    // in the dictionary, and a data file need not mention every RDFS URI.
     let vocab = VocabIds::intern(db.dict_mut());
-    let schema_ref = match args.mode {
-        ReasoningMode::Plain => None,
-        _ => {
-            eprintln!("schema: {} RDFS statements", schema.len());
-            Some((&schema, &vocab))
+    let schema = Schema::from_dataset(&db);
+
+    // -- Open the advisor session and recommend. ---------------------------
+    let mut builder = Advisor::builder(&db)
+        .reasoning(args.mode)
+        .strategy(args.strategy)
+        .budget(args.budget)
+        .max_states(args.max_states)
+        .strict_budget(args.strict_budget);
+    if args.mode.needs_schema() {
+        eprintln!("schema: {} RDFS statements", schema.len());
+        builder = builder.schema(&schema, &vocab);
+    }
+    let mut advisor = match builder.build() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
         }
     };
-
-    // -- Select. -----------------------------------------------------------
-    let options = SelectionOptions {
-        reasoning: args.mode,
-        calibrate_cm: true,
-        search: SearchConfig {
-            strategy: args.strategy,
-            time_budget: Some(args.budget),
-            max_states: Some(args.max_states),
-            ..SearchConfig::default()
-        },
-        ..Default::default()
+    let result = if args.partition {
+        advisor.recommend_partitioned(&workload, true)
+    } else {
+        advisor.recommend(&workload)
     };
-    let rec = select_views(db.store(), db.dict(), schema_ref, &workload, &options);
+    let rec = match result {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
 
     println!("# initial cost : {:.4e}", rec.outcome.initial_cost);
     println!("# best cost    : {:.4e}", rec.outcome.best_cost);
@@ -191,13 +208,13 @@ fn main() -> ExitCode {
     }
 
     if args.materialize {
-        let mv = rdfviews::exec::materialize_recommendation(db.store(), &rec);
+        let mut deployment = advisor.deploy(rec);
         println!(
-            "#\n# materialized: {} views, {} rows, {} cells ({:.1}% of the triple table)",
-            mv.len(),
-            mv.total_rows(),
-            mv.total_cells(),
-            100.0 * mv.total_cells() as f64 / (db.len() * 3).max(1) as f64
+            "#\n# deployed: {} views, {} rows, {} cells ({:.1}% of the triple table)",
+            deployment.view_count(),
+            deployment.total_rows(),
+            deployment.total_cells(),
+            100.0 * deployment.total_cells() as f64 / (db.len() * 3).max(1) as f64
         );
     }
     ExitCode::SUCCESS

@@ -2,10 +2,23 @@
 //! workload from them alone — the paper's deployment story ("if the views
 //! are stored at the client, no connection is needed and the application
 //! can run off-line", Section 1).
+//!
+//! The centerpiece is [`Deployment`]: a self-contained bundle of a
+//! [`Recommendation`], its materialized views and a maintenance base copy
+//! of the store. It answers workload queries from the views alone
+//! ([`Deployment::answer`]) and keeps the views consistent under triple
+//! insertions and deletions ([`Deployment::insert`] /
+//! [`Deployment::delete`]) via the incremental deltas of
+//! `rdf_engine::maintain`. The free functions below are the stateless
+//! building blocks, kept for direct use and backward compatibility.
 
-use rdf_engine::{evaluate_over_views, materialize_union, Answers, ViewAtom, ViewTable};
-use rdf_model::{FxHashMap, TripleStore};
-use rdfviews_core::{Recommendation, State, ViewId};
+use rdf_engine::{
+    evaluate_over_views, materialize_union, Answers, DeleteDelta, MaintainedView, MaintenanceStats,
+    ViewAtom, ViewTable,
+};
+use rdf_model::{FxHashMap, FxHashSet, Id, Triple, TripleStore};
+use rdf_schema::{saturate, saturated_copy, Schema, VocabIds};
+use rdfviews_core::{Recommendation, SelectionError, State, ViewId};
 
 /// The materialized views of a recommendation (or state), keyed by view id.
 #[derive(Debug, Clone, Default)]
@@ -79,11 +92,12 @@ pub fn answer_query(state: &State, mv: &MaterializedViews, query_idx: usize) -> 
 
 /// Answers an *original* workload query: in pre-reformulation mode this is
 /// the union of its branch rewritings; otherwise a single rewriting.
-pub fn answer_original_query(
+/// Returns [`SelectionError::UnknownQuery`] for an out-of-range index.
+pub fn try_answer_original_query(
     rec: &Recommendation,
     mv: &MaterializedViews,
     original_idx: usize,
-) -> Answers {
+) -> Result<Answers, SelectionError> {
     let state = &rec.outcome.best_state;
     let mut result: Option<Answers> = None;
     for (eff_idx, &orig) in rec.branch_of.iter().enumerate() {
@@ -96,7 +110,318 @@ pub fn answer_original_query(
             Some(prev) => prev.union(a),
         });
     }
-    result.expect("unknown original query index")
+    result.ok_or(SelectionError::UnknownQuery {
+        index: original_idx,
+        len: rec.original_query_count(),
+    })
+}
+
+/// Panicking wrapper over [`try_answer_original_query`], kept for
+/// backward compatibility.
+pub fn answer_original_query(
+    rec: &Recommendation,
+    mv: &MaterializedViews,
+    original_idx: usize,
+) -> Answers {
+    try_answer_original_query(rec, mv, original_idx)
+        .unwrap_or_else(|e| panic!("answer_original_query: {e}"))
+}
+
+/// One materialized view kept incrementally consistent: a maintained
+/// instance per materialization branch (one for plain views, several for
+/// reformulated unions).
+#[derive(Debug, Clone)]
+struct DeployedView {
+    id: ViewId,
+    arity: usize,
+    branches: Vec<MaintainedView>,
+}
+
+impl DeployedView {
+    /// The branch-union table (deduplicated across branches).
+    fn merged_table(&self) -> ViewTable {
+        match self.branches.as_slice() {
+            [single] => single.to_table(),
+            branches => {
+                let mut rows: FxHashSet<Vec<Id>> = FxHashSet::default();
+                for b in branches {
+                    rows.extend(b.to_table().rows().map(|r| r.to_vec()));
+                }
+                ViewTable::from_rows(self.arity, rows)
+            }
+        }
+    }
+}
+
+/// The entailment context of a saturation-mode deployment: the schema,
+/// and the explicit (unsaturated) triples from which the maintained base
+/// store is re-derivable.
+#[derive(Debug, Clone)]
+struct EntailmentBase {
+    schema: Schema,
+    vocab: VocabIds,
+    explicit: TripleStore,
+}
+
+/// A deployed recommendation: the views materialized, a maintenance base
+/// copy of the store, and the machinery to answer the workload from the
+/// views alone while absorbing updates.
+///
+/// This is the paper's three-tier / offline client bundle: once built, it
+/// no longer needs the advisor or the original database. Triple ids keep
+/// referring to the dictionary the recommendation was built with.
+///
+/// Under saturation reasoning the deployment also carries the schema and
+/// the explicit store, so updates stay entailment-aware: an inserted
+/// triple brings its RDFS consequences into the views, and a deleted
+/// explicit triple retracts exactly the entailments that lose their last
+/// derivation. (The schema itself is assumed fixed for the deployment's
+/// lifetime — schema-statement updates require re-deploying.)
+#[derive(Debug, Clone)]
+pub struct Deployment {
+    rec: Recommendation,
+    store: TripleStore,
+    views: Vec<DeployedView>,
+    tables: MaterializedViews,
+    dirty: FxHashSet<ViewId>,
+    entailment: Option<EntailmentBase>,
+}
+
+impl Deployment {
+    /// Materializes `rec`'s views over `store` and snapshots the store as
+    /// the maintenance base. (The facade's `Advisor::deploy` calls this.)
+    pub fn new(store: &TripleStore, rec: Recommendation) -> Self {
+        let store = store.clone();
+        let views: Vec<DeployedView> = rec
+            .views
+            .iter()
+            .zip(rec.materialization.iter())
+            .map(|(view, def)| DeployedView {
+                id: view.id,
+                arity: view.head.len(),
+                branches: def
+                    .branches()
+                    .iter()
+                    .map(|b| MaintainedView::new(&store, b.clone()))
+                    .collect(),
+            })
+            .collect();
+        let mut tables = MaterializedViews::default();
+        for dv in &views {
+            tables.tables.insert(dv.id, dv.merged_table());
+        }
+        Self {
+            rec,
+            store,
+            views,
+            tables,
+            dirty: FxHashSet::default(),
+            entailment: None,
+        }
+    }
+
+    /// Materializes `rec`'s views over the `saturated` store and keeps the
+    /// `explicit` store plus the schema so that updates remain
+    /// entailment-aware (the saturation-mode deployment; `Advisor::deploy`
+    /// picks this automatically).
+    pub fn with_entailment(
+        explicit: &TripleStore,
+        saturated: &TripleStore,
+        rec: Recommendation,
+        schema: Schema,
+        vocab: VocabIds,
+    ) -> Self {
+        let mut dep = Self::new(saturated, rec);
+        dep.entailment = Some(EntailmentBase {
+            schema,
+            vocab,
+            explicit: explicit.clone(),
+        });
+        dep
+    }
+
+    /// The recommendation this deployment serves.
+    pub fn recommendation(&self) -> &Recommendation {
+        &self.rec
+    }
+
+    /// The maintenance base store (reflects all applied updates).
+    pub fn store(&self) -> &TripleStore {
+        &self.store
+    }
+
+    /// Number of deployed views.
+    pub fn view_count(&self) -> usize {
+        self.views.len()
+    }
+
+    /// Rebuilds the tables of views whose rows changed since the last
+    /// read.
+    fn refresh(&mut self) {
+        if self.dirty.is_empty() {
+            return;
+        }
+        for dv in &self.views {
+            if self.dirty.remove(&dv.id) {
+                self.tables.tables.insert(dv.id, dv.merged_table());
+            }
+        }
+    }
+
+    /// The current view tables (refreshed if updates arrived).
+    pub fn tables(&mut self) -> &MaterializedViews {
+        self.refresh();
+        &self.tables
+    }
+
+    /// Total rows across all views — the measured counterpart of VSO.
+    pub fn total_rows(&mut self) -> usize {
+        self.tables().total_rows()
+    }
+
+    /// Total cells (rows × columns) across all views.
+    pub fn total_cells(&mut self) -> usize {
+        self.tables().total_cells()
+    }
+
+    /// Answers original workload query `query_idx` from the views alone.
+    pub fn answer(&mut self, query_idx: usize) -> Result<Answers, SelectionError> {
+        self.refresh();
+        try_answer_original_query(&self.rec, &self.tables, query_idx)
+    }
+
+    /// Applies a triple insertion: updates the base store and every view
+    /// via its incremental delta. Under saturation reasoning the RDFS
+    /// consequences of the new triple are derived and maintained too.
+    /// Returns the merged maintenance counters; a duplicate triple is a
+    /// no-op.
+    pub fn insert(&mut self, t: Triple) -> MaintenanceStats {
+        let mut total = MaintenanceStats::default();
+        let mut added: Vec<Triple> = Vec::new();
+        match &mut self.entailment {
+            Some(ent) => {
+                if !ent.explicit.insert(t) {
+                    return total;
+                }
+                if self.store.insert(t) {
+                    added.push(t);
+                }
+                // Saturation is monotone: the consequences of the new
+                // triple are exactly the triples saturate() appends.
+                let before = self.store.len();
+                saturate(&mut self.store, &ent.schema, &ent.vocab);
+                added.extend_from_slice(&self.store.triples()[before..]);
+            }
+            None => {
+                if !self.store.insert(t) {
+                    return total;
+                }
+                added.push(t);
+            }
+        }
+        for a in added {
+            for dv in &mut self.views {
+                let mut changed = false;
+                for b in &mut dv.branches {
+                    let s = b.apply_insert(&self.store, a);
+                    changed |= s.added > 0;
+                    total.merge(s);
+                }
+                if changed {
+                    self.dirty.insert(dv.id);
+                }
+            }
+        }
+        total
+    }
+
+    /// Applies a triple deletion (delete-and-rederive): candidate rows are
+    /// collected while the triple is still present, then re-derived
+    /// against the shrunken store. Under saturation reasoning the triple
+    /// must be explicit; the entailments that lose their last derivation
+    /// are retracted along with it (an implicit or absent triple is a
+    /// no-op, as is a missing one in plain deployments).
+    pub fn delete(&mut self, t: Triple) -> MaintenanceStats {
+        self.delete_batch(std::slice::from_ref(&t))
+    }
+
+    /// Applies a batch of deletions. Under saturation reasoning the
+    /// entailment-loss set is computed **once** for the whole batch (one
+    /// re-saturation of the explicit store), so retraction feeds should
+    /// prefer this over per-triple [`Deployment::delete`].
+    pub fn delete_batch(&mut self, batch: &[Triple]) -> MaintenanceStats {
+        let mut total = MaintenanceStats::default();
+        let doomed: Vec<Triple> = match &mut self.entailment {
+            Some(ent) => {
+                let mut any = false;
+                for &t in batch {
+                    any |= ent.explicit.remove(t);
+                }
+                if !any {
+                    return total;
+                }
+                // Everything in the saturated base that the remaining
+                // explicit triples no longer entail must go.
+                let still = saturated_copy(&ent.explicit, &ent.schema, &ent.vocab);
+                self.store
+                    .triples()
+                    .iter()
+                    .copied()
+                    .filter(|&x| !still.contains(x))
+                    .collect()
+            }
+            None => {
+                let mut seen: FxHashSet<Triple> = FxHashSet::default();
+                batch
+                    .iter()
+                    .copied()
+                    .filter(|&t| self.store.contains(t) && seen.insert(t))
+                    .collect()
+            }
+        };
+        for r in doomed {
+            total.merge(self.delete_from_base(r));
+        }
+        total
+    }
+
+    /// The two-phase deletion of one triple from the maintained base
+    /// store.
+    fn delete_from_base(&mut self, t: Triple) -> MaintenanceStats {
+        let mut total = MaintenanceStats::default();
+        let deltas: Vec<Vec<DeleteDelta>> = self
+            .views
+            .iter()
+            .map(|dv| {
+                dv.branches
+                    .iter()
+                    .map(|b| b.prepare_delete(&self.store, t))
+                    .collect()
+            })
+            .collect();
+        self.store.remove(t);
+        for (dv, branch_deltas) in self.views.iter_mut().zip(deltas) {
+            let mut changed = false;
+            for (b, delta) in dv.branches.iter_mut().zip(branch_deltas) {
+                let s = b.commit_delete(&self.store, &delta);
+                changed |= s.removed > 0;
+                total.merge(s);
+            }
+            if changed {
+                self.dirty.insert(dv.id);
+            }
+        }
+        total
+    }
+
+    /// Applies a batch of insertions.
+    pub fn insert_batch(&mut self, batch: &[Triple]) -> MaintenanceStats {
+        let mut total = MaintenanceStats::default();
+        for &t in batch {
+            total.merge(self.insert(t));
+        }
+        total
+    }
 }
 
 #[cfg(test)]
@@ -120,20 +445,23 @@ mod tests {
         db
     }
 
-    #[test]
-    fn answers_from_views_match_direct_evaluation() {
-        let mut db = db();
+    fn recommend(db: &mut Dataset) -> Recommendation {
         let q = parse_query("q(X) :- t(X, <p>, <o1>), t(X, <q>, <c>)", db.dict_mut())
             .unwrap()
             .query;
-        let workload = vec![q];
-        let rec = select_views(
+        select_views(
             db.store(),
             db.dict(),
             None,
-            &workload,
+            &[q],
             &SelectionOptions::recommended(),
-        );
+        )
+    }
+
+    #[test]
+    fn answers_from_views_match_direct_evaluation() {
+        let mut db = db();
+        let rec = recommend(&mut db);
         let mv = materialize_recommendation(db.store(), &rec);
         assert_eq!(mv.len(), rec.views.len());
         let from_views = answer_original_query(&rec, &mv, 0);
@@ -154,5 +482,74 @@ mod tests {
         assert_eq!(mv.len(), 1);
         assert_eq!(mv.total_rows(), 30);
         assert_eq!(mv.total_cells(), 60);
+    }
+
+    #[test]
+    fn unknown_query_index_is_an_error() {
+        let mut db = db();
+        let rec = recommend(&mut db);
+        let mv = materialize_recommendation(db.store(), &rec);
+        let err = try_answer_original_query(&rec, &mv, 7).unwrap_err();
+        assert_eq!(err, SelectionError::UnknownQuery { index: 7, len: 1 });
+    }
+
+    #[test]
+    fn deployment_answers_and_maintains() {
+        let mut db = db();
+        let rec = recommend(&mut db);
+        let mut dep = Deployment::new(db.store(), rec);
+        let direct = rdf_engine::evaluate(db.store(), &dep.recommendation().workload[0]);
+        assert_eq!(dep.answer(0).unwrap(), direct);
+        assert_eq!(
+            dep.answer(3).unwrap_err(),
+            SelectionError::UnknownQuery { index: 3, len: 1 }
+        );
+
+        // Insert a fresh qualifying subject: answers must grow.
+        let before = dep.answer(0).unwrap().len();
+        let s = db.dict_mut().intern_uri("fresh");
+        let p = db.dict().lookup_uri("p").unwrap();
+        let q = db.dict().lookup_uri("q").unwrap();
+        let o1 = db.dict().lookup_uri("o1").unwrap();
+        let c = db.dict().lookup_uri("c").unwrap();
+        dep.insert([s, p, o1]);
+        dep.insert([s, q, c]);
+        let after = dep.answer(0).unwrap();
+        assert_eq!(after.len(), before + 1);
+        assert!(after.contains(&[s]));
+
+        // Delete one of its triples: the subject disappears again.
+        dep.delete([s, q, c]);
+        let reverted = dep.answer(0).unwrap();
+        assert_eq!(reverted.len(), before);
+        assert!(!reverted.contains(&[s]));
+
+        // The deployment's answers always match evaluation over its own
+        // (maintained) base store.
+        let fresh = rdf_engine::evaluate(dep.store(), &dep.recommendation().workload[0]);
+        assert_eq!(dep.answer(0).unwrap(), fresh);
+    }
+
+    #[test]
+    fn deployment_totals_track_updates() {
+        let mut db = db();
+        let rec = recommend(&mut db);
+        let mv = materialize_recommendation(db.store(), &rec);
+        let mut dep = Deployment::new(db.store(), rec);
+        assert_eq!(dep.view_count(), mv.len());
+        assert_eq!(dep.total_rows(), mv.total_rows());
+        assert_eq!(dep.total_cells(), mv.total_cells());
+        let s = db.dict_mut().intern_uri("extra");
+        let p = db.dict().lookup_uri("p").unwrap();
+        let o1 = db.dict().lookup_uri("o1").unwrap();
+        let stats = dep.insert([s, p, o1]);
+        if stats.added > 0 {
+            assert!(dep.total_rows() > mv.total_rows());
+        }
+        // Rematerializing over the maintained store agrees with the
+        // incremental tables.
+        let remat = materialize_recommendation(dep.store(), dep.recommendation());
+        assert_eq!(dep.total_rows(), remat.total_rows());
+        assert_eq!(dep.total_cells(), remat.total_cells());
     }
 }

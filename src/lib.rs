@@ -12,20 +12,20 @@
 //! weighted combination of rewriting evaluation cost, view storage space
 //! and view maintenance cost.
 //!
-//! The workspace crates map to the paper's components:
+//! ## Quickstart: the advisor session lifecycle
 //!
-//! | crate | contents |
-//! |-------|----------|
-//! | [`model`] (`rdf-model`) | dictionary-encoded triple store, six permutation indexes |
-//! | [`schema`] (`rdf-schema`) | RDFS statements, closure, database saturation |
-//! | [`query`] (`rdf-query`) | conjunctive queries, containment, minimization, canonical forms |
-//! | [`reform`] (`rdf-reform`) | query reformulation — Algorithm 1 / Theorems 4.1–4.2 |
-//! | [`stats`] (`rdf-stats`) | workload statistics, cardinality estimation, post-reformulation statistics |
-//! | [`engine`] (`rdf-engine`) | SPJ evaluation, view materialization, rewriting execution |
-//! | [`core`] (`rdfviews-core`) | states, transitions SC/JC/VB/VF, cost model, search strategies |
-//! | [`workload`] (`rdfviews-workload`) | Barton-like dataset, star/chain/cycle/random/mixed workload generators |
+//! The public API is organized around two long-lived objects:
 //!
-//! ## Quickstart
+//! * [`Advisor`](advisor::Advisor) — a view-selection **session** over one
+//!   database. Building it prepares the expensive per-database artifacts
+//!   (saturated store copy, statistics catalog) **once**; every
+//!   `recommend` call after that reuses them and only collects statistics
+//!   for atom shapes it has never seen. All fallible paths return
+//!   [`SelectionError`](core::SelectionError) instead of panicking.
+//! * [`Deployment`](exec::Deployment) — a deployed recommendation: the
+//!   views materialized, bundled with a maintenance base copy of the
+//!   store. It answers workload queries from the views alone and absorbs
+//!   triple insertions/deletions through incremental view maintenance.
 //!
 //! ```
 //! use rdfviews::prelude::*;
@@ -42,15 +42,68 @@
 //! let q = parse_query("q(X) :- t(X, <p>, <o1>), t(X, <q>, <c>)", db.dict_mut()).unwrap();
 //! let workload = vec![q.query];
 //!
-//! // 3. Select views.
-//! let rec = select_views(db.store(), db.dict(), None, &workload, &SelectionOptions::recommended());
+//! // 3. Open an advisor session and recommend views. The session caches
+//! //    the statistics catalog: a second `recommend` over the same
+//! //    workload does zero store work.
+//! let mut advisor = Advisor::builder(&db).build()?;
+//! let rec = advisor.recommend(&workload)?;
 //!
-//! // 4. Materialize them and answer the workload from the views alone.
-//! let mv = rdfviews::exec::materialize_recommendation(db.store(), &rec);
-//! let from_views = rdfviews::exec::answer_original_query(&rec, &mv, 0);
-//! let direct = rdfviews::engine::evaluate(db.store(), &rec.workload[0]);
+//! // 4. Deploy: materialize the views and answer the workload from them
+//! //    alone — no connection to the database needed.
+//! let mut deployment = advisor.deploy(rec);
+//! let from_views = deployment.answer(0)?;
+//! let direct = rdfviews::engine::evaluate(db.store(), &deployment.recommendation().workload[0]);
 //! assert_eq!(from_views, direct);
+//! # Ok::<(), rdfviews::core::SelectionError>(())
 //! ```
+//!
+//! With reasoning, the builder carries the schema and mode; `build`
+//! saturates (or derives saturated statistics) once for the whole session:
+//!
+//! ```no_run
+//! # use rdfviews::prelude::*;
+//! # let mut db = Dataset::new();
+//! # let schema = Schema::new();
+//! # let vocab = VocabIds::intern(db.dict_mut());
+//! # let workload: Vec<ConjunctiveQuery> = vec![];
+//! let mut advisor = Advisor::builder(&db)
+//!     .schema(&schema, &vocab)
+//!     .reasoning(ReasoningMode::PostReformulation)
+//!     .strategy(StrategyKind::Dfs)
+//!     .budget(std::time::Duration::from_secs(10))
+//!     .build()?;
+//! let rec = advisor.recommend(&workload)?;
+//! # Ok::<(), rdfviews::core::SelectionError>(())
+//! ```
+//!
+//! ## Migrating from the free functions
+//!
+//! The pre-session entry points still exist (and now share the prepared
+//! pipeline underneath), but new code should use the session API:
+//!
+//! | old free function | session replacement |
+//! |-------------------|---------------------|
+//! | `select_views(store, dict, schema, w, opts)` | `Advisor::builder(&db).schema(..).options(opts).build()?` then `advisor.recommend(&w)?` |
+//! | `select_views_partitioned(store, dict, schema, w, opts, par)` | `advisor.recommend_partitioned(&w, par)?` |
+//! | `exec::materialize_recommendation(store, &rec)` | `advisor.deploy(rec)` (a [`Deployment`](exec::Deployment)) |
+//! | `exec::answer_original_query(&rec, &mv, i)` | `deployment.answer(i)?` |
+//! | `exec::answer_query(&state, &mv, i)` | `deployment.answer(i)?` (per-branch access stays available) |
+//! | `mv.total_rows()` / `mv.total_cells()` | `deployment.total_rows()` / `deployment.total_cells()` |
+//! | manual `MaintainedView` feeding | `deployment.insert(triple)` / `deployment.delete(triple)` |
+//! | panic on missing schema | `Err(SelectionError::SchemaRequired(mode))` |
+//!
+//! The workspace crates map to the paper's components:
+//!
+//! | crate | contents |
+//! |-------|----------|
+//! | [`model`] (`rdf-model`) | dictionary-encoded triple store, six permutation indexes |
+//! | [`schema`] (`rdf-schema`) | RDFS statements, closure, database saturation |
+//! | [`query`] (`rdf-query`) | conjunctive queries, containment, minimization, canonical forms |
+//! | [`reform`] (`rdf-reform`) | query reformulation — Algorithm 1 / Theorems 4.1–4.2 |
+//! | [`stats`] (`rdf-stats`) | workload statistics, cardinality estimation, post-reformulation statistics |
+//! | [`engine`] (`rdf-engine`) | SPJ evaluation, view materialization, incremental maintenance |
+//! | [`core`] (`rdfviews-core`) | states, transitions SC/JC/VB/VF, cost model, search strategies, prepared pipeline |
+//! | [`workload`] (`rdfviews-workload`) | Barton-like dataset, star/chain/cycle/random/mixed workload generators |
 
 pub use rdf_engine as engine;
 pub use rdf_model as model;
@@ -61,19 +114,25 @@ pub use rdf_stats as stats;
 pub use rdfviews_core as core;
 pub use rdfviews_workload as workload;
 
+pub mod advisor;
 pub mod exec;
 
 /// The most common imports in one place.
 pub mod prelude {
+    pub use crate::advisor::{parse_workload_queries, Advisor, AdvisorBuilder, WorkloadChange};
     pub use crate::core::{
-        select_views, select_views_partitioned, CostModel, CostWeights, ReasoningMode,
-        Recommendation, SearchConfig, SearchOutcome, SelectionOptions, State, StrategyKind,
+        select_views, select_views_partitioned, try_select_views, CostModel, CostWeights,
+        Preparation, ReasoningMode, Recommendation, SearchConfig, SearchOutcome, SelectionError,
+        SelectionOptions, State, StrategyKind,
     };
     pub use crate::engine::{
-        evaluate, evaluate_union, materialize, Answers, MaintainedView, ViewTable,
+        evaluate, evaluate_union, materialize, Answers, MaintainedView, MaintenanceStats, ViewTable,
     };
-    pub use crate::exec::{answer_original_query, answer_query, materialize_recommendation};
-    pub use crate::model::{Dataset, Dictionary, Term, TripleStore};
+    pub use crate::exec::{
+        answer_original_query, answer_query, materialize_recommendation, Deployment,
+        MaterializedViews,
+    };
+    pub use crate::model::{Dataset, Dictionary, Term, Triple, TripleStore};
     pub use crate::query::parser::parse_query;
     pub use crate::query::{ConjunctiveQuery, UnionQuery};
     pub use crate::reform::reformulate;
