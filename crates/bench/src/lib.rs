@@ -134,6 +134,7 @@ pub fn run_strategy(
             time_budget: Some(budget),
             max_states: Some(max_states),
             vb_overlap_limit: 1,
+            parallelism: 1,
         },
     )
 }

@@ -19,6 +19,42 @@ use rdf_stats::{estimate_conjunction, CardinalityEstimator, RelAtom, RelStats, S
 
 use crate::state::{Rewriting, State, ViewId};
 
+/// Occurrence count of each variable across a whole rewriting; computed
+/// once per rewriting and shared by every [`arg_shape`] call (this sits
+/// inside the search's hottest loop).
+fn var_multiplicity(r: &Rewriting) -> FxHashMap<rdf_query::Var, u64> {
+    use rdf_query::QTerm;
+    let mut multiplicity: FxHashMap<rdf_query::Var, u64> = FxHashMap::default();
+    for a in &r.atoms {
+        for t in &a.args {
+            if let QTerm::Var(v) = t {
+                *multiplicity.entry(*v).or_insert(0) += 1;
+            }
+        }
+    }
+    multiplicity
+}
+
+/// A renaming- and order-invariant shape key for one rewriting atom: the
+/// sorted multiset of per-argument classes — `(0, id, 0)` for a constant,
+/// `(1, multiplicity of the variable across the whole rewriting, 0)` for a
+/// variable. Used only to break exact cardinality ties in the canonical
+/// join order; atoms identical under cardinalities *and* this shape are
+/// interchangeable for the chain estimate.
+fn arg_shape(atom: &RelAtom, multiplicity: &FxHashMap<rdf_query::Var, u64>) -> Vec<(u8, u64, u64)> {
+    use rdf_query::QTerm;
+    let mut shape: Vec<(u8, u64, u64)> = atom
+        .args
+        .iter()
+        .map(|t| match t {
+            QTerm::Const(id) => (0u8, id.0 as u64, 0u64),
+            QTerm::Var(v) => (1u8, multiplicity.get(v).copied().unwrap_or(1), 0u64),
+        })
+        .collect();
+    shape.sort_unstable();
+    shape
+}
+
 /// The weights of the cost combination.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CostWeights {
@@ -118,8 +154,16 @@ impl<'a> CostModel<'a> {
     }
 
     /// `c1·ioǫ(r) + c2·cpuǫ(r)` for one rewriting.
+    ///
+    /// The left-deep join chain runs in a **canonical order** — most
+    /// selective atom first, with representation-independent tie-breaks —
+    /// rather than the rewriting's textual atom order. States reached
+    /// through different transition paths (or by different explorer
+    /// threads) carry differently-ordered but equivalent rewritings; the
+    /// canonical plan makes their estimated cost identical, which is what
+    /// lets parallel and sequential searches agree on the best cost.
     fn rewriting_cost(&self, r: &Rewriting, view_stats: &FxHashMap<ViewId, RelStats>) -> f64 {
-        let rel_atoms: Vec<RelAtom> = r
+        let mut rel_atoms: Vec<RelAtom> = r
             .atoms
             .iter()
             .map(|a| RelAtom {
@@ -130,12 +174,28 @@ impl<'a> CostModel<'a> {
             .collect();
         // ioǫ: one scan per view occurrence.
         let io: f64 = rel_atoms.iter().map(|a| a.stats.card).sum();
+        // Canonical chain order: ascending (post-selection cardinality,
+        // relation cardinality, argument shape). Every key component is
+        // invariant under variable renaming and atom reordering.
+        type KeyedAtom = (f64, f64, Vec<(u8, u64, u64)>, RelAtom);
+        let multiplicity = var_multiplicity(r);
+        let mut keyed: Vec<KeyedAtom> = rel_atoms
+            .drain(..)
+            .map(|a| {
+                let sel = estimate_conjunction(std::slice::from_ref(&a));
+                let shape = arg_shape(&a, &multiplicity);
+                (sel, a.stats.card, shape, a)
+            })
+            .collect();
+        keyed.sort_by(|x, y| {
+            x.0.total_cmp(&y.0)
+                .then(x.1.total_cmp(&y.1))
+                .then(x.2.cmp(&y.2))
+        });
         // cpuǫ: selections (one pass per atom), then a left-deep chain of
         // hash joins (build + probe + output), then the final projection.
-        let sel_cards: Vec<f64> = rel_atoms
-            .iter()
-            .map(|a| estimate_conjunction(std::slice::from_ref(a)))
-            .collect();
+        let sel_cards: Vec<f64> = keyed.iter().map(|k| k.0).collect();
+        let rel_atoms: Vec<RelAtom> = keyed.into_iter().map(|k| k.3).collect();
         let mut cpu: f64 = rel_atoms.iter().map(|a| a.stats.card).sum();
         let mut current = sel_cards.first().copied().unwrap_or(0.0);
         for i in 1..rel_atoms.len() {

@@ -34,6 +34,14 @@ pub enum SelectionError {
         /// The number of known queries.
         len: usize,
     },
+    /// A group search panicked on a worker thread of the partitioned
+    /// scheduler. The panic is captured and surfaced instead of aborting
+    /// the process (a panicking `thread::scope` join would otherwise
+    /// propagate and take the whole selection down).
+    SearchPanicked {
+        /// The panic payload, stringified.
+        detail: String,
+    },
     /// A prepared session was asked to run under a different reasoning
     /// mode than it was built for.
     ModeMismatch {
@@ -57,6 +65,9 @@ impl std::fmt::Display for SelectionError {
             }
             SelectionError::UnknownQuery { index, len } => {
                 write!(f, "query index {index} out of range (workload has {len})")
+            }
+            SelectionError::SearchPanicked { detail } => {
+                write!(f, "a group search thread panicked: {detail}")
             }
             SelectionError::ModeMismatch {
                 prepared,

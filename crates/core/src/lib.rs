@@ -20,7 +20,10 @@
 //!   DFS, greedy GSTR, the Aggressive View Fusion optimization, the
 //!   stop conditions, and reimplementations of the relational competitor
 //!   strategies of Theodoratos et al. (Pruning / Greedy / Heuristic,
-//!   Section 6.1);
+//!   Section 6.1). All strategies drive a shared frontier/explorer core
+//!   ([`SearchConfig::parallelism`] explorer threads with work stealing,
+//!   sharded signature dedup, atomic counters — see the module docs'
+//!   "search internals" section);
 //! * [`pipeline`] — end-to-end view selection including the three RDF
 //!   entailment scenarios of Section 4.3: saturation, pre-reformulation and
 //!   the paper's novel **post-reformulation**;

@@ -9,6 +9,22 @@
 //! factorize across queries). Since no transition can fuse views of
 //! queries in different components, searching the components independently
 //! loses nothing; the component searches are embarrassingly parallel.
+//!
+//! The parallel phase runs on a **bounded group scheduler**: instead of
+//! one unbounded thread per component, a fixed worker pool pulls groups
+//! off a shared list in **largest-group-first** order (total body atoms),
+//! so the heaviest search starts first and small groups backfill the
+//! remaining workers. A group search that panics is captured per group and
+//! surfaced as [`SelectionError::SearchPanicked`] instead of aborting the
+//! process. When the search config asks for intra-search parallelism too
+//! ([`crate::search::SearchConfig::parallelism`]), the scheduler splits
+//! the thread budget: `pool × per-group explorers ≈ parallelism`, so one
+//! giant sharing group (the Barton-style common case) still saturates the
+//! machine instead of pinning a single core.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use rdf_model::FxHashMap;
 use rdf_query::{ConjunctiveQuery, UnionQuery};
@@ -103,32 +119,123 @@ pub fn select_views_partitioned_session(
         prep.extend(store, schema, &effective)?;
         jobs.push((effective, branch_of));
     }
-    // Phase 2: group searches, read-only on the shared session.
-    let prep_ref: &Preparation = prep;
-    let results: Vec<Result<Recommendation, SelectionError>> = if parallel && jobs.len() > 1 {
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = jobs
-                .into_iter()
-                .map(|(effective, branch_of)| {
-                    scope.spawn(move || {
-                        search_session(prep_ref, schema, effective, branch_of, options)
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("group search thread"))
-                .collect()
-        })
-    } else {
-        jobs.into_iter()
-            .map(|(effective, branch_of)| {
-                search_session(prep_ref, schema, effective, branch_of, options)
-            })
-            .collect()
-    };
+    // Phase 2: group searches, read-only on the shared session, dispatched
+    // by the bounded scheduler.
+    let results = run_group_scheduler(prep, schema, jobs, options, parallel);
     let recs: Vec<Recommendation> = results.into_iter().collect::<Result<_, _>>()?;
     Ok(merge_recommendations(&groups, recs))
+}
+
+/// One group's prepared search input.
+type GroupJob = (Vec<ConjunctiveQuery>, Vec<usize>);
+
+/// Dispatches the group searches onto a bounded worker pool,
+/// largest-group-first, capturing per-group panics. Results come back in
+/// group order.
+fn run_group_scheduler(
+    prep: &Preparation,
+    schema: Option<(&Schema, &VocabIds)>,
+    jobs: Vec<GroupJob>,
+    options: &SelectionOptions,
+    parallel: bool,
+) -> Vec<Result<Recommendation, SelectionError>> {
+    let n = jobs.len();
+    // Largest group first: schedule by descending total body atoms, the
+    // driver of search-space size, so the heaviest search never starts
+    // last on a nearly-drained pool.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&i| {
+        std::cmp::Reverse(jobs[i].0.iter().map(|q| q.atoms.len()).sum::<usize>())
+    });
+    let (pool, per_group) = if !parallel {
+        // Sequential dispatch; intra-group parallelism stays exactly as
+        // asked (0 = auto is resolved by the search core itself).
+        (1, options.search.parallelism)
+    } else if options.search.parallelism == 1 {
+        // `parallel = true` with the default search config keeps the
+        // historical meaning — concurrent groups, sequential within — but
+        // bounded by the core count instead of one thread per group.
+        let cores = std::thread::available_parallelism()
+            .map(|c| c.get())
+            .unwrap_or(4);
+        (cores.min(n).max(1), 1)
+    } else {
+        // An explicit thread budget is split between the two layers: with
+        // fewer groups than budgeted threads, the spare threads become
+        // per-group explorers (one giant group still saturates the pool).
+        let budget = options.search.effective_parallelism();
+        let pool = budget.min(n).max(1);
+        (pool, (budget / pool).max(1))
+    };
+    let mut group_options = options.clone();
+    group_options.search.parallelism = per_group;
+
+    let run_one = |job: GroupJob| -> Result<Recommendation, SelectionError> {
+        let (effective, branch_of) = job;
+        catch_unwind(AssertUnwindSafe(|| {
+            search_session(prep, schema, effective, branch_of, &group_options)
+        }))
+        .unwrap_or_else(|payload| {
+            Err(SelectionError::SearchPanicked {
+                detail: panic_detail(payload.as_ref()),
+            })
+        })
+    };
+
+    if pool > 1 {
+        let slots: Vec<Mutex<Option<GroupJob>>> =
+            jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
+        let results: Vec<Mutex<Option<Result<Recommendation, SelectionError>>>> =
+            (0..n).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..pool {
+                scope.spawn(|| loop {
+                    let k = next.fetch_add(1, Ordering::Relaxed);
+                    if k >= n {
+                        break;
+                    }
+                    let gi = order[k];
+                    let job = slots[gi].lock().unwrap().take().expect("job taken once");
+                    *results[gi].lock().unwrap() = Some(run_one(job));
+                });
+            }
+        });
+        results
+            .into_iter()
+            .map(|m| {
+                m.into_inner()
+                    .unwrap()
+                    .expect("scheduler covers all groups")
+            })
+            .collect()
+    } else {
+        // Sequential dispatch still honors the largest-first order (and
+        // the panic capture), so behavior only differs in concurrency.
+        let mut slots: Vec<Option<GroupJob>> = jobs.into_iter().map(Some).collect();
+        let mut results: Vec<Option<Result<Recommendation, SelectionError>>> =
+            (0..n).map(|_| None).collect();
+        for &gi in &order {
+            let job = slots[gi].take().expect("job taken once");
+            results[gi] = Some(run_one(job));
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("scheduler covers all groups"))
+            .collect()
+    }
+}
+
+/// Stringifies a captured panic payload (`&str` and `String` payloads are
+/// the common cases; anything else reports its type opaquely).
+fn panic_detail(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 /// One-shot fallible partitioned selection: prepares a throwaway session
@@ -182,6 +289,8 @@ fn merge_recommendations(groups: &[Vec<usize>], recs: Vec<Recommendation>) -> Re
         stats.discarded += rec.outcome.stats.discarded;
         stats.explored += rec.outcome.stats.explored;
         stats.transitions += rec.outcome.stats.transitions;
+        stats.reexpansions += rec.outcome.stats.reexpansions;
+        stats.frontier_remaining += rec.outcome.stats.frontier_remaining;
         stats.timed_out |= rec.outcome.stats.timed_out;
         stats.out_of_budget |= rec.outcome.stats.out_of_budget;
         stats.elapsed = stats.elapsed.max(rec.outcome.stats.elapsed);

@@ -41,8 +41,8 @@ use rdf_stats::StatsCatalog;
 
 use crate::cost::{CostModel, CostWeights};
 use crate::error::SelectionError;
-use crate::search::{search, SearchConfig, SearchOutcome};
-use crate::state::{State, View};
+use crate::search::{search_seeded, SearchConfig, SearchOutcome};
+use crate::state::{ReseedSource, State, View};
 
 /// How implicit triples participate in view selection (Section 4.3).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -80,6 +80,13 @@ pub struct SelectionOptions {
     /// ([`SelectionError::BudgetExhausted`]) instead of returning the best
     /// state found so far.
     pub fail_on_exhausted_budget: bool,
+    /// Seed the search frontier from the session's previous best state
+    /// when the workload differs by at most one query (±1 delta). The
+    /// warm-started search explores the transition closure of that seed —
+    /// a local search around the previous optimum that creates far fewer
+    /// states than a cold run. `Advisor::recommend_incremental` turns this
+    /// on; plain `recommend` keeps the cold, exhaustive behavior.
+    pub warm_start: bool,
 }
 
 impl SelectionOptions {
@@ -113,6 +120,18 @@ pub struct Preparation {
     catalog: Arc<StatsCatalog>,
     stats_collections: usize,
     saturation_runs: usize,
+    // The last session search's effective workload and best state — the
+    // warm-start cache consumed by `SelectionOptions::warm_start` searches
+    // over ±1-query workload deltas.
+    warm: Option<Arc<WarmStart>>,
+}
+
+/// The warm-start cache entry: the effective (minimized) workload of the
+/// session's last search and its best state.
+#[derive(Debug)]
+struct WarmStart {
+    workload: Vec<ConjunctiveQuery>,
+    best: State,
 }
 
 impl Preparation {
@@ -157,6 +176,7 @@ impl Preparation {
             catalog: Arc::new(catalog),
             stats_collections: 0,
             saturation_runs,
+            warm: None,
         })
     }
 
@@ -218,6 +238,53 @@ impl Preparation {
         };
         self.stats_collections += added;
         Ok(added)
+    }
+
+    /// Records a finished session search as the warm-start cache entry.
+    pub(crate) fn note_warm_start(&mut self, effective: &[ConjunctiveQuery], best: &State) {
+        self.warm = Some(Arc::new(WarmStart {
+            workload: effective.to_vec(),
+            best: best.clone(),
+        }));
+    }
+
+    /// Whether the session holds a warm-start cache entry (primed by any
+    /// successful non-partitioned session search).
+    pub fn has_warm_start(&self) -> bool {
+        self.warm.is_some()
+    }
+
+    /// Builds a warm-start seed for `effective` from the cached previous
+    /// best state, if the two workloads differ by at most one query in
+    /// each direction (±1 delta). Matched queries transplant their
+    /// previous rewriting; an added query starts from its initial
+    /// single-scan view; views no surviving rewriting uses are dropped.
+    /// Returns `None` (cold start) when no cache entry exists or the delta
+    /// is larger.
+    pub(crate) fn warm_seed(&self, effective: &[ConjunctiveQuery]) -> Option<State> {
+        let warm = self.warm.as_deref()?;
+        let mut used = vec![false; warm.workload.len()];
+        let mut sources: Vec<ReseedSource> = Vec::with_capacity(effective.len());
+        let mut fresh = 0usize;
+        for q in effective {
+            let mut source = ReseedSource::Fresh;
+            for (j, old) in warm.workload.iter().enumerate() {
+                if !used[j] && old == q {
+                    used[j] = true;
+                    source = ReseedSource::Carry(j);
+                    break;
+                }
+            }
+            if source == ReseedSource::Fresh {
+                fresh += 1;
+            }
+            sources.push(source);
+        }
+        let removed = used.iter().filter(|u| !**u).count();
+        if fresh > 1 || removed > 1 {
+            return None;
+        }
+        Some(State::reseed(&warm.best, &sources, effective))
     }
 }
 
@@ -300,7 +367,12 @@ pub fn search_session(
     if options.calibrate_cm {
         model.calibrate_cm(&s0);
     }
-    let outcome = search(s0, &model, &options.search);
+    let warm = if options.warm_start {
+        prep.warm_seed(&effective)
+    } else {
+        None
+    };
+    let outcome = search_seeded(s0, warm, &model, &options.search);
     if options.fail_on_exhausted_budget && (outcome.stats.out_of_budget || outcome.stats.timed_out)
     {
         return Err(SelectionError::BudgetExhausted {
@@ -353,7 +425,11 @@ pub fn select_views_session(
     }
     let (effective, branch_of) = effective_workload(prep.reasoning(), schema, workload)?;
     prep.extend(store, schema, &effective)?;
-    search_session(prep, schema, effective, branch_of, options)
+    let rec = search_session(prep, schema, effective, branch_of, options)?;
+    // Prime the warm-start cache: the next ±1-delta workload can seed its
+    // frontier from this best state instead of searching cold.
+    prep.note_warm_start(&rec.workload, &rec.outcome.best_state);
+    Ok(rec)
 }
 
 /// Runs view selection over a store and workload, returning every failure

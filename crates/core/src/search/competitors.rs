@@ -24,6 +24,14 @@
 //! (Figure 4's "failed to produce any solution"). The state budget
 //! ([`super::SearchConfig::max_states`]) reproduces that failure mode
 //! deterministically.
+//!
+//! Phase 1's per-query explorations are independent, so with
+//! [`super::SearchConfig::parallelism`] `> 1` they run on explorer
+//! threads against the one shared [`SearchCore`] (budget and counters
+//! stay global); each exploration drives a stack [`Frontier`] with a
+//! query-local duplicate set.
+
+use std::sync::Mutex;
 
 use rdf_model::FxHashSet;
 use rdf_query::canonical::{canonical_form, HeadMode};
@@ -33,23 +41,55 @@ use crate::state::State;
 use crate::transitions::TransitionKind;
 use crate::unfold::unfold;
 
-use super::{Ctx, Cursor, SearchConfig, SearchOutcome, StrategyKind};
+use super::engine::SearchCore;
+use super::frontier::{Cursor, Frontier, FrontierPolicy, Node};
+use super::StrategyKind;
 
-/// Runs one of the competitor strategies.
-pub(crate) fn run(s0: State, model: &CostModel<'_>, cfg: &SearchConfig) -> SearchOutcome {
+/// Runs one of the competitor strategies against the shared core; the
+/// caller packages the outcome with [`SearchCore::finish`].
+pub(crate) fn run(core: &SearchCore<'_, '_, '_>, s0: &State) {
+    let cfg = core.cfg;
+    let model = core.model;
     let n = s0.rewritings().len();
-    let queries: Vec<rdf_query::ConjunctiveQuery> = (0..n).map(|i| unfold(&s0, i)).collect();
-    let mut ctx = Ctx::new(&s0, model, cfg);
+    let queries: Vec<rdf_query::ConjunctiveQuery> = (0..n).map(|i| unfold(s0, i)).collect();
+    let (_, _) = core.admit_seed(s0, TransitionKind::Vb as u8);
 
-    // Phase 1: exhaustive per-query exploration.
-    let mut per_query: Vec<Vec<State>> = Vec::with_capacity(n);
-    for q in &queries {
-        if ctx.halted() {
-            return ctx.finish();
+    // Phase 1: exhaustive per-query exploration (parallel across queries
+    // when the core has more than one explorer).
+    let mut per_query: Vec<Vec<State>> = if core.workers() > 1 && n > 1 {
+        let slots: Vec<Mutex<Option<Vec<State>>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..core.workers().min(n) {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= n || core.check_halted() {
+                        break;
+                    }
+                    let single = State::initial(std::slice::from_ref(&queries[i]));
+                    let states = explore_all(core, single);
+                    *slots[i].lock().unwrap() = Some(states);
+                });
+            }
+        });
+        if core.check_halted() {
+            return;
         }
-        let single = State::initial(std::slice::from_ref(q));
-        per_query.push(explore_all(&mut ctx, single));
-    }
+        slots
+            .into_iter()
+            .map(|m| m.into_inner().unwrap().unwrap_or_default())
+            .collect()
+    } else {
+        let mut sets = Vec::with_capacity(n);
+        for q in &queries {
+            if core.check_halted() {
+                return;
+            }
+            let single = State::initial(std::slice::from_ref(q));
+            sets.push(explore_all(core, single));
+        }
+        sets
+    };
 
     // Pruning and Heuristic prune the per-query sets before recombination
     // ("their pruning is mostly based on comparing two states and
@@ -102,6 +142,10 @@ pub(crate) fn run(s0: State, model: &CostModel<'_>, cfg: &SearchConfig) -> Searc
         }
     }
 
+    if per_query.iter().any(|s| s.is_empty()) {
+        return; // a halted phase 1 left a query without partial states
+    }
+
     // Phase 2: recombination, one query at a time. Greedy keeps a single
     // best state for every query prefix (including the first).
     let mut combined: Vec<State> = if cfg.strategy == StrategyKind::Greedy {
@@ -111,17 +155,17 @@ pub(crate) fn run(s0: State, model: &CostModel<'_>, cfg: &SearchConfig) -> Searc
         per_query[0].clone()
     };
     for states in per_query.iter().skip(1) {
-        if ctx.halted() {
-            return ctx.finish();
+        if core.check_halted() {
+            return;
         }
         let mut next: Vec<State> = Vec::new();
         for base in &combined {
             for add in states {
-                if ctx.halted() {
-                    return ctx.finish();
+                if core.check_halted() {
+                    return;
                 }
-                ctx.stats.created += 1;
-                let merged = ctx.avf_fixpoint(base.merge_with(add));
+                core.count_created(1);
+                let merged = core.avf_fixpoint(base.merge_with(add));
                 next.push(merged);
             }
         }
@@ -137,43 +181,48 @@ pub(crate) fn run(s0: State, model: &CostModel<'_>, cfg: &SearchConfig) -> Searc
     // Every surviving combination covers the full workload: admit them so
     // the best tracker sees them.
     for s in combined {
-        if ctx.halted() {
+        if core.check_halted() {
             break;
         }
-        let _ = ctx.admit(&s, TransitionKind::Vf as u8);
+        let _ = core.admit(&s, TransitionKind::Vf as u8);
     }
-    ctx.finish()
 }
 
-/// Exhaustive stratified DFS from `start`, returning every distinct state
-/// (including `start`). Uses a query-local duplicate set so identical
-/// workload queries do not starve each other, while global counters and
-/// budgets still apply.
-fn explore_all(ctx: &mut Ctx<'_, '_, '_>, start: State) -> Vec<State> {
+/// Exhaustive stratified DFS from `start` over a stack [`Frontier`],
+/// returning every distinct state (including `start`). Uses a query-local
+/// duplicate set so identical workload queries do not starve each other,
+/// while global counters and budgets still apply.
+fn explore_all(core: &SearchCore<'_, '_, '_>, start: State) -> Vec<State> {
     let mut seen: FxHashSet<u128> = FxHashSet::default();
     seen.insert(start.signature());
     let mut out = vec![start.clone()];
-    let mut stack: Vec<(State, Cursor)> = vec![(start, Cursor::stratified(TransitionKind::Vb))];
-    while let Some((state, cursor)) = stack.last_mut() {
-        if ctx.halted() {
+    let mut frontier = Frontier::new(FrontierPolicy::Lifo);
+    frontier.push(Node::new(
+        std::sync::Arc::new(start),
+        Cursor::stratified(TransitionKind::Vb),
+    ));
+    while let Some(mut node) = frontier.pop() {
+        if core.check_halted() {
             break;
         }
-        match cursor.next(state, &ctx.tcfg) {
+        match node.cursor.next(&node.state, &core.tcfg) {
             Some(t) => {
-                let next = ctx.step(state, &t);
-                ctx.stats.created += 1;
-                if ctx.rejected(&next) {
-                    ctx.stats.discarded += 1;
+                let next = core.step(&node.state, &t);
+                core.count_created(1);
+                if core.rejected(&next) {
+                    core.count_discarded(1);
+                    frontier.push(node);
                 } else if seen.insert(next.signature()) {
                     out.push(next.clone());
-                    stack.push((next, Cursor::stratified(t.kind())));
+                    let child = Node::new(std::sync::Arc::new(next), Cursor::stratified(t.kind()));
+                    frontier.requeue(node, child);
                 } else {
-                    ctx.stats.duplicates += 1;
+                    core.count_duplicates(1);
+                    frontier.push(node);
                 }
             }
             None => {
-                ctx.stats.explored += 1;
-                stack.pop();
+                core.count_explored(1);
             }
         }
     }
@@ -321,5 +370,30 @@ mod tests {
         );
         assert_eq!(out.best_state.rewritings().len(), 2);
         out.best_state.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn parallel_competitor_phase1_matches_sequential() {
+        let mut db = db();
+        let queries = workload(&mut db);
+        let cat = collect_stats(db.store(), db.dict(), &queries);
+        let model = CostModel::new(&cat, CostWeights::default());
+        let base = SearchConfig {
+            strategy: StrategyKind::Pruning,
+            avf: false,
+            stop_var: true,
+            max_states: Some(200_000),
+            ..SearchConfig::default()
+        };
+        let seq = search(State::initial(&queries), &model, &base);
+        let par = search(
+            State::initial(&queries),
+            &model,
+            &SearchConfig {
+                parallelism: 4,
+                ..base
+            },
+        );
+        assert_eq!(seq.best_cost, par.best_cost);
     }
 }

@@ -1,8 +1,8 @@
 //! Search strategies over the space of candidate view sets (Section 5).
 //!
-//! All strategies share one bookkeeping core ([`Ctx`]): a signature-based
-//! duplicate detector, the Figure 5 counters (created / duplicate /
-//! discarded / explored states), a best-state tracker with a
+//! All strategies share one bookkeeping core ([`engine::SearchCore`]): a
+//! signature-based duplicate detector, the Figure 5 counters (created /
+//! duplicate / discarded / explored states), a best-state tracker with a
 //! cost-over-time trace (Figure 7), stop conditions (Section 5.2) and a
 //! state budget standing in for the memory limit that makes the relational
 //! competitor strategies fail on large workloads (Section 6.2).
@@ -24,17 +24,56 @@
 //! The **AVF** optimization (aggressive view fusion) collapses every newly
 //! created state to its VF-fixpoint, discarding the intermediate states —
 //! safe because VF never increases the cost (Section 3.3).
+//!
+//! # Search internals: frontiers, explorers and the shared core
+//!
+//! The search is layered so every strategy is the composition of three
+//! reusable pieces:
+//!
+//! 1. **Frontier** ([`frontier`]) — the exploration-order layer. A
+//!    [`Frontier`](frontier::Frontier) owns pending nodes (state + lazy
+//!    transition [`Cursor`](frontier::Cursor)) under a policy: *queue*
+//!    (EXNAIVE/EXSTR, Algorithm 2's candidate set), *stack* (DFS), or
+//!    *best-only* between GSTR phases. Nodes hold their state behind an
+//!    `Arc`, so moving one between explorers is a pointer copy.
+//! 2. **Shared core** ([`engine`]) — one
+//!    [`SearchCore`](engine::SearchCore) per run: a sharded, lock-striped
+//!    signature table for duplicate detection, relaxed-atomic Figure 5
+//!    counters with the shared `max_states` budget folded into the
+//!    `created` increment, and a gated best tracker whose exact-cost ties
+//!    break on the state signature (so the winner is order-independent).
+//! 3. **Explorers** — [`SearchConfig::parallelism`] threads per search
+//!    (default 1). Each explorer drains a private frontier and donates its
+//!    shallowest node to a shared injector whenever siblings might starve;
+//!    idle explorers steal from the injector and stop when the global
+//!    pending count reaches zero. Exploration *order* differs across
+//!    thread counts, but the reachable state set — and therefore the best
+//!    cost of a completed run — does not.
+//!
+//! For the frontier strategies (EXNAIVE / EXSTR / DFS / GSTR) the
+//! counters keep one cross-thread invariant that tests (and the bench
+//! harness) check: `created + reexpansions == duplicates + discarded +
+//! explored + frontier_remaining`, where
+//! [`SearchStats::frontier_remaining`] is the scheduled-but-unexplored
+//! remainder of a budget-truncated run. The competitor strategies
+//! reproduce the paper's divide-and-conquer accounting instead (partial
+//! states are created and recombined, never scheduled on a frontier), so
+//! their ledger intentionally does not balance this way.
 
 pub mod competitors;
+pub(crate) mod engine;
+pub(crate) mod frontier;
 
-use std::collections::VecDeque;
-use std::time::{Duration, Instant};
-
-use rdf_model::FxHashMap;
+use std::time::Duration;
 
 use crate::cost::CostModel;
 use crate::state::State;
-use crate::transitions::{apply, enumerate, Transition, TransitionConfig, TransitionKind};
+use crate::transitions::TransitionKind;
+
+use engine::{BestCell, SearchCore};
+#[cfg(test)]
+use frontier::Cursor;
+use frontier::{CursorMode, FrontierPolicy};
 
 /// Which strategy drives the search.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -90,7 +129,29 @@ pub struct SearchConfig {
     pub max_states: Option<usize>,
     /// View Break overlap limit (see
     /// [`TransitionConfig::vb_overlap_limit`]).
+    ///
+    /// [`TransitionConfig::vb_overlap_limit`]:
+    /// crate::transitions::TransitionConfig::vb_overlap_limit
     pub vb_overlap_limit: usize,
+    /// Explorer threads expanding one search's state space concurrently.
+    /// `1` (the default) runs the classic sequential loop inline; `0`
+    /// means "one per available core". Parallel runs visit states in a
+    /// different order but complete to the same reachable set, so a
+    /// non-truncated run reports the same best cost at any thread count.
+    pub parallelism: usize,
+}
+
+impl SearchConfig {
+    /// Resolves [`SearchConfig::parallelism`]: `0` becomes the number of
+    /// available cores.
+    pub fn effective_parallelism(&self) -> usize {
+        match self.parallelism {
+            0 => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            n => n,
+        }
+    }
 }
 
 impl Default for SearchConfig {
@@ -103,6 +164,7 @@ impl Default for SearchConfig {
             time_budget: None,
             max_states: Some(500_000),
             vb_overlap_limit: 1,
+            parallelism: 1,
         }
     }
 }
@@ -120,6 +182,18 @@ pub struct SearchStats {
     pub explored: u64,
     /// Transitions applied.
     pub transitions: u64,
+    /// Known states scheduled for another expansion: re-reached at a
+    /// strictly lower stratification phase (Theorem 5.3's completeness
+    /// repair) or force-re-seeded by a GSTR phase. Each is also counted in
+    /// [`SearchStats::duplicates`].
+    pub reexpansions: u64,
+    /// States still scheduled when the run stopped (0 for a completed
+    /// run). For the frontier strategies (EXNAIVE / EXSTR / DFS / GSTR)
+    /// the counters satisfy `created + reexpansions ==
+    /// duplicates + discarded + explored + frontier_remaining`; the
+    /// competitor strategies use the paper's divide-and-conquer
+    /// accounting, which does not schedule states on a frontier.
+    pub frontier_remaining: u64,
     /// `(seconds since start, best cost)` — appended whenever the best
     /// improves.
     pub best_cost_trace: Vec<(f64, f64)>,
@@ -158,380 +232,98 @@ impl SearchOutcome {
 
 /// Runs the configured strategy from `s0`.
 pub fn search(s0: State, model: &CostModel<'_>, cfg: &SearchConfig) -> SearchOutcome {
-    match cfg.strategy {
-        StrategyKind::ExNaive => run_queue(s0, model, cfg, false),
-        StrategyKind::ExStr => run_queue(s0, model, cfg, true),
-        StrategyKind::Dfs => run_dfs(s0, model, cfg),
-        StrategyKind::Gstr => run_gstr(s0, model, cfg),
-        StrategyKind::Pruning | StrategyKind::Greedy | StrategyKind::Heuristic => {
-            competitors::run(s0, model, cfg)
-        }
-    }
+    search_seeded(s0, None, model, cfg)
 }
 
-// ---------------------------------------------------------------------
-// Shared bookkeeping
-// ---------------------------------------------------------------------
-
-pub(crate) struct Ctx<'m, 'a, 'c> {
-    pub model: &'m CostModel<'a>,
-    pub cfg: &'c SearchConfig,
-    pub tcfg: TransitionConfig,
-    seen: FxHashMap<u128, u8>,
-    pub stats: SearchStats,
-    best: State,
-    best_cost: f64,
-    initial_cost: f64,
-    start: Instant,
-    deadline: Option<Instant>,
-    halted: bool,
-}
-
-pub(crate) enum Admission {
-    /// Unseen state (or re-reached at a strictly lower phase): expand it.
-    New,
-    /// Already attained.
-    Duplicate,
-    /// Rejected by a stop condition.
-    Discarded,
-}
-
-impl<'m, 'a, 'c> Ctx<'m, 'a, 'c> {
-    pub fn new(s0: &State, model: &'m CostModel<'a>, cfg: &'c SearchConfig) -> Self {
-        let start = Instant::now();
-        let initial_cost = model.cost(s0);
-        let mut seen = FxHashMap::default();
-        seen.insert(s0.signature(), 0u8);
-        let mut stats = SearchStats {
-            created: 1,
-            ..Default::default()
-        };
-        stats.best_cost_trace.push((0.0, initial_cost));
-        Ctx {
-            model,
-            cfg,
-            tcfg: TransitionConfig {
-                vb_overlap_limit: cfg.vb_overlap_limit,
-            },
-            seen,
-            stats,
-            best: s0.clone(),
-            best_cost: initial_cost,
-            initial_cost,
-            start,
-            deadline: cfg.time_budget.map(|d| start + d),
-            halted: false,
-        }
-    }
-
-    /// Whether the search must stop (time or state budget).
-    pub fn halted(&mut self) -> bool {
-        if self.halted {
-            return true;
-        }
-        if let Some(deadline) = self.deadline {
-            if Instant::now() >= deadline {
-                self.stats.timed_out = true;
-                self.halted = true;
-            }
-        }
-        if let Some(max) = self.cfg.max_states {
-            if self.stats.created as usize >= max {
-                self.stats.out_of_budget = true;
-                self.halted = true;
-            }
-        }
-        self.halted
-    }
-
-    /// Whether a state is rejected by the configured stop conditions.
-    pub(crate) fn rejected(&self, s: &State) -> bool {
-        (self.cfg.stop_tt && s.views().any(|v| v.is_triple_table()))
-            || (self.cfg.stop_var && s.views().any(|v| v.all_variables()))
-    }
-
-    /// Registers a reached state.
-    pub fn admit(&mut self, s: &State, phase: u8) -> Admission {
-        self.stats.created += 1;
-        if self.rejected(s) {
-            self.stats.discarded += 1;
-            return Admission::Discarded;
-        }
-        let sig = s.signature();
-        match self.seen.entry(sig) {
-            std::collections::hash_map::Entry::Occupied(mut e) => {
-                self.stats.duplicates += 1;
-                if phase < *e.get() {
-                    // Reached through an earlier phase: must re-expand for
-                    // the stratified strategies to stay exhaustive.
-                    e.insert(phase);
-                    Admission::New
-                } else {
-                    Admission::Duplicate
-                }
-            }
-            std::collections::hash_map::Entry::Vacant(e) => {
-                e.insert(phase);
-                self.consider_best(s);
-                Admission::New
-            }
-        }
-    }
-
-    fn consider_best(&mut self, s: &State) {
-        let cost = self.model.cost(s);
-        if cost < self.best_cost {
-            self.best_cost = cost;
-            self.best = s.clone();
-            self.stats
-                .best_cost_trace
-                .push((self.start.elapsed().as_secs_f64(), cost));
-        }
-    }
-
-    /// Applies the AVF fixpoint: all fusions, eagerly; intermediate states
-    /// are counted created-and-discarded, matching the paper's accounting.
-    pub fn avf_fixpoint(&mut self, mut s: State) -> State {
-        loop {
-            let vfs = enumerate(&s, TransitionKind::Vf, &self.tcfg);
-            let Some(t) = vfs.first() else {
-                return s;
-            };
-            let fused = apply(&s, t);
-            self.stats.transitions += 1;
-            // Does another fusion remain? If so this state is intermediate.
-            if !enumerate(&fused, TransitionKind::Vf, &self.tcfg).is_empty() {
-                self.stats.created += 1;
-                self.stats.discarded += 1;
-            }
-            s = fused;
-        }
-    }
-
-    /// Produces the successor of `s` by `t`, AVF-collapsed if configured.
-    pub fn step(&mut self, s: &State, t: &Transition) -> State {
-        self.stats.transitions += 1;
-        let next = apply(s, t);
-        if self.cfg.avf {
-            self.avf_fixpoint(next)
-        } else {
-            next
-        }
-    }
-
-    pub fn finish(mut self) -> SearchOutcome {
-        self.stats.elapsed = self.start.elapsed();
-        SearchOutcome {
-            best_state: self.best,
-            best_cost: self.best_cost,
-            initial_cost: self.initial_cost,
-            stats: self.stats,
-        }
-    }
-}
-
-// ---------------------------------------------------------------------
-// Lazy per-state transition cursors
-// ---------------------------------------------------------------------
-
-/// Lazily enumerates the transitions of a state, one stratification phase
-/// at a time, so queued states don't hold their full transition lists.
-pub(crate) struct Cursor {
-    kinds: Vec<TransitionKind>,
-    kind_idx: usize,
-    list: Vec<Transition>,
-    pos: usize,
-}
-
-impl Cursor {
-    /// All four kinds (naive exploration).
-    pub fn all() -> Self {
-        Self::for_kinds(TransitionKind::ALL.to_vec())
-    }
-
-    /// Kinds allowed from a state whose path ends in `phase`, in
-    /// stratified order.
-    pub fn stratified(phase: TransitionKind) -> Self {
-        Self::for_kinds(
-            TransitionKind::ALL
-                .into_iter()
-                .filter(|k| *k >= phase)
-                .collect(),
-        )
-    }
-
-    /// A single kind (GSTR phases).
-    pub fn single(kind: TransitionKind) -> Self {
-        Self::for_kinds(vec![kind])
-    }
-
-    fn for_kinds(kinds: Vec<TransitionKind>) -> Self {
-        Cursor {
-            kinds,
-            kind_idx: 0,
-            list: Vec::new(),
-            pos: 0,
-        }
-    }
-
-    /// The next transition, if any.
-    pub fn next(&mut self, state: &State, tcfg: &TransitionConfig) -> Option<Transition> {
-        loop {
-            if self.pos < self.list.len() {
-                let t = self.list[self.pos].clone();
-                self.pos += 1;
-                return Some(t);
-            }
-            if self.kind_idx >= self.kinds.len() {
-                return None;
-            }
-            self.list = enumerate(state, self.kinds[self.kind_idx], tcfg);
-            self.pos = 0;
-            self.kind_idx += 1;
-        }
-    }
-}
-
-fn phase_tag(kind: TransitionKind) -> u8 {
-    kind as u8
-}
-
-// ---------------------------------------------------------------------
-// EXNAIVE / EXSTR (queue-based exhaustive search, Algorithm 2)
-// ---------------------------------------------------------------------
-
-fn run_queue(
+/// Runs the configured strategy from `s0`, optionally **warm-started**:
+/// when `warm` holds a seed state (a previous recommendation's surviving
+/// views re-assembled for the current workload), the frontier starts at
+/// that seed instead of `s0` and the search explores its transition
+/// closure — a local search around the previous optimum that typically
+/// creates far fewer states than a cold run. `s0` still fixes the
+/// initial-cost baseline and remains the fallback best state, so the
+/// outcome is never worse than no materialization. The competitor
+/// strategies ignore the seed (their divide-and-conquer scheme has no
+/// frontier to seed).
+pub fn search_seeded(
     s0: State,
+    warm: Option<State>,
     model: &CostModel<'_>,
     cfg: &SearchConfig,
-    stratified: bool,
 ) -> SearchOutcome {
-    let mut ctx = Ctx::new(&s0, model, cfg);
-    let mut cs: VecDeque<(State, Cursor)> = VecDeque::new();
-    let cursor = if stratified {
-        Cursor::stratified(TransitionKind::Vb)
-    } else {
-        Cursor::all()
-    };
-    cs.push_back((s0, cursor));
-    while let Some((state, mut cursor)) = cs.pop_front() {
-        if ctx.halted() {
-            break;
+    let core = SearchCore::new(&s0, model, cfg);
+    match cfg.strategy {
+        StrategyKind::ExNaive => {
+            core.explore(
+                vec![warm.unwrap_or(s0)],
+                FrontierPolicy::Fifo,
+                CursorMode::All,
+                None,
+            );
+            core.finish()
         }
-        // applyTrans: find one transition leading to a new state.
-        let mut found = false;
-        while let Some(t) = cursor.next(&state, &ctx.tcfg) {
-            let phase = if stratified { phase_tag(t.kind()) } else { 0 };
-            let next = ctx.step(&state, &t);
-            if matches!(ctx.admit(&next, phase), Admission::New) {
-                let next_cursor = if stratified {
-                    Cursor::stratified(t.kind())
-                } else {
-                    Cursor::all()
-                };
-                cs.push_back((next, next_cursor));
-                found = true;
-                break;
-            }
-            if ctx.halted() {
-                break;
-            }
+        StrategyKind::ExStr => {
+            core.explore(
+                vec![warm.unwrap_or(s0)],
+                FrontierPolicy::Fifo,
+                CursorMode::Stratified,
+                None,
+            );
+            core.finish()
         }
-        if found {
-            cs.push_back((state, cursor));
-        } else {
-            ctx.stats.explored += 1;
+        StrategyKind::Dfs => {
+            core.explore(
+                vec![warm.unwrap_or(s0)],
+                FrontierPolicy::Lifo,
+                CursorMode::Stratified,
+                None,
+            );
+            core.finish()
+        }
+        StrategyKind::Gstr => run_gstr(core, warm.unwrap_or(s0)),
+        StrategyKind::Pruning | StrategyKind::Greedy | StrategyKind::Heuristic => {
+            competitors::run(&core, &s0);
+            core.finish()
         }
     }
-    ctx.finish()
-}
-
-// ---------------------------------------------------------------------
-// DFS (stratified depth-first)
-// ---------------------------------------------------------------------
-
-fn run_dfs(s0: State, model: &CostModel<'_>, cfg: &SearchConfig) -> SearchOutcome {
-    let mut ctx = Ctx::new(&s0, model, cfg);
-    let mut stack: Vec<(State, Cursor)> = vec![(s0, Cursor::stratified(TransitionKind::Vb))];
-    while let Some((state, cursor)) = stack.last_mut() {
-        if ctx.halted() {
-            break;
-        }
-        match cursor.next(state, &ctx.tcfg) {
-            Some(t) => {
-                let phase = phase_tag(t.kind());
-                let next = ctx.step(state, &t);
-                if matches!(ctx.admit(&next, phase), Admission::New) {
-                    stack.push((next, Cursor::stratified(t.kind())));
-                }
-            }
-            None => {
-                ctx.stats.explored += 1;
-                stack.pop();
-            }
-        }
-    }
-    ctx.finish()
 }
 
 // ---------------------------------------------------------------------
 // GSTR (greedy stratified)
 // ---------------------------------------------------------------------
 
-fn run_gstr(s0: State, model: &CostModel<'_>, cfg: &SearchConfig) -> SearchOutcome {
-    let mut ctx = Ctx::new(&s0, model, cfg);
-    let mut current = s0;
+/// GSTR: for each transition kind in stratified order, explore the closure
+/// of the current state under that kind alone and keep only the closure's
+/// best state for the next phase (the frontier collapses to *best-only*
+/// between phases).
+fn run_gstr(core: SearchCore<'_, '_, '_>, start: State) -> SearchOutcome {
+    let mut current = std::sync::Arc::new(start);
     for kind in TransitionKind::ALL {
-        if ctx.halted() {
+        if core.check_halted() {
             break;
         }
-        if cfg.avf && kind == TransitionKind::Vf {
+        if core.cfg.avf && kind == TransitionKind::Vf {
             continue; // AVF keeps every state fusion-saturated already
         }
-        current = explore_single_kind_closure(&mut ctx, current, kind);
-    }
-    ctx.finish()
-}
-
-/// DFS over the closure of `start` under one transition kind; returns the
-/// minimum-cost state of the closure (including `start`).
-fn explore_single_kind_closure(
-    ctx: &mut Ctx<'_, '_, '_>,
-    start: State,
-    kind: TransitionKind,
-) -> State {
-    let mut best = start.clone();
-    let mut best_cost = ctx.model.cost(&start);
-    let mut stack: Vec<(State, Cursor)> = vec![(start, Cursor::single(kind))];
-    while let Some((state, cursor)) = stack.last_mut() {
-        if ctx.halted() {
-            break;
-        }
-        match cursor.next(state, &ctx.tcfg) {
-            Some(t) => {
-                let next = ctx.step(state, &t);
-                if matches!(ctx.admit(&next, phase_tag(kind)), Admission::New) {
-                    let cost = ctx.model.cost(&next);
-                    if cost < best_cost {
-                        best_cost = cost;
-                        best = next.clone();
-                    }
-                    stack.push((next, Cursor::single(kind)));
-                }
-            }
-            None => {
-                ctx.stats.explored += 1;
-                stack.pop();
-            }
+        let phase_best = BestCell::new();
+        core.explore(
+            vec![(*current).clone()],
+            FrontierPolicy::BestOnly,
+            CursorMode::Single(kind),
+            Some(&phase_best),
+        );
+        if let Some(winner) = phase_best.take() {
+            current = winner;
         }
     }
-    best
+    core.finish()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::cost::CostWeights;
+    use crate::transitions::TransitionConfig;
     use rdf_model::{Dataset, Term};
     use rdf_query::parser::parse_query;
     use rdf_stats::collect_stats;
@@ -573,6 +365,7 @@ mod tests {
             time_budget: None,
             max_states: Some(100_000),
             vb_overlap_limit: 1,
+            parallelism: 1,
         }
     }
 
@@ -721,7 +514,7 @@ mod tests {
         .unwrap()
         .query;
         let s0 = State::initial(&[q]);
-        let tcfg = crate::transitions::TransitionConfig::default();
+        let tcfg = TransitionConfig::default();
         let mut cursor = Cursor::stratified(TransitionKind::Vb);
         let mut kinds = Vec::new();
         while let Some(t) = cursor.next(&s0, &tcfg) {
@@ -750,7 +543,9 @@ mod tests {
 
     #[test]
     fn search_stats_add_up() {
-        // created = distinct + duplicates + discarded, for a completed
+        // created + reexpansions =
+        //   duplicates + discarded + explored + frontier_remaining,
+        // and distinct = created - duplicates - discarded, for a completed
         // exhaustive run.
         let mut db = two_const_db();
         let (_qs, s0) = figure3_state(&mut db);
@@ -759,8 +554,13 @@ mod tests {
         let out = search(s0, &model, &exhaustive_cfg(StrategyKind::Dfs));
         let distinct = out.stats.created - out.stats.duplicates - out.stats.discarded;
         assert_eq!(distinct, 9);
+        assert_eq!(out.stats.frontier_remaining, 0);
+        assert_eq!(
+            out.stats.created + out.stats.reexpansions,
+            out.stats.duplicates + out.stats.discarded + out.stats.explored
+        );
         // Every distinct state was fully explored (complete run).
-        assert_eq!(out.stats.explored, distinct);
+        assert_eq!(out.stats.explored - out.stats.reexpansions, distinct);
         assert!(!out.stats.timed_out);
     }
 
@@ -776,5 +576,34 @@ mod tests {
         assert!(out.stats.timed_out);
         // The initial state is always available as a recommendation.
         assert!(out.best_cost <= out.initial_cost);
+    }
+
+    #[test]
+    fn parallel_dfs_matches_sequential_on_figure3() {
+        let mut db = two_const_db();
+        let cat = {
+            let (qs, _) = figure3_state(&mut db);
+            collect_stats(db.store(), db.dict(), &qs)
+        };
+        let model = CostModel::new(&cat, CostWeights::default());
+        let (_, s0a) = figure3_state(&mut db);
+        let seq = search(s0a, &model, &exhaustive_cfg(StrategyKind::Dfs));
+        let (_, s0b) = figure3_state(&mut db);
+        let mut cfg = exhaustive_cfg(StrategyKind::Dfs);
+        cfg.parallelism = 4;
+        let par = search(s0b, &model, &cfg);
+        assert_eq!(par.best_cost, seq.best_cost);
+        assert_eq!(
+            par.stats.created - par.stats.duplicates - par.stats.discarded,
+            9
+        );
+        assert_eq!(par.stats.frontier_remaining, 0);
+        assert_eq!(
+            par.stats.created + par.stats.reexpansions,
+            par.stats.duplicates + par.stats.discarded + par.stats.explored
+        );
+        // Equal-cost ties break on signature, so even the best *state*
+        // agrees across thread counts.
+        assert_eq!(par.best_state.signature(), seq.best_state.signature());
     }
 }

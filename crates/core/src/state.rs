@@ -136,6 +136,65 @@ pub struct State {
 /// deduplicate states reached through different transition paths.
 pub type StateSignature = u128;
 
+/// Canonicalizes one rewriting up to variable renaming and atom order by
+/// encoding it as a conjunctive query over the triple table and reusing
+/// [`canonical_form`]: each view scan becomes a fresh *scan node* variable
+/// `w` with one atom `(w, P, arg)` per argument, where the pseudo-predicate
+/// constant `P` encodes the scanned view's isomorphism class and the
+/// argument's canonical head column. Scan nodes glue an atom's arguments
+/// together, the pseudo-predicates pin them to (class, column), and the
+/// rewriting head participates in declared order — so the canonical key is
+/// identical for every representative of the same abstract rewriting.
+fn rewriting_canonical_key(
+    r: &Rewriting,
+    class_of: &dyn Fn(ViewId) -> u32,
+    forms: &FxHashMap<ViewId, (Vec<rdf_query::canonical::CTok>, Vec<u32>)>,
+) -> Vec<rdf_query::canonical::CTok> {
+    // Pseudo-predicate ids live at the top of the id space, far above any
+    // dictionary id a real workload produces.
+    const PSEUDO_TOP: u32 = u32::MAX;
+    const MAX_COLS: u32 = 256;
+    let first_free_var = r
+        .atoms
+        .iter()
+        .flat_map(|a| a.args.iter())
+        .chain(r.head.iter())
+        .filter_map(|t| match t {
+            QTerm::Var(v) => Some(v.0 + 1),
+            QTerm::Const(_) => None,
+        })
+        .max()
+        .unwrap_or(0);
+    let mut atoms: Vec<Atom> = Vec::new();
+    for (si, scan) in r.atoms.iter().enumerate() {
+        let w = Var(first_free_var + si as u32);
+        let class = class_of(scan.view);
+        let ranks = &forms[&scan.view].1;
+        debug_assert!((ranks.len() as u32) < MAX_COLS);
+        if scan.args.is_empty() {
+            // Zero-arity scan: a marker atom so the scan still appears.
+            let p = rdf_model::Id(PSEUDO_TOP - class * MAX_COLS);
+            atoms.push(Atom::new(QTerm::Var(w), QTerm::Const(p), QTerm::Var(w)));
+        }
+        for (pos, arg) in scan.args.iter().enumerate() {
+            let p = rdf_model::Id(PSEUDO_TOP - (class * MAX_COLS + ranks[pos] + 1));
+            atoms.push(Atom::new(QTerm::Var(w), QTerm::Const(p), *arg));
+        }
+    }
+    let encoded = ConjunctiveQuery::new(r.head.clone(), atoms);
+    canonical_form(&encoded, rdf_query::canonical::HeadMode::Ordered).key
+}
+
+/// Where one query of a re-seeded workload takes its rewriting from (see
+/// [`State::reseed`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ReseedSource {
+    /// Transplant rewriting `j` of the previous best state.
+    Carry(usize),
+    /// Start from the query's initial single-scan view.
+    Fresh,
+}
+
 impl State {
     /// The initial state `S0(Q)`: one view per query (`V0 = Q`), each
     /// rewriting a plain view scan (Section 5.1).
@@ -268,24 +327,70 @@ impl State {
         Ok(())
     }
 
-    /// The state signature: states with the same view sets (up to variable
-    /// renaming and head-column order) collide, per the paper's state
-    /// equivalence.
+    /// The state signature: two states collide exactly when they are the
+    /// same `⟨V, R⟩` of Definition 2.3 up to variable renaming, atom
+    /// order, head-column order and re-identification of isomorphic views.
+    ///
+    /// Both components matter. The view component is the sorted multiset
+    /// of canonical view forms. The rewriting component canonicalizes each
+    /// rewriting as a conjunctive query over *pseudo-predicates* encoding
+    /// `(view isomorphism class, canonical head column)`, so two paths
+    /// that reach the same view set but rewrite a query over *different*
+    /// views (or join columns) yield distinct states — they have different
+    /// evaluation costs, and conflating them would make the best cost
+    /// depend on exploration order (a sequential-vs-parallel divergence
+    /// the test suite checks for).
     pub fn signature(&self) -> StateSignature {
         use std::hash::{Hash, Hasher};
-        let mut keys: Vec<Vec<rdf_query::canonical::CTok>> = self
+        // Canonical form and canonical column ranks per view.
+        let mut forms: FxHashMap<ViewId, (Vec<rdf_query::canonical::CTok>, Vec<u32>)> =
+            FxHashMap::default();
+        for v in self.views.values() {
+            let cf = canonical_form(&v.as_query(), HeadMode::Sorted);
+            // Rank of each head column under the canonical variable
+            // numbering: invariant across representatives that permute
+            // head columns.
+            let numbers: Vec<u32> = v.head.iter().map(|h| cf.var_map[h]).collect();
+            let mut sorted = numbers.clone();
+            sorted.sort_unstable();
+            let ranks = numbers
+                .iter()
+                .map(|n| sorted.iter().position(|x| x == n).unwrap() as u32)
+                .collect();
+            forms.insert(v.id, (cf.key, ranks));
+        }
+        let mut keys: Vec<&Vec<rdf_query::canonical::CTok>> =
+            forms.values().map(|(k, _)| k).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        let class_of = |id: ViewId| -> u32 {
+            let key = &forms[&id].0;
+            keys.binary_search(&key).unwrap() as u32
+        };
+        let mut view_keys: Vec<Vec<rdf_query::canonical::CTok>> = self
             .views
             .values()
-            .map(|v| canonical_form(&v.as_query(), HeadMode::Sorted).key)
+            .map(|v| forms[&v.id].0.clone())
             .collect();
-        keys.sort_unstable();
+        view_keys.sort_unstable();
+        // Rewriting component, one canonical key per query (rewritings are
+        // indexed by query, so their order is stable across paths).
+        let rewriting_keys: Vec<Vec<rdf_query::canonical::CTok>> = self
+            .rewritings
+            .iter()
+            .map(|r| rewriting_canonical_key(r, &class_of, &forms))
+            .collect();
         let mut h1 = rdf_model::fxhash::FxHasher::default();
-        keys.hash(&mut h1);
+        view_keys.hash(&mut h1);
+        rewriting_keys.hash(&mut h1);
         // Second, independent hash: seed with a constant and hash the keys
         // in reverse, so a collision must defeat both.
         let mut h2 = rdf_model::fxhash::FxHasher::default();
         0xdead_beef_u64.hash(&mut h2);
-        for k in keys.iter().rev() {
+        for k in view_keys.iter().rev() {
+            k.hash(&mut h2);
+        }
+        for k in rewriting_keys.iter().rev() {
             k.hash(&mut h2);
         }
         ((h1.finish() as u128) << 64) | h2.finish() as u128
@@ -309,6 +414,73 @@ impl State {
     /// ("DFS-AVF-STV resulted in views with 3.2 atoms on average").
     pub fn total_view_atoms(&self) -> usize {
         self.views.values().map(|v| v.len()).sum()
+    }
+
+    /// Re-assembles a state for a changed workload from a previous best
+    /// state — the warm-start seed for ±1-query workload deltas.
+    ///
+    /// `sources[i]` says where query `i` of the new workload gets its
+    /// rewriting: [`ReseedSource::Carry`]`(j)` transplants the previous
+    /// state's rewriting `j` (the query texts must be identical — the
+    /// pipeline matches minimized, normalized queries), while
+    /// [`ReseedSource::Fresh`] gives the query its initial single-scan
+    /// view, exactly as [`State::initial`] would. Previous views that no
+    /// surviving rewriting uses are dropped, so the seed satisfies
+    /// Definition 2.3's invariants by construction.
+    pub(crate) fn reseed(
+        prev: &State,
+        sources: &[ReseedSource],
+        queries: &[ConjunctiveQuery],
+    ) -> State {
+        assert_eq!(sources.len(), queries.len());
+        let mut next_view_id = prev.next_view_id;
+        let mut rewritings: Vec<Rewriting> = Vec::with_capacity(queries.len());
+        let mut views: BTreeMap<ViewId, View> = BTreeMap::new();
+        for (qi, (source, q)) in sources.iter().zip(queries).enumerate() {
+            match source {
+                ReseedSource::Carry(j) => {
+                    let mut r = prev.rewritings[*j].clone();
+                    r.query_index = qi;
+                    for atom in &r.atoms {
+                        let v = prev.views[&atom.view].clone();
+                        views.insert(v.id, v);
+                    }
+                    rewritings.push(r);
+                }
+                ReseedSource::Fresh => {
+                    assert!(q.is_safe(), "workload query {qi} is unsafe");
+                    assert!(
+                        rdf_query::graph::JoinGraph::new(&q.atoms).is_connected(),
+                        "workload query {qi} contains a Cartesian product; split it first"
+                    );
+                    let id = ViewId(next_view_id);
+                    next_view_id += 1;
+                    let head = q.head_vars();
+                    views.insert(
+                        id,
+                        View {
+                            id,
+                            head: head.clone(),
+                            atoms: q.atoms.clone(),
+                        },
+                    );
+                    let args: Vec<QTerm> = head.iter().map(|&v| QTerm::Var(v)).collect();
+                    rewritings.push(Rewriting {
+                        query_index: qi,
+                        head: q.head.clone(),
+                        atoms: vec![RewAtom { view: id, args }],
+                        next_var: q.max_var().map_or(0, |m| m + 1),
+                    });
+                }
+            }
+        }
+        let seeded = State {
+            views,
+            rewritings,
+            next_view_id,
+        };
+        debug_assert_eq!(seeded.check_invariants(), Ok(()));
+        seeded
     }
 
     /// Merges two states over disjoint workload fragments: views of `other`

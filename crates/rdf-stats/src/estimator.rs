@@ -75,16 +75,15 @@ pub fn estimate_conjunction(atoms: &[RelAtom]) -> f64 {
                             // Intra-atom equality already counted exactly.
                         }
                         _ => {
-                            if prior_here.is_some() {
-                                // Intra-atom equality on an un-baked
-                                // relation: selectivity like a self-join.
-                                card /= atom.stats.d(col);
-                            } else {
-                                occurrences
-                                    .entry(*v)
-                                    .or_default()
-                                    .push((ri, atom.stats.d(col)));
-                            }
+                            // Every occurrence (intra- and cross-atom)
+                            // joins through the same symmetric pool below,
+                            // so the estimate does not depend on column or
+                            // atom order — a requirement for parallel
+                            // search runs to agree on state costs.
+                            occurrences
+                                .entry(*v)
+                                .or_default()
+                                .push((ri, atom.stats.d(col)));
                         }
                     }
                     seen_here.entry(*v).or_insert(col);
@@ -177,7 +176,9 @@ impl<'a> CardinalityEstimator<'a> {
     }
 
     /// Column role (0 = s, 1 = p, 2 = o) of each head term of a view: the
-    /// column of the variable's first body occurrence. Constants and
+    /// smallest column in which the variable occurs anywhere in the body
+    /// (minimum over all occurrences, so the role — and everything derived
+    /// from it — is independent of the body's atom order). Constants and
     /// body-absent variables default to the object role.
     pub fn head_roles(&self, q: &ConjunctiveQuery) -> Vec<usize> {
         q.head
@@ -186,7 +187,8 @@ impl<'a> CardinalityEstimator<'a> {
                 QTerm::Var(v) => q
                     .atoms
                     .iter()
-                    .find_map(|a| a.terms().iter().position(|x| x == &QTerm::Var(*v)))
+                    .filter_map(|a| a.terms().iter().position(|x| x == &QTerm::Var(*v)))
+                    .min()
                     .unwrap_or(2),
                 QTerm::Const(_) => 2,
             })

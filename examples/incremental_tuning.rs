@@ -1,0 +1,80 @@
+//! Incremental workload tuning: a session absorbs query-at-a-time
+//! workload changes, and every ±1 delta warm-starts the search from the
+//! previous best state instead of searching cold.
+//!
+//! Run with: `cargo run --release --example incremental_tuning`
+
+use rdfviews::prelude::*;
+
+fn main() -> Result<(), SelectionError> {
+    // A small catalog: works with painters, locations and types.
+    let mut db = Dataset::new();
+    for i in 0..60 {
+        let w = format!("work{i}");
+        db.insert_terms(
+            Term::uri(w.as_str()),
+            Term::uri("paintedBy"),
+            Term::uri(format!("painter{}", i % 12)),
+        );
+        db.insert_terms(
+            Term::uri(w.as_str()),
+            Term::uri("exhibitedIn"),
+            Term::uri(format!("museum{}", i % 5)),
+        );
+        db.insert_terms(
+            Term::uri(w.as_str()),
+            Term::uri("type"),
+            Term::uri("painting"),
+        );
+    }
+
+    let q1 = parse_query(
+        "q1(W, P) :- t(W, <paintedBy>, P), t(W, <type>, <painting>)",
+        db.dict_mut(),
+    )?;
+    let q2 = parse_query(
+        "q2(V, Q) :- t(V, <paintedBy>, Q), t(V, <type>, <painting>)",
+        db.dict_mut(),
+    )?;
+    let q3 = parse_query(
+        "q3(W, M) :- t(W, <exhibitedIn>, M), t(W, <type>, <painting>)",
+        db.dict_mut(),
+    )?;
+
+    let mut advisor = Advisor::builder(&db).build()?;
+
+    // Queries arrive one at a time; each call re-recommends for the whole
+    // session workload. From the second call on, the search warm-starts.
+    let mut created_log = Vec::new();
+    for (name, q) in [("q1", q1.query), ("q2", q2.query), ("q3", q3.query)] {
+        let rec = advisor.recommend_incremental(WorkloadChange::Add(q))?;
+        created_log.push((name, rec.outcome.stats.created, rec.outcome.best_cost));
+        println!(
+            "+{name}: {} views, best cost {:.1}, {} states created",
+            rec.views.len(),
+            rec.outcome.best_cost,
+            rec.outcome.stats.created
+        );
+    }
+
+    // A cold session over the same final workload pays the full search.
+    let mut cold = Advisor::builder(&db).build()?;
+    let cold_rec = cold.recommend(advisor.workload())?;
+    println!(
+        "cold re-run: best cost {:.1}, {} states created (warm run created {})",
+        cold_rec.outcome.best_cost,
+        cold_rec.outcome.stats.created,
+        created_log.last().unwrap().1,
+    );
+    assert!(created_log.last().unwrap().2 <= cold_rec.outcome.best_cost + 1e-9);
+
+    // Retiring a query also warm-starts, dropping the views only it used.
+    let rec = advisor.recommend_incremental(WorkloadChange::Remove(1))?;
+    println!(
+        "-q2: {} views, best cost {:.1}, {} states created",
+        rec.views.len(),
+        rec.outcome.best_cost,
+        rec.outcome.stats.created
+    );
+    Ok(())
+}

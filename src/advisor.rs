@@ -99,6 +99,19 @@ impl<'a> AdvisorBuilder<'a> {
         self
     }
 
+    /// Sets the number of explorer threads expanding one search's state
+    /// space concurrently (default: 1, the sequential loop; 0 means one
+    /// per available core). Parallel searches visit states in a different
+    /// order but complete to the same reachable set, so a non-truncated
+    /// run reports the same best cost at any setting. Under
+    /// [`Advisor::recommend_partitioned`] the same budget also bounds the
+    /// group scheduler's worker pool, split between concurrent groups and
+    /// per-group explorers.
+    pub fn parallelism(mut self, threads: usize) -> Self {
+        self.options.search.parallelism = threads;
+        self
+    }
+
     /// Makes an exhausted search budget an error
     /// ([`SelectionError::BudgetExhausted`]) instead of a best-effort
     /// result (default: best-effort).
@@ -208,6 +221,12 @@ impl<'a> Advisor<'a> {
         self.options.search.strategy = strategy;
     }
 
+    /// Changes the explorer-thread count for subsequent recommendations
+    /// (see [`AdvisorBuilder::parallelism`]).
+    pub fn set_parallelism(&mut self, threads: usize) {
+        self.options.search.parallelism = threads;
+    }
+
     /// Cumulative number of atom shapes counted against the store. Flat
     /// across calls whose workloads are already covered — the observable
     /// proof that the session skips statistics re-collection.
@@ -262,7 +281,14 @@ impl<'a> Advisor<'a> {
 
     /// Applies one workload change and recommends for the updated session
     /// workload. The statistics of unchanged queries are already in the
-    /// catalog, so only a genuinely new query costs collection work.
+    /// catalog, so only a genuinely new query costs collection work — and
+    /// when the session has already searched (any earlier `recommend` /
+    /// `recommend_incremental` call), the search itself **warm-starts**:
+    /// the frontier is seeded from the previous best state's surviving
+    /// views (plus the added query's initial view), so the ±1-delta
+    /// search explores a small neighborhood of the previous optimum
+    /// instead of the whole space and reports far fewer created states in
+    /// its [`rdfviews_core::SearchStats`].
     ///
     /// The change only commits when the recommendation succeeds: after an
     /// `Err` the session workload is exactly what it was before, so a
@@ -284,7 +310,15 @@ impl<'a> Advisor<'a> {
                 workload.remove(idx);
             }
         }
-        let rec = self.recommend(&workload)?;
+        let mut options = self.options.clone();
+        options.warm_start = true;
+        let rec = select_views_session(
+            &mut self.prep,
+            self.db.store(),
+            self.schema,
+            &workload,
+            &options,
+        )?;
         self.workload = workload;
         Ok(rec)
     }

@@ -14,6 +14,10 @@
 //!                                    result when the budget runs out
 //!   --partition                      search independent workload groups
 //!                                    in parallel (one shared session)
+//!   --threads <n>                    explorer threads per search
+//!                                    (default: 1; 0 = one per core);
+//!                                    with --partition the budget is split
+//!                                    across the group scheduler
 //!   --materialize                    also deploy and report view sizes
 //! ```
 //!
@@ -38,13 +42,15 @@ struct Args {
     strict_budget: bool,
     partition: bool,
     materialize: bool,
+    threads: usize,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: rdfviews <data.nt> <workload.rq> [--mode plain|saturate|pre|post] \
          [--strategy dfs|gstr|exnaive|exstr|pruning|greedy|heuristic] \
-         [--budget SECONDS] [--max-states N] [--strict-budget] [--partition] [--materialize]"
+         [--budget SECONDS] [--max-states N] [--strict-budget] [--partition] [--threads N] \
+         [--materialize]"
     );
     ExitCode::from(2)
 }
@@ -61,6 +67,7 @@ fn parse_args() -> Result<Args, ExitCode> {
         strict_budget: false,
         partition: false,
         materialize: false,
+        threads: 1,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -92,6 +99,9 @@ fn parse_args() -> Result<Args, ExitCode> {
             }
             "--max-states" => {
                 args.max_states = it.next().and_then(|v| v.parse().ok()).ok_or_else(usage)?;
+            }
+            "--threads" => {
+                args.threads = it.next().and_then(|v| v.parse().ok()).ok_or_else(usage)?;
             }
             "--strict-budget" => args.strict_budget = true,
             "--partition" => args.partition = true,
@@ -160,6 +170,7 @@ fn main() -> ExitCode {
         .strategy(args.strategy)
         .budget(args.budget)
         .max_states(args.max_states)
+        .parallelism(args.threads)
         .strict_budget(args.strict_budget);
     if args.mode.needs_schema() {
         eprintln!("schema: {} RDFS statements", schema.len());

@@ -296,43 +296,7 @@ impl Deployment {
     /// Returns the merged maintenance counters; a duplicate triple is a
     /// no-op.
     pub fn insert(&mut self, t: Triple) -> MaintenanceStats {
-        let mut total = MaintenanceStats::default();
-        let mut added: Vec<Triple> = Vec::new();
-        match &mut self.entailment {
-            Some(ent) => {
-                if !ent.explicit.insert(t) {
-                    return total;
-                }
-                if self.store.insert(t) {
-                    added.push(t);
-                }
-                // Saturation is monotone: the consequences of the new
-                // triple are exactly the triples saturate() appends.
-                let before = self.store.len();
-                saturate(&mut self.store, &ent.schema, &ent.vocab);
-                added.extend_from_slice(&self.store.triples()[before..]);
-            }
-            None => {
-                if !self.store.insert(t) {
-                    return total;
-                }
-                added.push(t);
-            }
-        }
-        for a in added {
-            for dv in &mut self.views {
-                let mut changed = false;
-                for b in &mut dv.branches {
-                    let s = b.apply_insert(&self.store, a);
-                    changed |= s.added > 0;
-                    total.merge(s);
-                }
-                if changed {
-                    self.dirty.insert(dv.id);
-                }
-            }
-        }
-        total
+        self.insert_batch(std::slice::from_ref(&t))
     }
 
     /// Applies a triple deletion (delete-and-rederive): candidate rows are
@@ -414,11 +378,59 @@ impl Deployment {
         total
     }
 
-    /// Applies a batch of insertions.
+    /// Applies a batch of insertions. Under saturation reasoning the RDFS
+    /// fixpoint runs **once** for the whole batch (semi-naive: the
+    /// consequences of all new explicit triples are derived together,
+    /// mirroring how [`Deployment::delete_batch`] amortizes the
+    /// entailment-loss computation), and each view's incremental delta is
+    /// applied per derived triple against the fully-updated base store —
+    /// insertion feeds cost one saturation instead of one per triple.
     pub fn insert_batch(&mut self, batch: &[Triple]) -> MaintenanceStats {
         let mut total = MaintenanceStats::default();
-        for &t in batch {
-            total.merge(self.insert(t));
+        let mut added: Vec<Triple> = Vec::new();
+        match &mut self.entailment {
+            Some(ent) => {
+                let mut any = false;
+                for &t in batch {
+                    if ent.explicit.insert(t) {
+                        any = true;
+                        if self.store.insert(t) {
+                            added.push(t);
+                        }
+                    }
+                }
+                if !any {
+                    return total;
+                }
+                // One semi-naive fixpoint for the whole batch: saturation
+                // is monotone, so the consequences of the new triples are
+                // exactly the triples saturate() appends.
+                let before = self.store.len();
+                saturate(&mut self.store, &ent.schema, &ent.vocab);
+                added.extend_from_slice(&self.store.triples()[before..]);
+            }
+            None => {
+                for &t in batch {
+                    if self.store.insert(t) {
+                        added.push(t);
+                    }
+                }
+            }
+        }
+        // Per-triple deltas against the final store; the views' row sets
+        // deduplicate tuples derivable from several batch triples at once.
+        for a in added {
+            for dv in &mut self.views {
+                let mut changed = false;
+                for b in &mut dv.branches {
+                    let s = b.apply_insert(&self.store, a);
+                    changed |= s.added > 0;
+                    total.merge(s);
+                }
+                if changed {
+                    self.dirty.insert(dv.id);
+                }
+            }
         }
         total
     }

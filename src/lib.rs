@@ -58,7 +58,10 @@
 //! ```
 //!
 //! With reasoning, the builder carries the schema and mode; `build`
-//! saturates (or derives saturated statistics) once for the whole session:
+//! saturates (or derives saturated statistics) once for the whole session.
+//! `.parallelism(n)` runs each search with `n` explorer threads (work
+//! stealing over a shared frontier; `0` = one per core) — parallel runs
+//! visit states in a different order but report the same best cost:
 //!
 //! ```no_run
 //! # use rdfviews::prelude::*;
@@ -70,11 +73,19 @@
 //!     .schema(&schema, &vocab)
 //!     .reasoning(ReasoningMode::PostReformulation)
 //!     .strategy(StrategyKind::Dfs)
+//!     .parallelism(4)
 //!     .budget(std::time::Duration::from_secs(10))
 //!     .build()?;
 //! let rec = advisor.recommend(&workload)?;
 //! # Ok::<(), rdfviews::core::SelectionError>(())
 //! ```
+//!
+//! Evolving workloads should go through
+//! [`Advisor::recommend_incremental`](advisor::Advisor::recommend_incremental):
+//! a ±1-query delta **warm-starts** the search from the previous best
+//! state's surviving views, exploring a small neighborhood of the
+//! previous optimum instead of the whole space (observable as far fewer
+//! `created` states in the returned `SearchStats`).
 //!
 //! ## Migrating from the free functions
 //!

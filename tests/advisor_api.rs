@@ -381,6 +381,83 @@ fn incremental_workload_session() {
     assert_eq!(advisor.workload().len(), 1);
 }
 
+/// Warm-started incremental search: after a ±1-query workload delta, the
+/// frontier is seeded from the previous best state's surviving views, so
+/// the search (a) never recommends worse than a cold run over the new
+/// workload, and (b) creates strictly fewer states getting there.
+#[test]
+fn incremental_warm_start_is_no_worse_and_cheaper() {
+    let mut db = painter_db();
+    for i in 0..30 {
+        db.insert_terms(
+            Term::uri(format!("s{i}")),
+            Term::uri("r"),
+            Term::uri(format!("v{}", i % 2)),
+        );
+    }
+    // q0 and q1 are isomorphic (View Fusion improves on S0), so the
+    // session's previous best state is a genuinely non-initial seed.
+    let q0 = parse_query("q0(X) :- t(X, <p>, Y), t(X, <q>, <c>)", db.dict_mut())
+        .unwrap()
+        .query;
+    let q1 = parse_query("q1(A) :- t(A, <p>, B), t(A, <q>, <c>)", db.dict_mut())
+        .unwrap()
+        .query;
+    let q2 = parse_query("q2(X, Y) :- t(X, <r>, Y), t(X, <q>, <c>)", db.dict_mut())
+        .unwrap()
+        .query;
+
+    // Cold baselines from a throwaway session, one per workload.
+    let cold = |workload: &[ConjunctiveQuery]| {
+        let mut advisor = Advisor::builder(&db).build().unwrap();
+        advisor.recommend(workload).unwrap()
+    };
+    let cold_012 = cold(&[q0.clone(), q1.clone(), q2.clone()]);
+    let cold_02 = cold(&[q0.clone(), q2.clone()]);
+
+    // Warm session: grow the workload one query at a time, then shrink.
+    let mut advisor = Advisor::builder(&db).build().unwrap();
+    advisor
+        .recommend_incremental(WorkloadChange::Add(q0))
+        .unwrap();
+    advisor
+        .recommend_incremental(WorkloadChange::Add(q1))
+        .unwrap();
+    let warm_add = advisor
+        .recommend_incremental(WorkloadChange::Add(q2))
+        .unwrap();
+    assert!(
+        warm_add.outcome.best_cost <= cold_012.outcome.best_cost + 1e-9,
+        "warm add: {} vs cold {}",
+        warm_add.outcome.best_cost,
+        cold_012.outcome.best_cost
+    );
+    assert!(
+        warm_add.outcome.stats.created < cold_012.outcome.stats.created,
+        "warm add created {} vs cold {}",
+        warm_add.outcome.stats.created,
+        cold_012.outcome.stats.created
+    );
+
+    let warm_remove = advisor
+        .recommend_incremental(WorkloadChange::Remove(1))
+        .unwrap();
+    assert!(
+        warm_remove.outcome.best_cost <= cold_02.outcome.best_cost + 1e-9,
+        "warm remove: {} vs cold {}",
+        warm_remove.outcome.best_cost,
+        cold_02.outcome.best_cost
+    );
+    assert!(
+        warm_remove.outcome.stats.created < cold_02.outcome.stats.created,
+        "warm remove created {} vs cold {}",
+        warm_remove.outcome.stats.created,
+        cold_02.outcome.stats.created
+    );
+    assert_eq!(advisor.workload().len(), 2);
+    warm_remove.outcome.best_state.check_invariants().unwrap();
+}
+
 /// Deployments can be interrogated for raw tuples (dictionary ids stay
 /// valid across the whole lifecycle).
 #[test]
