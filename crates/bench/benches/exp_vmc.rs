@@ -44,7 +44,7 @@ fn main() {
     generate_matching_data(&data_spec, &mut dict, &mut store, 4_000);
 
     // The update stream: 300 fresh triples over the same vocabulary.
-    let mut feed_store = rdf_model::TripleStore::new();
+    let mut feed_store = rdfviews::model::TripleStore::new();
     let feed_spec = {
         let mut s = data_spec.clone();
         s.seed = 0xfeed;

@@ -50,6 +50,17 @@ pub enum SelectionError {
         /// The mode the call requested.
         requested: ReasoningMode,
     },
+    /// The store changed after the session's statistics were prepared (its
+    /// version stamp moved), so running against the cached preparation
+    /// would silently compute on stale statistics — or answer from views
+    /// that no longer reflect the data. Re-prepare via the session's
+    /// `refresh()` path (or rematerialize the deployment) and retry.
+    StaleSession {
+        /// The store version the session was prepared against.
+        prepared: u64,
+        /// The store's current version.
+        current: u64,
+    },
 }
 
 impl std::fmt::Display for SelectionError {
@@ -75,6 +86,11 @@ impl std::fmt::Display for SelectionError {
             } => write!(
                 f,
                 "session was prepared for {prepared:?} reasoning but {requested:?} was requested"
+            ),
+            SelectionError::StaleSession { prepared, current } => write!(
+                f,
+                "session was prepared at store version {prepared} but the store is now at \
+                 {current}; refresh() the session before recommending"
             ),
         }
     }
@@ -105,6 +121,16 @@ mod tests {
         assert!(e.to_string().contains("Saturation"));
         let e = SelectionError::UnknownQuery { index: 4, len: 2 };
         assert!(e.to_string().contains('4'));
+    }
+
+    #[test]
+    fn stale_session_displays_both_versions() {
+        let e = SelectionError::StaleSession {
+            prepared: 3,
+            current: 9,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains('3') && msg.contains('9'));
     }
 
     #[test]

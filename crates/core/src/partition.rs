@@ -110,6 +110,7 @@ pub fn select_views_partitioned_session(
             requested: options.reasoning,
         });
     }
+    prep.ensure_fresh(store)?;
     let groups = partition_workload(workload);
     // Phase 1, sequential: effective workloads and catalog top-up.
     let mut jobs: Vec<(Vec<ConjunctiveQuery>, Vec<usize>)> = Vec::with_capacity(groups.len());

@@ -120,6 +120,11 @@ pub struct Preparation {
     catalog: Arc<StatsCatalog>,
     stats_collections: usize,
     saturation_runs: usize,
+    // The store's version stamp at preparation time. Session entry points
+    // compare it against the store they are handed: a mismatch means the
+    // data changed underneath the cached statistics and surfaces as
+    // `SelectionError::StaleSession` instead of a silently-stale result.
+    store_version: u64,
     // The last session search's effective workload and best state — the
     // warm-start cache consumed by `SelectionOptions::warm_start` searches
     // over ±1-query workload deltas.
@@ -176,6 +181,7 @@ impl Preparation {
             catalog: Arc::new(catalog),
             stats_collections: 0,
             saturation_runs,
+            store_version: store.version(),
             warm: None,
         })
     }
@@ -183,6 +189,45 @@ impl Preparation {
     /// The reasoning mode this session was prepared for.
     pub fn reasoning(&self) -> ReasoningMode {
         self.mode
+    }
+
+    /// The store version this session was prepared against.
+    pub fn store_version(&self) -> u64 {
+        self.store_version
+    }
+
+    /// Checks that `store` has not changed since preparation. Returns
+    /// [`SelectionError::StaleSession`] when the version stamps differ —
+    /// the cached catalog (and saturated copy) would describe data that no
+    /// longer exists. Every session entry point calls this; a stale
+    /// session recovers via [`Preparation::refresh`].
+    pub fn ensure_fresh(&self, store: &TripleStore) -> Result<(), SelectionError> {
+        if store.version() != self.store_version {
+            return Err(SelectionError::StaleSession {
+                prepared: self.store_version,
+                current: store.version(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Re-runs the per-database preparation against the store's current
+    /// contents: re-saturates (saturation mode), rebuilds the store-level
+    /// statistics, and records the new version stamp. The warm-start cache
+    /// is dropped — its best state was optimized for data that changed.
+    /// The session counters carry over (cumulative), so `saturation_runs`
+    /// counts one extra run per refresh.
+    pub fn refresh(
+        &mut self,
+        store: &TripleStore,
+        dict: &Dictionary,
+        schema: Option<(&Schema, &VocabIds)>,
+    ) -> Result<(), SelectionError> {
+        let mut fresh = Preparation::new(store, dict, schema, self.mode)?;
+        fresh.stats_collections += self.stats_collections;
+        fresh.saturation_runs += self.saturation_runs;
+        *self = fresh;
+        Ok(())
     }
 
     /// The statistics catalog accumulated so far.
@@ -203,8 +248,8 @@ impl Preparation {
         self.stats_collections
     }
 
-    /// How many times the store was saturated (0 or 1 for the session's
-    /// lifetime — never once per call).
+    /// How many times the store was saturated (once per preparation or
+    /// [`Preparation::refresh`] in saturation mode — never once per call).
     pub fn saturation_runs(&self) -> usize {
         self.saturation_runs
     }
@@ -423,6 +468,7 @@ pub fn select_views_session(
             requested: options.reasoning,
         });
     }
+    prep.ensure_fresh(store)?;
     let (effective, branch_of) = effective_workload(prep.reasoning(), schema, workload)?;
     prep.extend(store, schema, &effective)?;
     let rec = search_session(prep, schema, effective, branch_of, options)?;
@@ -691,6 +737,35 @@ mod tests {
             first.outcome.best_state.signature(),
             second.outcome.best_state.signature()
         );
+    }
+
+    #[test]
+    fn mutated_store_stales_the_session_until_refresh() {
+        let (mut db, _schema, _vocab) = museum_db();
+        let queries = workload(&mut db);
+        let options = SelectionOptions::recommended();
+        let mut prep = Preparation::new(db.store(), db.dict(), None, ReasoningMode::Plain).unwrap();
+        let prepared = prep.store_version();
+        select_views_session(&mut prep, db.store(), None, &queries, &options).unwrap();
+
+        // Any store mutation — insert, batch, removal — moves the version.
+        let x = db.dict_mut().intern_uri("late-arrival");
+        db.store_mut().insert([x, x, x]);
+        let err =
+            select_views_session(&mut prep, db.store(), None, &queries, &options).unwrap_err();
+        assert_eq!(
+            err,
+            SelectionError::StaleSession {
+                prepared,
+                current: db.store().version(),
+            }
+        );
+
+        // Refresh re-prepares against the current contents; the session
+        // works again and its catalog reflects the new store version.
+        prep.refresh(db.store(), db.dict(), None).unwrap();
+        assert_eq!(prep.store_version(), db.store().version());
+        select_views_session(&mut prep, db.store(), None, &queries, &options).unwrap();
     }
 
     #[test]

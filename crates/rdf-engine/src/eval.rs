@@ -64,6 +64,39 @@ pub fn evaluate_union(store: &TripleStore, ucq: &UnionQuery) -> Answers {
     Answers::from_set(arity, set)
 }
 
+/// One atom of a mixed evaluation: a triple-table atom or a view scan.
+///
+/// This is the shape of a set-at-a-time delta join (`rdf_engine::maintain`):
+/// one atom position ranges over the Δ set — materialized as a small
+/// 3-column [`ViewTable`] and probed through its on-demand hash indexes —
+/// while every other atom ranges over the store.
+#[derive(Debug, Clone)]
+pub enum MixedAtom<'a> {
+    /// An atom answered from the triple store's permutation indexes.
+    Store(Atom),
+    /// An atom answered from a materialized table.
+    View(ViewAtom<'a>),
+}
+
+/// Evaluates a conjunctive query whose atoms mix triple-table scans and
+/// view-table scans, sharing the single backtracking join core.
+pub fn evaluate_mixed(store: &TripleStore, atoms: &[MixedAtom<'_>], head: &[QTerm]) -> Answers {
+    let eval_atoms: Vec<EvalAtom> = atoms
+        .iter()
+        .map(|ma| match ma {
+            MixedAtom::Store(atom) => EvalAtom::Store { atom: *atom },
+            MixedAtom::View(va) => {
+                assert_eq!(va.args.len(), va.table.arity(), "view atom arity mismatch");
+                EvalAtom::View {
+                    table: va.table,
+                    args: va.args.clone(),
+                }
+            }
+        })
+        .collect();
+    run(store, eval_atoms, head)
+}
+
 /// Evaluates a rewriting: a conjunctive query whose atoms are view scans.
 pub fn evaluate_over_views(atoms: &[ViewAtom<'_>], head: &[QTerm]) -> Answers {
     let eval_atoms: Vec<EvalAtom> = atoms
@@ -467,6 +500,39 @@ mod tests {
         }];
         let a = evaluate_over_views(&atoms, &[x.into()]);
         assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn mixed_atoms_equal_direct_evaluation() {
+        // One atom answered from a 3-column delta-style table, the other
+        // from the store: the mix must agree with pure store evaluation.
+        let mut db = family();
+        let q = parse_query(
+            "q(X, Z) :- t(X, <isParentOf>, Y), t(Y, <hasPainted>, Z)",
+            db.dict_mut(),
+        )
+        .unwrap()
+        .query;
+        let delta = ViewTable::from_rows(3, db.store().triples().iter().map(|t| t.to_vec()));
+        for i in 0..q.atoms.len() {
+            let atoms: Vec<MixedAtom> = q
+                .atoms
+                .iter()
+                .enumerate()
+                .map(|(j, a)| {
+                    if j == i {
+                        MixedAtom::View(ViewAtom {
+                            table: &delta,
+                            args: a.terms().to_vec(),
+                        })
+                    } else {
+                        MixedAtom::Store(*a)
+                    }
+                })
+                .collect();
+            let mixed = evaluate_mixed(db.store(), &atoms, &q.head);
+            assert_eq!(mixed, evaluate(db.store(), &q), "delta at atom {i}");
+        }
     }
 
     #[test]

@@ -17,7 +17,10 @@
 //! * [`evaluate_over_views`] — rewritings, i.e. conjunctive queries whose
 //!   atoms range over view tables (selections encoded by constants in the
 //!   arguments, joins by repeated variables), with hash-indexes built on
-//!   demand per bound-column set.
+//!   demand per bound-column set;
+//! * [`evaluate_mixed`] — atoms mixing store scans and table scans: the
+//!   delta-join shape of set-at-a-time view maintenance ([`maintain`]),
+//!   where one atom position is bound to the whole update batch.
 //!
 //! Answers use **set semantics**, matching the conjunctive-query formalism
 //! of the paper (equivalence is defined through containment mappings).
@@ -43,9 +46,10 @@ mod view_table;
 
 pub use answers::Answers;
 pub use eval::{
-    evaluate, evaluate_over_views, evaluate_union, evaluate_with, EvalOptions, ViewAtom,
+    evaluate, evaluate_mixed, evaluate_over_views, evaluate_union, evaluate_with, EvalOptions,
+    MixedAtom, ViewAtom,
 };
-pub use maintain::{DeleteDelta, MaintainedView, MaintenanceStats};
+pub use maintain::{DeleteDelta, DeltaSet, MaintainedView, MaintenanceStats};
 pub use view_table::ViewTable;
 
 use rdf_model::TripleStore;

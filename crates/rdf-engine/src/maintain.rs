@@ -1,26 +1,32 @@
-//! Incremental view maintenance.
+//! Incremental view maintenance, set-at-a-time.
 //!
 //! The paper's VMC cost term models exactly this work: "the addition of a
 //! triple t⁺ causes the addition of f₁·f₂·…·f_len(v) tuples to v" — the
-//! delta of each view under a triple insertion. This module implements the
-//! classic delta rule for select-project-join views so that the estimate
-//! can be validated against measured maintenance effort (see the
-//! `exp_vmc` bench):
+//! delta of each view under an update. This module implements the delta
+//! rule for select-project-join views **one batch at a time** (semi-naive):
 //!
 //! ```text
-//! Δv(t⁺) = ⋃_i  π_head( atom_1 ⋈ … ⋈ Δatom_i(t⁺) ⋈ … ⋈ atom_n )
+//! Δv(Δ) = ⋃_i  π_head( atom_1 ⋈ … ⋈ Δatom_i ⋈ … ⋈ atom_n )
 //! ```
 //!
-//! where `Δatom_i(t⁺)` binds atom `i` to the inserted triple. The base
-//! store must already contain `t⁺` when the deltas are applied (insert
-//! first, then maintain), which makes repeated application converge to the
-//! same table as rematerialization.
+//! where `Δatom_i` binds atom `i` to the *whole* update set Δ, materialized
+//! as a small 3-column table and probed through on-demand hash indexes
+//! (see [`crate::evaluate_mixed`]). One join pass per atom position
+//! replaces the |Δ| passes of the classic per-triple rule; the per-triple
+//! entry points are thin delegates over singleton batches.
+//!
+//! For insertions the base store must already contain Δ⁺ when the deltas
+//! are applied (insert first, then maintain), which makes repeated
+//! application converge to the same table as rematerialization. Deletions
+//! are two-phase (delete-and-rederive): candidates are collected while Δ⁻
+//! is still stored, the triples leave the store, and each candidate is
+//! re-derived against the shrunken store.
 
 use rdf_model::{FxHashMap, FxHashSet, Id, Triple, TripleStore};
 use rdf_query::{ConjunctiveQuery, QTerm, Var};
 
 use crate::answers::Answers;
-use crate::eval::evaluate;
+use crate::eval::{evaluate, evaluate_mixed, MixedAtom, ViewAtom};
 use crate::view_table::ViewTable;
 
 /// A maintainable materialized view: the definition plus its rows.
@@ -33,12 +39,19 @@ pub struct MaintainedView {
 /// Counters for one maintenance operation.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MaintenanceStats {
-    /// Delta tuples computed (before deduplication against the table).
+    /// Distinct delta tuples derived for the batch — |Δv|, deduplicated
+    /// across atom positions and batch triples, before deduplication
+    /// against the table. This is the measured counterpart of the paper's
+    /// VMC estimate.
     pub delta_tuples: usize,
     /// Rows actually added to the view.
     pub added: usize,
     /// Rows actually removed from the view.
     pub removed: usize,
+    /// Set-at-a-time maintenance passes executed. The deployment layer
+    /// stamps one per batch that reached the delta joins, so a caller can
+    /// verify that an n-triple feed ran one fixpoint — not n.
+    pub batches: usize,
 }
 
 impl MaintenanceStats {
@@ -47,21 +60,56 @@ impl MaintenanceStats {
         self.delta_tuples += other.delta_tuples;
         self.added += other.added;
         self.removed += other.removed;
+        self.batches += other.batches;
     }
 }
 
-/// The prepared phase of a deletion: candidate rows whose derivations may
-/// have used the deleted triple. Produced by
-/// [`MaintainedView::prepare_delete`] *before* the triple leaves the
-/// store, consumed by [`MaintainedView::commit_delete`] *after*.
+/// An update batch snapshotted for delta joins: the triples plus their
+/// 3-column table representation. Built **once** per batch and shared
+/// across every maintained view (a deployment maintains several), so the
+/// batch is not re-copied per view branch.
+#[derive(Debug, Clone)]
+pub struct DeltaSet {
+    triples: Vec<Triple>,
+    table: ViewTable,
+}
+
+impl DeltaSet {
+    /// Snapshots `batch` (duplicates are folded by the table).
+    pub fn new(batch: &[Triple]) -> Self {
+        Self {
+            triples: batch.to_vec(),
+            table: ViewTable::from_rows(3, batch.iter().map(|t| t.to_vec())),
+        }
+    }
+
+    /// The batch triples, as given.
+    pub fn triples(&self) -> &[Triple] {
+        &self.triples
+    }
+
+    /// Whether the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.triples.is_empty()
+    }
+}
+
+/// The prepared phase of a deletion batch: candidate rows whose
+/// derivations may have used a deleted triple. Produced by
+/// [`MaintainedView::prepare_delete_batch`] *before* the triples leave the
+/// store, consumed by [`MaintainedView::commit_delete_batch`] *after*.
 #[derive(Debug, Clone)]
 pub struct DeleteDelta {
-    triple: Triple,
+    /// Kept only to debug-check the commit-after-removal protocol; release
+    /// builds carry just the candidates.
+    #[cfg(debug_assertions)]
+    triples: Vec<Triple>,
     candidates: Vec<Vec<Id>>,
 }
 
 impl DeleteDelta {
-    /// Candidate rows identified in the prepare phase.
+    /// Candidate rows identified in the prepare phase (deduplicated across
+    /// atom positions and batch triples).
     pub fn candidates(&self) -> &[Vec<Id>] {
         &self.candidates
     }
@@ -99,59 +147,105 @@ impl MaintainedView {
         Answers::from_tuples(self.def.head.len(), self.rows.iter().cloned())
     }
 
-    /// Applies the insertion of `triple` (already present in `store`):
-    /// computes the delta via one bound evaluation per atom and merges it.
-    pub fn apply_insert(&mut self, store: &TripleStore, triple: Triple) -> MaintenanceStats {
-        let mut stats = MaintenanceStats::default();
+    /// The delta-set join: Δv = ⋃_i π_head(a₁ ⋈ … ⋈ Δaᵢ ⋈ … ⋈ aₙ), with Δ
+    /// materialized as a 3-column table whose hash indexes are built on
+    /// demand per bound-column set — one join pass per atom position.
+    /// Returns the distinct delta tuples.
+    fn delta_join(&self, store: &TripleStore, delta: &DeltaSet) -> FxHashSet<Vec<Id>> {
+        let mut delta_set: FxHashSet<Vec<Id>> = FxHashSet::default();
+        if delta.is_empty() {
+            return delta_set;
+        }
         for i in 0..self.def.atoms.len() {
-            let Some(bound) = bind_atom_to_triple(&self.def, i, triple) else {
-                continue; // the triple cannot match this atom
-            };
-            for tuple in evaluate(store, &bound).into_tuples() {
-                stats.delta_tuples += 1;
-                if self.rows.insert(tuple) {
-                    stats.added += 1;
-                }
+            let atoms: Vec<MixedAtom> = self
+                .def
+                .atoms
+                .iter()
+                .enumerate()
+                .map(|(j, a)| {
+                    if j == i {
+                        MixedAtom::View(ViewAtom {
+                            table: &delta.table,
+                            args: a.terms().to_vec(),
+                        })
+                    } else {
+                        MixedAtom::Store(*a)
+                    }
+                })
+                .collect();
+            delta_set.extend(evaluate_mixed(store, &atoms, &self.def.head).into_tuples());
+        }
+        delta_set
+    }
+
+    /// Applies a batch of insertions (already present in `store`) from a
+    /// prebuilt [`DeltaSet`]: one delta-set join pass per atom position,
+    /// merged into the table. Deployments maintaining several views build
+    /// the delta set once and share it here.
+    pub fn apply_insert_delta(
+        &mut self,
+        store: &TripleStore,
+        delta: &DeltaSet,
+    ) -> MaintenanceStats {
+        let mut stats = MaintenanceStats::default();
+        for tuple in self.delta_join(store, delta) {
+            stats.delta_tuples += 1;
+            if self.rows.insert(tuple) {
+                stats.added += 1;
             }
         }
         stats
     }
 
-    /// Applies a batch of insertions: the triples must already be in
-    /// `store`; deltas are computed per triple (naive batch).
-    pub fn apply_batch(&mut self, store: &TripleStore, batch: &[Triple]) -> MaintenanceStats {
-        let mut total = MaintenanceStats::default();
-        for &t in batch {
-            total.merge(self.apply_insert(store, t));
-        }
-        total
+    /// Applies a batch of insertions (already present in `store`),
+    /// snapshotting the batch itself: a delegate over
+    /// [`MaintainedView::apply_insert_delta`].
+    pub fn apply_insert_batch(
+        &mut self,
+        store: &TripleStore,
+        batch: &[Triple],
+    ) -> MaintenanceStats {
+        self.apply_insert_delta(store, &DeltaSet::new(batch))
     }
 
-    /// Phase 1 of a deletion (delete-and-rederive): collects the rows whose
-    /// derivations may involve `triple`. Must run while `triple` is still
-    /// in `store` — once it is gone, derivations that used it in *several*
-    /// atoms at once can no longer be enumerated.
-    pub fn prepare_delete(&self, store: &TripleStore, triple: Triple) -> DeleteDelta {
-        let mut candidates: FxHashSet<Vec<Id>> = FxHashSet::default();
-        for i in 0..self.def.atoms.len() {
-            let Some(bound) = bind_atom_to_triple(&self.def, i, triple) else {
-                continue;
-            };
-            candidates.extend(evaluate(store, &bound).into_tuples());
-        }
+    /// Applies the insertion of one `triple` (already present in `store`):
+    /// a thin delegate over a singleton [`MaintainedView::apply_insert_batch`].
+    pub fn apply_insert(&mut self, store: &TripleStore, triple: Triple) -> MaintenanceStats {
+        self.apply_insert_batch(store, std::slice::from_ref(&triple))
+    }
+
+    /// Phase 1 of a deletion batch (delete-and-rederive) from a prebuilt
+    /// [`DeltaSet`]: collects the rows whose derivations may involve any
+    /// triple of the batch, in one delta-set join pass per atom position.
+    /// Must run while the batch is still in `store` — once the triples are
+    /// gone, derivations that used several of them at once can no longer
+    /// be enumerated.
+    pub fn prepare_delete_delta(&self, store: &TripleStore, delta: &DeltaSet) -> DeleteDelta {
         DeleteDelta {
-            triple,
-            candidates: candidates.into_iter().collect(),
+            #[cfg(debug_assertions)]
+            triples: delta.triples.clone(),
+            candidates: self.delta_join(store, delta).into_iter().collect(),
         }
     }
 
-    /// Phase 2 of a deletion: re-derives each candidate over the store
-    /// *after* `delta.triple` was removed, and drops the rows that no
+    /// Phase 1 of a deletion batch, snapshotting the batch itself: a
+    /// delegate over [`MaintainedView::prepare_delete_delta`].
+    pub fn prepare_delete_batch(&self, store: &TripleStore, batch: &[Triple]) -> DeleteDelta {
+        self.prepare_delete_delta(store, &DeltaSet::new(batch))
+    }
+
+    /// Phase 2 of a deletion batch: re-derives each candidate over the
+    /// store *after* the batch was removed, and drops the rows that no
     /// longer have a derivation.
-    pub fn commit_delete(&mut self, store: &TripleStore, delta: &DeleteDelta) -> MaintenanceStats {
+    pub fn commit_delete_batch(
+        &mut self,
+        store: &TripleStore,
+        delta: &DeleteDelta,
+    ) -> MaintenanceStats {
+        #[cfg(debug_assertions)]
         debug_assert!(
-            !store.contains(delta.triple),
-            "commit_delete runs after the triple leaves the store"
+            delta.triples.iter().all(|&t| !store.contains(t)),
+            "commit_delete_batch runs after the batch leaves the store"
         );
         let mut stats = MaintenanceStats::default();
         for row in &delta.candidates {
@@ -165,6 +259,18 @@ impl MaintainedView {
             }
         }
         stats
+    }
+
+    /// Phase 1 of a single-triple deletion: a thin delegate over a
+    /// singleton [`MaintainedView::prepare_delete_batch`].
+    pub fn prepare_delete(&self, store: &TripleStore, triple: Triple) -> DeleteDelta {
+        self.prepare_delete_batch(store, std::slice::from_ref(&triple))
+    }
+
+    /// Phase 2 of a single-triple deletion: identical to
+    /// [`MaintainedView::commit_delete_batch`].
+    pub fn commit_delete(&mut self, store: &TripleStore, delta: &DeleteDelta) -> MaintenanceStats {
+        self.commit_delete_batch(store, delta)
     }
 
     /// Whether `row` still has a derivation over `store`: evaluates the
@@ -192,50 +298,6 @@ impl MaintainedView {
         }
         !evaluate(store, &self.def.substitute(&subst)).is_empty()
     }
-}
-
-/// Specializes the view to `triple` at atom `i`: substitutes the atom's
-/// variables by the triple's ids (unifying), drops the atom (its constraint
-/// is now satisfied by the binding) and keeps the remaining body. Returns
-/// `None` when the triple cannot match the atom.
-fn bind_atom_to_triple(
-    def: &ConjunctiveQuery,
-    i: usize,
-    triple: Triple,
-) -> Option<ConjunctiveQuery> {
-    let atom = &def.atoms[i];
-    let mut subst: FxHashMap<Var, QTerm> = FxHashMap::default();
-    for (term, value) in atom.terms().iter().zip(triple.iter()) {
-        match term {
-            QTerm::Const(c) => {
-                if c != value {
-                    return None;
-                }
-            }
-            QTerm::Var(v) => match subst.get(v) {
-                Some(QTerm::Const(prev)) => {
-                    if prev != value {
-                        return None;
-                    }
-                }
-                _ => {
-                    subst.insert(*v, QTerm::Const(*value));
-                }
-            },
-        }
-    }
-    let mut atoms = def.atoms.clone();
-    atoms.remove(i);
-    let specialized = ConjunctiveQuery::new(def.head.clone(), atoms).substitute(&subst);
-    if specialized.atoms.is_empty() {
-        // Single-atom view: the delta is the projected binding itself,
-        // provided the head is fully grounded by the substitution.
-        let grounded = specialized.head.iter().all(|t| !t.is_var());
-        if !grounded {
-            return None; // unsafe degenerate case; cannot happen for safe views
-        }
-    }
-    Some(specialized)
 }
 
 #[cfg(test)]
@@ -352,11 +414,45 @@ mod tests {
                 batch.push([s, works_at, site]);
             }
         }
-        for &t in &batch {
-            db.store_mut().insert(t);
-        }
-        view.apply_batch(db.store(), &batch);
+        let added = db.store_mut().insert_batch(&batch);
+        assert_eq!(added.len(), batch.len());
+        view.apply_insert_batch(db.store(), &batch);
         assert_consistent(&view, db.store());
+    }
+
+    /// The one-pass-per-atom batch delta agrees — tuple for tuple — with
+    /// per-triple application, and never computes *more* delta tuples.
+    #[test]
+    fn batch_delta_matches_per_triple_and_saves_work() {
+        let (mut db, q) = setup();
+        let knows = db.dict().lookup_uri("knows").unwrap();
+        let works_at = db.dict().lookup_uri("worksAt").unwrap();
+        let mut batch = Vec::new();
+        for i in 0..12 {
+            let s = db.dict_mut().intern_uri(&format!("n{i}"));
+            let o = db.dict_mut().intern_uri(&format!("n{}", (i + 1) % 12));
+            batch.push([s, knows, o]);
+            let site = db.dict_mut().intern_uri(&format!("site{}", i % 2));
+            batch.push([s, works_at, site]);
+        }
+        let mut batched = MaintainedView::new(db.store(), q.clone());
+        let mut per_triple = MaintainedView::new(db.store(), q);
+
+        db.store_mut().insert_batch(&batch);
+        let bstats = batched.apply_insert_batch(db.store(), &batch);
+        let mut pstats = MaintenanceStats::default();
+        for &t in &batch {
+            pstats.merge(per_triple.apply_insert(db.store(), t));
+        }
+        assert_eq!(batched.to_answers(), per_triple.to_answers());
+        assert_eq!(bstats.added, pstats.added);
+        assert!(
+            bstats.delta_tuples <= pstats.delta_tuples,
+            "batched {} vs per-triple {}",
+            bstats.delta_tuples,
+            pstats.delta_tuples
+        );
+        assert_consistent(&batched, db.store());
     }
 
     #[test]
@@ -404,7 +500,7 @@ mod tests {
     fn delete_keeps_rederivable_rows() {
         // (b, acme) is derivable through two "knows" paths; removing one
         // must keep the row.
-        let (mut db, q) = setup();
+        let (mut db, _) = setup();
         let a2 = db.dict_mut().intern_uri("a2");
         let knows = db.dict().lookup_uri("knows").unwrap();
         let b = db.dict().lookup_uri("b").unwrap();
@@ -456,6 +552,52 @@ mod tests {
         let stats = delete_triple(&mut view, &mut db, [b, p, a]);
         assert_eq!(stats.removed, 1, "b gone, a survives via its self-loop");
         assert_consistent(&view, db.store());
+    }
+
+    #[test]
+    fn batched_delete_matches_sequential_deletes() {
+        let (mut db, q) = setup();
+        let knows = db.dict().lookup_uri("knows").unwrap();
+        let works_at = db.dict().lookup_uri("worksAt").unwrap();
+        let mut extra = Vec::new();
+        for i in 0..10 {
+            let s = db.dict_mut().intern_uri(&format!("d{i}"));
+            let o = db.dict_mut().intern_uri(&format!("d{}", (i + 1) % 10));
+            extra.push([s, knows, o]);
+            let site = db.dict_mut().intern_uri(&format!("site{}", i % 3));
+            extra.push([s, works_at, site]);
+        }
+        db.store_mut().insert_batch(&extra);
+        let doomed: Vec<Triple> = extra.iter().copied().step_by(2).collect();
+
+        // Batched: one prepare/commit pair for the whole set.
+        let mut batched = MaintainedView::new(db.store(), q.clone());
+        let mut batched_store = db.store().clone();
+        let delta = batched.prepare_delete_batch(&batched_store, &doomed);
+        batched_store.remove_batch(&doomed);
+        let bstats = batched.commit_delete_batch(&batched_store, &delta);
+
+        // Sequential per-triple deletes over an identical copy.
+        let mut seq = MaintainedView::new(db.store(), q.clone());
+        let mut seq_store = db.store().clone();
+        let mut pstats = MaintenanceStats::default();
+        for &t in &doomed {
+            let d = seq.prepare_delete(&seq_store, t);
+            seq_store.remove(t);
+            pstats.merge(seq.commit_delete(&seq_store, &d));
+        }
+        assert_eq!(batched.to_answers(), seq.to_answers());
+        assert_eq!(bstats.removed, pstats.removed);
+        assert!(
+            bstats.delta_tuples <= pstats.delta_tuples,
+            "batched {} vs per-triple {}",
+            bstats.delta_tuples,
+            pstats.delta_tuples
+        );
+        assert_eq!(
+            batched.to_answers(),
+            evaluate(&batched_store, batched.definition())
+        );
     }
 
     #[test]

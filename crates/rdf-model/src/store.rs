@@ -146,6 +146,14 @@ impl TripleStore {
         }
     }
 
+    /// The store's version stamp: a counter bumped by every mutation
+    /// (once per call for the batch entry points). Snapshot caches — and
+    /// the selection pipeline's `Preparation` sessions — compare versions
+    /// to detect that the data changed underneath them.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
     /// Inserts a triple; returns `true` if it was not present before.
     pub fn insert(&mut self, t: Triple) -> bool {
         if !self.seen.insert(t) {
@@ -154,6 +162,25 @@ impl TripleStore {
         self.triples.push(t);
         self.version += 1;
         true
+    }
+
+    /// Inserts a batch of triples, deduplicating against the triple set
+    /// (and within the batch). Returns the triples that were actually new,
+    /// in batch order. The version stamp is bumped **once** for the whole
+    /// batch, so index snapshots are invalidated once instead of per
+    /// triple.
+    pub fn insert_batch(&mut self, batch: &[Triple]) -> Vec<Triple> {
+        let mut added = Vec::new();
+        for &t in batch {
+            if self.seen.insert(t) {
+                self.triples.push(t);
+                added.push(t);
+            }
+        }
+        if !added.is_empty() {
+            self.version += 1;
+        }
+        added
     }
 
     /// Inserts every triple of an iterator; returns how many were new.
@@ -177,6 +204,27 @@ impl TripleStore {
         self.triples.remove(pos);
         self.version += 1;
         true
+    }
+
+    /// Removes a batch of triples. Returns the triples that were actually
+    /// present (deduplicated), in batch order. Unlike repeated
+    /// [`TripleStore::remove`] calls — O(n) each — the surviving triple
+    /// list is rebuilt in **one** retain pass, and the version stamp is
+    /// bumped once for the whole batch.
+    pub fn remove_batch(&mut self, batch: &[Triple]) -> Vec<Triple> {
+        let mut removed = Vec::new();
+        for &t in batch {
+            if self.seen.remove(&t) {
+                removed.push(t);
+            }
+        }
+        if removed.is_empty() {
+            return removed;
+        }
+        let doomed: FxHashSet<Triple> = removed.iter().copied().collect();
+        self.triples.retain(|t| !doomed.contains(t));
+        self.version += 1;
+        removed
     }
 
     /// Membership test (hash lookup, no index needed).
@@ -415,6 +463,67 @@ mod tests {
             st.triples(),
             &[[Id(1), Id(2), Id(3)], [Id(7), Id(8), Id(9)]]
         );
+    }
+
+    #[test]
+    fn batch_insert_dedups_and_bumps_version_once() {
+        let mut st = store_with(5);
+        let v0 = st.version();
+        let existing = st.triples()[0];
+        let batch = [
+            [Id(90), Id(100), Id(90)],
+            existing, // duplicate vs store
+            [Id(91), Id(100), Id(91)],
+            [Id(90), Id(100), Id(90)], // duplicate within batch
+        ];
+        let added = st.insert_batch(&batch);
+        assert_eq!(
+            added,
+            vec![[Id(90), Id(100), Id(90)], [Id(91), Id(100), Id(91)]]
+        );
+        assert_eq!(st.version(), v0 + 1, "one bump per batch");
+        // A fully-duplicate batch is a version no-op.
+        assert!(st.insert_batch(&batch).is_empty());
+        assert_eq!(st.version(), v0 + 1);
+        // The indexes see the batch.
+        assert_eq!(
+            st.match_count(&StorePattern::exact(Id(91), Id(100), Id(91))),
+            1
+        );
+    }
+
+    #[test]
+    fn batch_remove_dedups_and_preserves_order() {
+        let mut st = TripleStore::new();
+        st.insert([Id(1), Id(2), Id(3)]);
+        st.insert([Id(4), Id(5), Id(6)]);
+        st.insert([Id(7), Id(8), Id(9)]);
+        let v0 = st.version();
+        let removed = st.remove_batch(&[
+            [Id(4), Id(5), Id(6)],
+            [Id(9), Id(9), Id(9)], // absent
+            [Id(4), Id(5), Id(6)], // duplicate within batch
+            [Id(1), Id(2), Id(3)],
+        ]);
+        assert_eq!(removed, vec![[Id(4), Id(5), Id(6)], [Id(1), Id(2), Id(3)]]);
+        assert_eq!(st.version(), v0 + 1, "one bump per batch");
+        assert_eq!(st.triples(), &[[Id(7), Id(8), Id(9)]]);
+        // Removing nothing is a version no-op.
+        assert!(st.remove_batch(&[[Id(9), Id(9), Id(9)]]).is_empty());
+        assert_eq!(st.version(), v0 + 1);
+    }
+
+    #[test]
+    fn batch_remove_matches_sequential_removes() {
+        let mut a = store_with(9);
+        let mut b = a.clone();
+        let doomed: Vec<Triple> = a.triples().iter().copied().step_by(3).collect();
+        let removed = a.remove_batch(&doomed);
+        assert_eq!(removed, doomed);
+        for &t in &doomed {
+            assert!(b.remove(t));
+        }
+        assert_eq!(a.triples(), b.triples());
     }
 
     #[test]

@@ -45,14 +45,14 @@ fn main() -> Result<(), SelectionError> {
     );
 
     let started = Instant::now();
-    let mut client = advisor.deploy(rec);
+    let mut client = advisor.deploy(rec)?;
     println!(
         "deployed {} views / {} rows in {:.2}s — this is ALL the client needs",
         client.view_count(),
-        client.total_rows(),
+        client.total_rows()?,
         started.elapsed().as_secs_f64()
     );
-    let view_cells = client.total_cells();
+    let view_cells = client.total_cells()?;
     let base_cells = data.db.len() * 3;
     println!(
         "client footprint: {view_cells} cells vs {base_cells} cells in the full triple table \

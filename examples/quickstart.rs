@@ -67,12 +67,12 @@ fn main() -> Result<(), SelectionError> {
     println!("\n(second recommend() reused all {collected} cached atom counts)");
 
     // -- 4. Deploy: materialize and answer the workload offline. ---------
-    let mut deployment = advisor.deploy(rec);
+    let mut deployment = advisor.deploy(rec)?;
     println!("\n== deployment ==");
     println!(
         "{} views, {} total rows",
         deployment.view_count(),
-        deployment.total_rows()
+        deployment.total_rows()?
     );
 
     let answers = deployment.answer(0)?;

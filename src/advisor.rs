@@ -21,7 +21,7 @@
 //!
 //! let mut advisor = Advisor::builder(&db).build().unwrap();
 //! let rec = advisor.recommend(&[q.query]).unwrap();
-//! let mut deployment = advisor.deploy(rec);
+//! let mut deployment = advisor.deploy(rec).unwrap();
 //! let answers = deployment.answer(0).unwrap();
 //! assert_eq!(answers, rdfviews::engine::evaluate(db.store(), &deployment.recommendation().workload[0]));
 //! ```
@@ -39,15 +39,34 @@ use rdfviews_core::{
 
 use crate::exec::Deployment;
 
+/// The advisor's dataset: borrowed for the classic read-only session, or
+/// owned for the **writable-store mode** where the session itself holds
+/// the data and hands out mutable access ([`Advisor::dataset_mut`]).
+#[derive(Debug, Clone)]
+enum AdvisorData<'a> {
+    Borrowed(&'a Dataset),
+    Owned(Box<Dataset>),
+}
+
+impl AdvisorData<'_> {
+    fn get(&self) -> &Dataset {
+        match self {
+            AdvisorData::Borrowed(db) => db,
+            AdvisorData::Owned(db) => db,
+        }
+    }
+}
+
 /// Configures and validates an [`Advisor`]. Created by
-/// [`Advisor::builder`]; every setter is chainable and [`build`]
+/// [`Advisor::builder`] (borrowed dataset) or [`Advisor::builder_owned`]
+/// (writable-store mode); every setter is chainable and [`build`]
 /// (`AdvisorBuilder::build`) performs the one-time per-database
 /// preparation.
 ///
 /// [`build`]: AdvisorBuilder::build
 #[derive(Debug, Clone)]
 pub struct AdvisorBuilder<'a> {
-    db: &'a Dataset,
+    db: AdvisorData<'a>,
     schema: Option<(&'a Schema, &'a VocabIds)>,
     options: SelectionOptions,
 }
@@ -136,8 +155,8 @@ impl<'a> AdvisorBuilder<'a> {
     /// needs a schema and none was attached.
     pub fn build(self) -> Result<Advisor<'a>, SelectionError> {
         let prep = Preparation::new(
-            self.db.store(),
-            self.db.dict(),
+            self.db.get().store(),
+            self.db.get().dict(),
             self.schema,
             self.options.reasoning,
         )?;
@@ -172,7 +191,7 @@ pub enum WorkloadChange {
 /// misconfiguration.
 #[derive(Debug, Clone)]
 pub struct Advisor<'a> {
-    db: &'a Dataset,
+    db: AdvisorData<'a>,
     schema: Option<(&'a Schema, &'a VocabIds)>,
     options: SelectionOptions,
     prep: Preparation,
@@ -180,18 +199,63 @@ pub struct Advisor<'a> {
 }
 
 impl<'a> Advisor<'a> {
-    /// Starts configuring an advisor for `db`.
+    /// Starts configuring an advisor for a borrowed `db` (the classic
+    /// read-only session — the borrow itself guarantees the data cannot
+    /// change underneath the preparation).
     pub fn builder(db: &'a Dataset) -> AdvisorBuilder<'a> {
         AdvisorBuilder {
-            db,
+            db: AdvisorData::Borrowed(db),
+            schema: None,
+            options: SelectionOptions::recommended(),
+        }
+    }
+
+    /// Starts configuring an advisor that **owns** its dataset — the
+    /// writable-store mode. The session hands out mutable access through
+    /// [`Advisor::dataset_mut`]; once the store's version stamp moves past
+    /// the prepared one, every recommendation entry point returns
+    /// [`SelectionError::StaleSession`] (instead of silently computing on
+    /// stale statistics) until [`Advisor::refresh`] re-prepares.
+    pub fn builder_owned(db: Dataset) -> AdvisorBuilder<'a> {
+        AdvisorBuilder {
+            db: AdvisorData::Owned(Box::new(db)),
             schema: None,
             options: SelectionOptions::recommended(),
         }
     }
 
     /// The database this session advises.
-    pub fn dataset(&self) -> &'a Dataset {
-        self.db
+    pub fn dataset(&self) -> &Dataset {
+        self.db.get()
+    }
+
+    /// Mutable access to the session's dataset — the writable-store mode
+    /// entry point, available only for advisors built with
+    /// [`Advisor::builder_owned`] (`None` for borrowed sessions). Mutating
+    /// the store makes the session stale: subsequent `recommend*` /
+    /// `deploy` calls fail with [`SelectionError::StaleSession`] until
+    /// [`Advisor::refresh`] runs.
+    pub fn dataset_mut(&mut self) -> Option<&mut Dataset> {
+        match &mut self.db {
+            AdvisorData::Borrowed(_) => None,
+            AdvisorData::Owned(db) => Some(db),
+        }
+    }
+
+    /// Whether the store has changed since the session's preparation (the
+    /// condition under which `recommend*` / `deploy` refuse to run).
+    pub fn is_stale(&self) -> bool {
+        self.prep.ensure_fresh(self.db.get().store()).is_err()
+    }
+
+    /// Re-runs the per-database preparation against the store's current
+    /// contents — the recovery path from [`SelectionError::StaleSession`]
+    /// after writable-store mutations. Saturation (or saturated
+    /// statistics) is redone once; the warm-start cache is dropped, since
+    /// its best state was optimized for data that changed.
+    pub fn refresh(&mut self) -> Result<(), SelectionError> {
+        let db = self.db.get();
+        self.prep.refresh(db.store(), db.dict(), self.schema)
     }
 
     /// The reasoning mode the session was prepared for.
@@ -248,7 +312,7 @@ impl<'a> Advisor<'a> {
     ) -> Result<Recommendation, SelectionError> {
         select_views_session(
             &mut self.prep,
-            self.db.store(),
+            self.db.get().store(),
             self.schema,
             workload,
             &self.options,
@@ -265,7 +329,7 @@ impl<'a> Advisor<'a> {
     ) -> Result<Recommendation, SelectionError> {
         select_views_partitioned_session(
             &mut self.prep,
-            self.db.store(),
+            self.db.get().store(),
             self.schema,
             workload,
             &self.options,
@@ -314,7 +378,7 @@ impl<'a> Advisor<'a> {
         options.warm_start = true;
         let rec = select_views_session(
             &mut self.prep,
-            self.db.store(),
+            self.db.get().store(),
             self.schema,
             &workload,
             &options,
@@ -331,13 +395,21 @@ impl<'a> Advisor<'a> {
     /// schema, keeping `insert`/`delete` entailment-aware; the
     /// reformulation modes materialize over the original store, which
     /// Theorem 4.2 makes equivalent.
-    pub fn deploy(&self, rec: Recommendation) -> Deployment {
-        match (self.prep.saturated_store(), self.schema) {
+    ///
+    /// Fails with [`SelectionError::StaleSession`] when the store changed
+    /// since preparation (writable-store mode) — a deployment built then
+    /// would mix current data with a stale saturated copy and a
+    /// recommendation tuned for data that no longer exists; call
+    /// [`Advisor::refresh`] and re-recommend instead.
+    pub fn deploy(&self, rec: Recommendation) -> Result<Deployment, SelectionError> {
+        let db = self.db.get();
+        self.prep.ensure_fresh(db.store())?;
+        Ok(match (self.prep.saturated_store(), self.schema) {
             (Some(saturated), Some((schema, vocab))) => {
-                Deployment::with_entailment(self.db.store(), saturated, rec, schema.clone(), *vocab)
+                Deployment::with_entailment(db.store(), saturated, rec, schema.clone(), *vocab)
             }
-            _ => Deployment::new(self.db.store(), rec),
-        }
+            _ => Deployment::new(db.store(), rec),
+        })
     }
 }
 
@@ -430,6 +502,65 @@ mod tests {
             SelectionError::UnknownQuery { index: 5, len: 1 }
         );
         assert_eq!(advisor.workload().len(), 1);
+    }
+
+    #[test]
+    fn borrowed_sessions_have_no_writable_store() {
+        let db = db();
+        let mut advisor = Advisor::builder(&db).build().unwrap();
+        assert!(advisor.dataset_mut().is_none());
+        assert!(!advisor.is_stale());
+    }
+
+    #[test]
+    fn writable_store_stales_every_entry_point_until_refresh() {
+        let mut db = db();
+        let q = parse_query("q(X) :- t(X, <p>, <o1>), t(X, <q>, <c>)", db.dict_mut())
+            .unwrap()
+            .query;
+        let mut advisor = Advisor::builder_owned(db).build().unwrap();
+        let rec = advisor.recommend(std::slice::from_ref(&q)).unwrap();
+        assert!(!advisor.is_stale());
+
+        // Writable-store mode: mutate the owned dataset.
+        let writable = advisor.dataset_mut().expect("owned session is writable");
+        let s = writable.dict_mut().intern_uri("late");
+        let p = writable.dict().lookup_uri("p").unwrap();
+        let o1 = writable.dict().lookup_uri("o1").unwrap();
+        writable.store_mut().insert([s, p, o1]);
+        assert!(advisor.is_stale());
+
+        let stale = |e: &SelectionError| matches!(e, SelectionError::StaleSession { .. });
+        assert!(stale(
+            &advisor.recommend(std::slice::from_ref(&q)).unwrap_err()
+        ));
+        assert!(stale(
+            &advisor
+                .recommend_partitioned(std::slice::from_ref(&q), false)
+                .unwrap_err()
+        ));
+        assert!(stale(
+            &advisor
+                .recommend_incremental(WorkloadChange::Add(q.clone()))
+                .unwrap_err()
+        ));
+        assert!(
+            advisor.workload().is_empty(),
+            "failed incremental change must roll back"
+        );
+        assert!(stale(&advisor.deploy(rec).unwrap_err()));
+
+        // refresh() re-prepares against the mutated store; everything
+        // works again and sees the new triple.
+        advisor.refresh().unwrap();
+        assert!(!advisor.is_stale());
+        let rec = advisor.recommend(std::slice::from_ref(&q)).unwrap();
+        let mut deployment = advisor.deploy(rec).unwrap();
+        let direct = rdf_engine::evaluate(
+            advisor.dataset().store(),
+            &deployment.recommendation().workload[0],
+        );
+        assert_eq!(deployment.answer(0).unwrap(), direct);
     }
 
     #[test]

@@ -219,13 +219,23 @@ fn main() -> ExitCode {
     }
 
     if args.materialize {
-        let mut deployment = advisor.deploy(rec);
+        let mut deployment = match advisor.deploy(rec) {
+            Ok(dep) => dep,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let (rows, cells) = (
+            deployment.total_rows().expect("freshly deployed"),
+            deployment.total_cells().expect("freshly deployed"),
+        );
         println!(
             "#\n# deployed: {} views, {} rows, {} cells ({:.1}% of the triple table)",
             deployment.view_count(),
-            deployment.total_rows(),
-            deployment.total_cells(),
-            100.0 * deployment.total_cells() as f64 / (db.len() * 3).max(1) as f64
+            rows,
+            cells,
+            100.0 * cells as f64 / (db.len() * 3).max(1) as f64
         );
     }
     ExitCode::SUCCESS

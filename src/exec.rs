@@ -13,8 +13,8 @@
 //! building blocks, kept for direct use and backward compatibility.
 
 use rdf_engine::{
-    evaluate_over_views, materialize_union, Answers, DeleteDelta, MaintainedView, MaintenanceStats,
-    ViewAtom, ViewTable,
+    evaluate_over_views, materialize_union, Answers, DeleteDelta, DeltaSet, MaintainedView,
+    MaintenanceStats, ViewAtom, ViewTable,
 };
 use rdf_model::{FxHashMap, FxHashSet, Id, Triple, TripleStore};
 use rdf_schema::{saturate, saturated_copy, Schema, VocabIds};
@@ -171,6 +171,14 @@ struct EntailmentBase {
 /// no longer needs the advisor or the original database. Triple ids keep
 /// referring to the dictionary the recommendation was built with.
 ///
+/// Updates flow through [`Deployment::insert_batch`] /
+/// [`Deployment::delete_batch`]: one set-at-a-time delta join per view per
+/// batch keeps the views exactly consistent. The base store is also
+/// directly writable ([`Deployment::store_mut`]); the deployment tracks
+/// the store version its views were maintained to, and every read entry
+/// point refuses with [`SelectionError::StaleSession`] once direct writes
+/// desynchronize them — [`Deployment::rematerialize`] re-syncs.
+///
 /// Under saturation reasoning the deployment also carries the schema and
 /// the explicit store, so updates stay entailment-aware: an inserted
 /// triple brings its RDFS consequences into the views, and a deleted
@@ -185,6 +193,9 @@ pub struct Deployment {
     tables: MaterializedViews,
     dirty: FxHashSet<ViewId>,
     entailment: Option<EntailmentBase>,
+    /// The store version the views are maintained to; diverges from
+    /// `store.version()` only through direct `store_mut` writes.
+    maintained_version: u64,
 }
 
 impl Deployment {
@@ -210,6 +221,7 @@ impl Deployment {
         for dv in &views {
             tables.tables.insert(dv.id, dv.merged_table());
         }
+        let maintained_version = store.version();
         Self {
             rec,
             store,
@@ -217,6 +229,7 @@ impl Deployment {
             tables,
             dirty: FxHashSet::default(),
             entailment: None,
+            maintained_version,
         }
     }
 
@@ -250,6 +263,71 @@ impl Deployment {
         &self.store
     }
 
+    /// Direct writable access to the maintenance base store — the
+    /// versioned writable-store escape hatch for bulk loads that bypass
+    /// incremental maintenance. After direct writes the views no longer
+    /// reflect the store, and every read entry point returns
+    /// [`SelectionError::StaleSession`] until [`Deployment::rematerialize`]
+    /// runs. Returns `None` for entailment-aware deployments, whose
+    /// explicit/saturated invariant direct writes would corrupt
+    /// undetectably — feed those through [`Deployment::insert_batch`] /
+    /// [`Deployment::delete_batch`] instead.
+    pub fn store_mut(&mut self) -> Option<&mut TripleStore> {
+        match self.entailment {
+            Some(_) => None,
+            None => Some(&mut self.store),
+        }
+    }
+
+    /// The store version the views are currently maintained to.
+    pub fn maintained_version(&self) -> u64 {
+        self.maintained_version
+    }
+
+    /// Whether direct writes have desynchronized the views from the base
+    /// store.
+    pub fn is_stale(&self) -> bool {
+        self.store.version() != self.maintained_version
+    }
+
+    /// Refuses reads while the views lag behind the base store.
+    fn ensure_fresh(&self) -> Result<(), SelectionError> {
+        if self.is_stale() {
+            return Err(SelectionError::StaleSession {
+                prepared: self.maintained_version,
+                current: self.store.version(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Re-syncs the version stamp after a maintenance pass — but only when
+    /// the deployment was fresh going in. A batch applied on top of
+    /// unabsorbed direct `store_mut` writes maintains the views for *its*
+    /// triples only, so the deployment must stay stale until
+    /// [`Deployment::rematerialize`] picks up the direct writes too.
+    fn sync_version(&mut self, was_fresh: bool) {
+        if was_fresh {
+            self.maintained_version = self.store.version();
+        }
+    }
+
+    /// Rebuilds every view from scratch over the current base store and
+    /// re-syncs the version stamp — the recovery path after direct writes
+    /// through [`Deployment::store_mut`].
+    pub fn rematerialize(&mut self) {
+        for dv in &mut self.views {
+            for b in &mut dv.branches {
+                *b = MaintainedView::new(&self.store, b.definition().clone());
+            }
+        }
+        self.dirty.clear();
+        for dv in &self.views {
+            self.tables.tables.insert(dv.id, dv.merged_table());
+        }
+        self.maintained_version = self.store.version();
+    }
+
     /// Number of deployed views.
     pub fn view_count(&self) -> usize {
         self.views.len()
@@ -257,7 +335,7 @@ impl Deployment {
 
     /// Rebuilds the tables of views whose rows changed since the last
     /// read.
-    fn refresh(&mut self) {
+    fn rebuild_dirty(&mut self) {
         if self.dirty.is_empty() {
             return;
         }
@@ -268,25 +346,30 @@ impl Deployment {
         }
     }
 
-    /// The current view tables (refreshed if updates arrived).
-    pub fn tables(&mut self) -> &MaterializedViews {
-        self.refresh();
-        &self.tables
+    /// The current view tables (refreshed if updates arrived). Fails with
+    /// [`SelectionError::StaleSession`] after unmaintained direct writes.
+    pub fn tables(&mut self) -> Result<&MaterializedViews, SelectionError> {
+        self.ensure_fresh()?;
+        self.rebuild_dirty();
+        Ok(&self.tables)
     }
 
     /// Total rows across all views — the measured counterpart of VSO.
-    pub fn total_rows(&mut self) -> usize {
-        self.tables().total_rows()
+    pub fn total_rows(&mut self) -> Result<usize, SelectionError> {
+        Ok(self.tables()?.total_rows())
     }
 
     /// Total cells (rows × columns) across all views.
-    pub fn total_cells(&mut self) -> usize {
-        self.tables().total_cells()
+    pub fn total_cells(&mut self) -> Result<usize, SelectionError> {
+        Ok(self.tables()?.total_cells())
     }
 
     /// Answers original workload query `query_idx` from the views alone.
+    /// Fails with [`SelectionError::StaleSession`] after unmaintained
+    /// direct writes — never with silently stale answers.
     pub fn answer(&mut self, query_idx: usize) -> Result<Answers, SelectionError> {
-        self.refresh();
+        self.ensure_fresh()?;
+        self.rebuild_dirty();
         try_answer_original_query(&self.rec, &self.tables, query_idx)
     }
 
@@ -309,19 +392,20 @@ impl Deployment {
         self.delete_batch(std::slice::from_ref(&t))
     }
 
-    /// Applies a batch of deletions. Under saturation reasoning the
-    /// entailment-loss set is computed **once** for the whole batch (one
-    /// re-saturation of the explicit store), so retraction feeds should
-    /// prefer this over per-triple [`Deployment::delete`].
+    /// Applies a batch of deletions, set-at-a-time. Under saturation
+    /// reasoning the entailment-loss set is computed **once** for the
+    /// whole batch (one re-saturation of the explicit store); either way
+    /// every view runs **one** two-phase delta pass — candidates collected
+    /// with each atom position bound to the whole doomed set, then one
+    /// re-derivation sweep against the shrunken store — so retraction
+    /// feeds should prefer this over per-triple [`Deployment::delete`].
+    /// `stats.batches` counts 1 per call that reached the delta joins.
     pub fn delete_batch(&mut self, batch: &[Triple]) -> MaintenanceStats {
+        let was_fresh = !self.is_stale();
         let mut total = MaintenanceStats::default();
         let doomed: Vec<Triple> = match &mut self.entailment {
             Some(ent) => {
-                let mut any = false;
-                for &t in batch {
-                    any |= ent.explicit.remove(t);
-                }
-                if !any {
+                if ent.explicit.remove_batch(batch).is_empty() {
                     return total;
                 }
                 // Everything in the saturated base that the remaining
@@ -343,31 +427,29 @@ impl Deployment {
                     .collect()
             }
         };
-        for r in doomed {
-            total.merge(self.delete_from_base(r));
+        if doomed.is_empty() {
+            return total;
         }
-        total
-    }
-
-    /// The two-phase deletion of one triple from the maintained base
-    /// store.
-    fn delete_from_base(&mut self, t: Triple) -> MaintenanceStats {
-        let mut total = MaintenanceStats::default();
+        total.batches = 1;
+        // Phase 1: one shared delta set, one prepare per view branch,
+        // while the doomed triples are still in the store.
+        let delta_set = DeltaSet::new(&doomed);
         let deltas: Vec<Vec<DeleteDelta>> = self
             .views
             .iter()
             .map(|dv| {
                 dv.branches
                     .iter()
-                    .map(|b| b.prepare_delete(&self.store, t))
+                    .map(|b| b.prepare_delete_delta(&self.store, &delta_set))
                     .collect()
             })
             .collect();
-        self.store.remove(t);
+        self.store.remove_batch(&doomed);
+        // Phase 2: one re-derivation sweep per branch over the candidates.
         for (dv, branch_deltas) in self.views.iter_mut().zip(deltas) {
             let mut changed = false;
             for (b, delta) in dv.branches.iter_mut().zip(branch_deltas) {
-                let s = b.commit_delete(&self.store, &delta);
+                let s = b.commit_delete_batch(&self.store, &delta);
                 changed |= s.removed > 0;
                 total.merge(s);
             }
@@ -375,63 +457,60 @@ impl Deployment {
                 self.dirty.insert(dv.id);
             }
         }
+        self.sync_version(was_fresh);
         total
     }
 
-    /// Applies a batch of insertions. Under saturation reasoning the RDFS
-    /// fixpoint runs **once** for the whole batch (semi-naive: the
-    /// consequences of all new explicit triples are derived together,
-    /// mirroring how [`Deployment::delete_batch`] amortizes the
-    /// entailment-loss computation), and each view's incremental delta is
-    /// applied per derived triple against the fully-updated base store —
-    /// insertion feeds cost one saturation instead of one per triple.
+    /// Applies a batch of insertions, set-at-a-time. Under saturation
+    /// reasoning the RDFS fixpoint runs **once** for the whole batch
+    /// (semi-naive: the consequences of all new explicit triples are
+    /// derived together); then every view runs **one** delta-set join per
+    /// atom position — Δv = ⋃ᵢ π_head(a₁ ⋈ … ⋈ Δaᵢ ⋈ … ⋈ aₙ) with Δ the
+    /// whole batch, hash-indexed — instead of |Δ| per-triple passes.
+    /// `stats.batches` counts 1 per call that reached the delta joins; a
+    /// fully-duplicate batch is a no-op.
     pub fn insert_batch(&mut self, batch: &[Triple]) -> MaintenanceStats {
+        let was_fresh = !self.is_stale();
         let mut total = MaintenanceStats::default();
-        let mut added: Vec<Triple> = Vec::new();
-        match &mut self.entailment {
+        let added: Vec<Triple> = match &mut self.entailment {
             Some(ent) => {
-                let mut any = false;
-                for &t in batch {
-                    if ent.explicit.insert(t) {
-                        any = true;
-                        if self.store.insert(t) {
-                            added.push(t);
-                        }
-                    }
-                }
-                if !any {
+                let newly_explicit = ent.explicit.insert_batch(batch);
+                if newly_explicit.is_empty() {
                     return total;
                 }
+                let mut added = self.store.insert_batch(&newly_explicit);
                 // One semi-naive fixpoint for the whole batch: saturation
                 // is monotone, so the consequences of the new triples are
                 // exactly the triples saturate() appends.
                 let before = self.store.len();
                 saturate(&mut self.store, &ent.schema, &ent.vocab);
                 added.extend_from_slice(&self.store.triples()[before..]);
+                added
             }
-            None => {
-                for &t in batch {
-                    if self.store.insert(t) {
-                        added.push(t);
-                    }
-                }
+            None => self.store.insert_batch(batch),
+        };
+        if added.is_empty() {
+            // Newly-explicit triples that were already entailed: the base
+            // store (and the views) did not change.
+            self.sync_version(was_fresh);
+            return total;
+        }
+        total.batches = 1;
+        // One shared delta set, one join pass per view branch against the
+        // fully-updated base store.
+        let delta_set = DeltaSet::new(&added);
+        for dv in &mut self.views {
+            let mut changed = false;
+            for b in &mut dv.branches {
+                let s = b.apply_insert_delta(&self.store, &delta_set);
+                changed |= s.added > 0;
+                total.merge(s);
+            }
+            if changed {
+                self.dirty.insert(dv.id);
             }
         }
-        // Per-triple deltas against the final store; the views' row sets
-        // deduplicate tuples derivable from several batch triples at once.
-        for a in added {
-            for dv in &mut self.views {
-                let mut changed = false;
-                for b in &mut dv.branches {
-                    let s = b.apply_insert(&self.store, a);
-                    changed |= s.added > 0;
-                    total.merge(s);
-                }
-                if changed {
-                    self.dirty.insert(dv.id);
-                }
-            }
-        }
+        self.sync_version(was_fresh);
         total
     }
 }
@@ -549,19 +628,147 @@ mod tests {
         let mv = materialize_recommendation(db.store(), &rec);
         let mut dep = Deployment::new(db.store(), rec);
         assert_eq!(dep.view_count(), mv.len());
-        assert_eq!(dep.total_rows(), mv.total_rows());
-        assert_eq!(dep.total_cells(), mv.total_cells());
+        assert_eq!(dep.total_rows().unwrap(), mv.total_rows());
+        assert_eq!(dep.total_cells().unwrap(), mv.total_cells());
         let s = db.dict_mut().intern_uri("extra");
         let p = db.dict().lookup_uri("p").unwrap();
         let o1 = db.dict().lookup_uri("o1").unwrap();
         let stats = dep.insert([s, p, o1]);
         if stats.added > 0 {
-            assert!(dep.total_rows() > mv.total_rows());
+            assert!(dep.total_rows().unwrap() > mv.total_rows());
         }
         // Rematerializing over the maintained store agrees with the
         // incremental tables.
         let remat = materialize_recommendation(dep.store(), dep.recommendation());
-        assert_eq!(dep.total_rows(), remat.total_rows());
-        assert_eq!(dep.total_cells(), remat.total_cells());
+        assert_eq!(dep.total_rows().unwrap(), remat.total_rows());
+        assert_eq!(dep.total_cells().unwrap(), remat.total_cells());
+    }
+
+    /// One batch = one maintenance pass: the `batches` counter makes the
+    /// one-fixpoint-per-batch contract observable, and the batched path
+    /// never derives more delta tuples than per-triple feeding.
+    #[test]
+    fn batched_feed_runs_one_pass_and_matches_per_triple() {
+        let mut db = db();
+        let rec = recommend(&mut db);
+        let mut batched = Deployment::new(db.store(), rec.clone());
+        let mut per_triple = Deployment::new(db.store(), rec);
+
+        let p = db.dict().lookup_uri("p").unwrap();
+        let qq = db.dict().lookup_uri("q").unwrap();
+        let o1 = db.dict().lookup_uri("o1").unwrap();
+        let c = db.dict().lookup_uri("c").unwrap();
+        let mut feed = Vec::new();
+        for i in 0..20 {
+            let s = db.dict_mut().intern_uri(&format!("fresh{i}"));
+            feed.push([s, p, o1]);
+            feed.push([s, qq, c]);
+        }
+
+        let bstats = batched.insert_batch(&feed);
+        assert_eq!(bstats.batches, 1, "one pass for the whole batch");
+        let mut pstats = MaintenanceStats::default();
+        for &t in &feed {
+            pstats.merge(per_triple.insert(t));
+        }
+        assert_eq!(pstats.batches, feed.len(), "one pass per triple");
+        assert_eq!(bstats.added, pstats.added);
+        assert!(bstats.delta_tuples <= pstats.delta_tuples);
+        assert_eq!(batched.answer(0).unwrap(), per_triple.answer(0).unwrap());
+        assert_eq!(
+            batched.total_rows().unwrap(),
+            per_triple.total_rows().unwrap()
+        );
+
+        // Deletion side: one batch pass equals sequential deletes.
+        let doomed: Vec<Triple> = feed.iter().copied().step_by(3).collect();
+        let bdel = batched.delete_batch(&doomed);
+        assert_eq!(bdel.batches, 1);
+        let mut pdel = MaintenanceStats::default();
+        for &t in &doomed {
+            pdel.merge(per_triple.delete(t));
+        }
+        assert_eq!(bdel.removed, pdel.removed);
+        assert!(bdel.delta_tuples <= pdel.delta_tuples);
+        assert_eq!(batched.answer(0).unwrap(), per_triple.answer(0).unwrap());
+        // A fully-duplicate batch is a no-op with no pass (feed[0] was
+        // retracted above; feed[1..3] are still present).
+        assert_eq!(batched.insert_batch(&feed[1..3]).batches, 0);
+    }
+
+    /// The versioned writable store: direct writes stale the deployment's
+    /// reads until it rematerializes.
+    #[test]
+    fn direct_writes_stale_reads_until_rematerialize() {
+        let mut db = db();
+        let rec = recommend(&mut db);
+        let mut dep = Deployment::new(db.store(), rec);
+        let baseline = dep.answer(0).unwrap();
+        assert!(!dep.is_stale());
+
+        let s = db.dict_mut().intern_uri("sideloaded");
+        let p = db.dict().lookup_uri("p").unwrap();
+        let qq = db.dict().lookup_uri("q").unwrap();
+        let o1 = db.dict().lookup_uri("o1").unwrap();
+        let c = db.dict().lookup_uri("c").unwrap();
+        let store = dep.store_mut().expect("plain deployments are writable");
+        store.insert_batch(&[[s, p, o1], [s, qq, c]]);
+
+        assert!(dep.is_stale());
+        let prepared = dep.maintained_version();
+        let current = dep.store().version();
+        for err in [
+            dep.answer(0).unwrap_err(),
+            dep.tables().map(|_| ()).unwrap_err(),
+            dep.total_rows().map(|_| ()).unwrap_err(),
+            dep.total_cells().map(|_| ()).unwrap_err(),
+        ] {
+            assert_eq!(err, SelectionError::StaleSession { prepared, current });
+        }
+
+        dep.rematerialize();
+        assert!(!dep.is_stale());
+        let refreshed = dep.answer(0).unwrap();
+        assert_eq!(refreshed.len(), baseline.len() + 1);
+        let direct = rdf_engine::evaluate(dep.store(), &dep.recommendation().workload[0]);
+        assert_eq!(refreshed, direct);
+    }
+
+    /// A maintenance batch applied on top of unabsorbed direct writes must
+    /// NOT clear the stale flag: its delta joins covered only the batch,
+    /// not the direct writes.
+    #[test]
+    fn maintenance_batches_do_not_mask_direct_write_staleness() {
+        let mut db = db();
+        let rec = recommend(&mut db);
+        let mut dep = Deployment::new(db.store(), rec);
+
+        let p = db.dict().lookup_uri("p").unwrap();
+        let qq = db.dict().lookup_uri("q").unwrap();
+        let o1 = db.dict().lookup_uri("o1").unwrap();
+        let c = db.dict().lookup_uri("c").unwrap();
+        let direct = db.dict_mut().intern_uri("direct");
+        let fed = db.dict_mut().intern_uri("fed");
+
+        // Direct write that the views never absorb …
+        let store = dep.store_mut().unwrap();
+        store.insert_batch(&[[direct, p, o1], [direct, qq, c]]);
+        assert!(dep.is_stale());
+        // … then a regular maintenance batch on top.
+        dep.insert_batch(&[[fed, p, o1], [fed, qq, c]]);
+        assert!(
+            dep.is_stale(),
+            "batch must not mask the unabsorbed direct writes"
+        );
+        assert!(dep.answer(0).is_err());
+        dep.delete_batch(&[[fed, p, o1]]);
+        assert!(dep.is_stale(), "delete batch must not mask them either");
+
+        // Rematerializing picks up direct writes and batches alike.
+        dep.rematerialize();
+        let answers = dep.answer(0).unwrap();
+        assert!(answers.contains(&[direct]));
+        let truth = rdf_engine::evaluate(dep.store(), &dep.recommendation().workload[0]);
+        assert_eq!(answers, truth);
     }
 }

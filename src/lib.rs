@@ -50,10 +50,63 @@
 //!
 //! // 4. Deploy: materialize the views and answer the workload from them
 //! //    alone — no connection to the database needed.
-//! let mut deployment = advisor.deploy(rec);
+//! let mut deployment = advisor.deploy(rec)?;
 //! let from_views = deployment.answer(0)?;
 //! let direct = rdfviews::engine::evaluate(db.store(), &deployment.recommendation().workload[0]);
 //! assert_eq!(from_views, direct);
+//! # Ok::<(), rdfviews::core::SelectionError>(())
+//! ```
+//!
+//! ## Maintenance quickstart: batched updates and writable stores
+//!
+//! Update feeds go through [`Deployment::insert_batch`] /
+//! [`Deployment::delete_batch`] (exec::Deployment): the whole batch runs
+//! **one** RDFS saturation fixpoint and **one** set-at-a-time delta join
+//! per view — Δv = ⋃ᵢ π_head(a₁ ⋈ … ⋈ Δaᵢ ⋈ … ⋈ aₙ), the Δ set
+//! hash-indexed — instead of one pass per triple. The returned
+//! [`MaintenanceStats`](engine::MaintenanceStats) stamps `batches` so the
+//! one-pass contract is observable; per-triple `insert`/`delete` are thin
+//! delegates over singleton batches.
+//!
+//! When the data must change while a session lives, build the advisor in
+//! **writable-store mode** ([`Advisor::builder_owned`](advisor::Advisor::builder_owned)):
+//! the session owns its [`Dataset`](model::Dataset) and hands out mutable
+//! access. The store is version-stamped; once it moves past the prepared
+//! version, every `recommend*` / `deploy` call fails with
+//! [`SelectionError::StaleSession`](core::SelectionError::StaleSession) —
+//! never a silently stale answer — until
+//! [`Advisor::refresh`](advisor::Advisor::refresh) re-prepares:
+//!
+//! ```
+//! use rdfviews::prelude::*;
+//! # use rdfviews::model::Term;
+//! let mut db = Dataset::new();
+//! # for i in 0..20 {
+//! #   db.insert_terms(Term::uri(format!("s{i}")), Term::uri("p"), Term::uri(format!("o{}", i % 4)));
+//! #   db.insert_terms(Term::uri(format!("s{i}")), Term::uri("q"), Term::uri("c"));
+//! # }
+//! let q = parse_query("q(X) :- t(X, <p>, <o1>), t(X, <q>, <c>)", db.dict_mut()).unwrap();
+//! let p = db.dict().lookup_uri("p").unwrap();
+//! let qq = db.dict().lookup_uri("q").unwrap();
+//! let o1 = db.dict().lookup_uri("o1").unwrap();
+//! let c = db.dict().lookup_uri("c").unwrap();
+//! let workload = vec![q.query];
+//!
+//! let mut advisor = Advisor::builder_owned(db).build()?;
+//! let rec = advisor.recommend(&workload)?;
+//! let mut deployment = advisor.deploy(rec)?;
+//!
+//! // A 2-triple feed: one maintenance pass, not two.
+//! let s = advisor.dataset_mut().unwrap().dict_mut().intern_uri("fresh");
+//! let stats = deployment.insert_batch(&[[s, p, o1], [s, qq, c]]);
+//! assert_eq!(stats.batches, 1);
+//!
+//! // Writable-store mode: mutating the advisor's dataset stales the
+//! // session until refresh() re-prepares.
+//! advisor.dataset_mut().unwrap().store_mut().insert([s, p, o1]);
+//! assert!(advisor.is_stale());
+//! advisor.refresh()?;
+//! let _rec = advisor.recommend(&workload)?; // fresh again
 //! # Ok::<(), rdfviews::core::SelectionError>(())
 //! ```
 //!
@@ -96,11 +149,11 @@
 //! |-------------------|---------------------|
 //! | `select_views(store, dict, schema, w, opts)` | `Advisor::builder(&db).schema(..).options(opts).build()?` then `advisor.recommend(&w)?` |
 //! | `select_views_partitioned(store, dict, schema, w, opts, par)` | `advisor.recommend_partitioned(&w, par)?` |
-//! | `exec::materialize_recommendation(store, &rec)` | `advisor.deploy(rec)` (a [`Deployment`](exec::Deployment)) |
+//! | `exec::materialize_recommendation(store, &rec)` | `advisor.deploy(rec)?` (a [`Deployment`](exec::Deployment)) |
 //! | `exec::answer_original_query(&rec, &mv, i)` | `deployment.answer(i)?` |
 //! | `exec::answer_query(&state, &mv, i)` | `deployment.answer(i)?` (per-branch access stays available) |
-//! | `mv.total_rows()` / `mv.total_cells()` | `deployment.total_rows()` / `deployment.total_cells()` |
-//! | manual `MaintainedView` feeding | `deployment.insert(triple)` / `deployment.delete(triple)` |
+//! | `mv.total_rows()` / `mv.total_cells()` | `deployment.total_rows()?` / `deployment.total_cells()?` |
+//! | manual `MaintainedView` feeding | `deployment.insert_batch(&triples)` / `deployment.delete_batch(&triples)` |
 //! | panic on missing schema | `Err(SelectionError::SchemaRequired(mode))` |
 //!
 //! The workspace crates map to the paper's components:

@@ -216,7 +216,7 @@ fn deployment_lifecycle() {
         .query;
     let mut advisor = Advisor::builder(&db).build().unwrap();
     let rec = advisor.recommend(std::slice::from_ref(&q)).unwrap();
-    let mut deployment = advisor.deploy(rec);
+    let mut deployment = advisor.deploy(rec).unwrap();
 
     let direct = evaluate(db.store(), &deployment.recommendation().workload[0]);
     assert_eq!(deployment.answer(0).unwrap(), direct);
@@ -263,7 +263,7 @@ fn deployment_under_saturation_keeps_implicit_answers() {
             .build()
             .unwrap();
         let rec = advisor.recommend(std::slice::from_ref(&q)).unwrap();
-        let mut deployment = advisor.deploy(rec);
+        let mut deployment = advisor.deploy(rec).unwrap();
         assert_eq!(
             deployment.answer(0).unwrap(),
             truth,
@@ -292,7 +292,7 @@ fn saturation_deployment_maintains_entailments() {
         .build()
         .unwrap();
     let rec = advisor.recommend(std::slice::from_ref(&q)).unwrap();
-    let mut deployment = advisor.deploy(rec);
+    let mut deployment = advisor.deploy(rec).unwrap();
     let before = deployment.answer(0).unwrap().len();
 
     // A new *painting* exhibited somewhere: only entailment makes it a
@@ -468,7 +468,7 @@ fn deployment_tuples_decode() {
         .query;
     let mut advisor = Advisor::builder(&db).build().unwrap();
     let rec = advisor.recommend(&[q]).unwrap();
-    let mut deployment = advisor.deploy(rec);
+    let mut deployment = advisor.deploy(rec).unwrap();
     let answers = deployment.answer(0).unwrap();
     for tuple in answers.tuples() {
         let term = db.dict().term(tuple[0]);
