@@ -19,7 +19,7 @@ use std::time::{Duration, Instant};
 
 use rdfviews::core::{select_views, ReasoningMode, SearchConfig, SelectionOptions};
 use rdfviews::engine::{evaluate_with, EvalOptions};
-use rdfviews::exec::{answer_original_query, materialize_recommendation, materialize_state};
+use rdfviews::exec::{materialize_recommendation, materialize_state, try_answer_original_query};
 use rdfviews::model::{StorePattern, TripleStore};
 use rdfviews::schema::saturated_copy;
 use rdfviews_bench::{env_secs, env_usize, reform_bench_selective, Table};
@@ -149,16 +149,25 @@ fn main() {
         let nq = q.normalized();
         // Correctness first: all configurations agree.
         let truth = evaluate_with(&saturated, &nq, &indexed);
-        assert_eq!(answer_original_query(&rec_post, &mv_post, qi), truth);
-        assert_eq!(answer_original_query(&rec_pre, &mv_pre, qi), truth);
-        assert_eq!(answer_original_query(&rec_init, &mv_init, qi), truth);
+        assert_eq!(
+            try_answer_original_query(&rec_post, &mv_post, qi).unwrap(),
+            truth
+        );
+        assert_eq!(
+            try_answer_original_query(&rec_pre, &mv_pre, qi).unwrap(),
+            truth
+        );
+        assert_eq!(
+            try_answer_original_query(&rec_init, &mv_init, qi).unwrap(),
+            truth
+        );
         assert_eq!(evaluate_with(&restricted, &nq, &indexed), truth);
 
         let t_pre = time_it(|| {
-            answer_original_query(&rec_pre, &mv_pre, qi);
+            let _ = try_answer_original_query(&rec_pre, &mv_pre, qi);
         });
         let t_post = time_it(|| {
-            answer_original_query(&rec_post, &mv_post, qi);
+            let _ = try_answer_original_query(&rec_post, &mv_post, qi);
         });
         let t_sat = time_it(|| {
             evaluate_with(&saturated, &nq, &scan_only);
@@ -170,7 +179,7 @@ fn main() {
             evaluate_with(&saturated, &nq, &indexed);
         });
         let t_init = time_it(|| {
-            answer_original_query(&rec_init, &mv_init, qi);
+            let _ = try_answer_original_query(&rec_init, &mv_init, qi);
         });
         table.row(&[
             &format!("Q1.{}", qi + 1),

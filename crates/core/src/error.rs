@@ -50,6 +50,26 @@ pub enum SelectionError {
         /// The mode the call requested.
         requested: ReasoningMode,
     },
+    /// No complete views-only rewriting of an ad-hoc query exists over the
+    /// deployed views. Returned by planning under the views-only answer
+    /// policy instead of silently wrong (or empty) answers; a hybrid or
+    /// base-fallback policy would answer the query.
+    NoViewsOnlyPlan {
+        /// Query atoms left uncovered by the best hybrid cover.
+        residual_atoms: usize,
+    },
+    /// An ad-hoc query the planner cannot handle (unsafe head variable,
+    /// empty body, too many atoms, or a reformulation that exceeds the
+    /// branch limit).
+    UnsupportedQuery {
+        /// Why the query was rejected.
+        reason: String,
+    },
+    /// A query plan was executed on a deployment other than the one that
+    /// produced it. Plans bind the view ids (and store version) of their
+    /// own deployment; running them elsewhere could silently read the
+    /// wrong view tables.
+    ForeignPlan,
     /// The store changed after the session's statistics were prepared (its
     /// version stamp moved), so running against the cached preparation
     /// would silently compute on stale statistics — or answer from views
@@ -86,6 +106,18 @@ impl std::fmt::Display for SelectionError {
             } => write!(
                 f,
                 "session was prepared for {prepared:?} reasoning but {requested:?} was requested"
+            ),
+            SelectionError::NoViewsOnlyPlan { residual_atoms } => write!(
+                f,
+                "no complete views-only rewriting exists over the deployed views \
+                 ({residual_atoms} atom(s) uncovered); use the Hybrid or BaseFallback policy"
+            ),
+            SelectionError::UnsupportedQuery { reason } => {
+                write!(f, "unsupported ad-hoc query: {reason}")
+            }
+            SelectionError::ForeignPlan => write!(
+                f,
+                "the query plan was produced by a different deployment; re-plan on this one"
             ),
             SelectionError::StaleSession { prepared, current } => write!(
                 f,

@@ -28,7 +28,11 @@
 //!   entailment scenarios of Section 4.3: saturation, pre-reformulation and
 //!   the paper's novel **post-reformulation**;
 //! * [`unfold`] — rewriting unfolding, the semantic check behind every
-//!   transition's correctness tests.
+//!   transition's correctness tests;
+//! * [`rewrite`] — bucket/MiniCon-style rewriting of **ad-hoc** queries
+//!   over an already-selected view set (views-only covers verified by
+//!   unfolding equivalence, plus hybrid view/base plans), the engine
+//!   behind the facade's `Deployment::plan` / `answer_query`.
 //!
 //! ```
 //! use rdf_model::Dataset;
@@ -62,6 +66,7 @@ pub mod display;
 pub mod error;
 pub mod partition;
 pub mod pipeline;
+pub mod rewrite;
 pub mod search;
 pub mod state;
 pub mod transitions;
@@ -77,6 +82,9 @@ pub use pipeline::{
     search_session, select_views, select_views_session, try_select_views, Preparation,
     ReasoningMode, Recommendation, SelectionOptions,
 };
+pub use rewrite::{
+    base_plan, rewrite_best, rewrite_hybrid, rewrite_views_only, unfold_plan, PlanAtom, RewritePlan,
+};
 pub use search::{search, SearchConfig, SearchOutcome, SearchStats, StrategyKind};
-pub use state::{Rewriting, State, View, ViewId};
+pub use state::{RewAtom, Rewriting, State, View, ViewId};
 pub use transitions::Transition;

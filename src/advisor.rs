@@ -408,6 +408,12 @@ impl<'a> Advisor<'a> {
             (Some(saturated), Some((schema, vocab))) => {
                 Deployment::with_entailment(db.store(), saturated, rec, schema.clone(), *vocab)
             }
+            (None, Some((schema, vocab))) if self.prep.reasoning().needs_schema() => {
+                // Pre/post-reformulation: the base store is the original
+                // (unsaturated) one, so ad-hoc hybrid plans must
+                // reformulate before scanning it (Theorem 4.1).
+                Deployment::new(db.store(), rec).with_query_reformulation(schema.clone(), *vocab)
+            }
             _ => Deployment::new(db.store(), rec),
         })
     }

@@ -2,8 +2,19 @@
 //!
 //! ```text
 //! rdfviews <data.nt> <workload.rq> [options]
+//! rdfviews query <data.nt> <workload.rq> [options] [--query "<q>"]...
+//!
+//! The `query` subcommand tunes on the workload, deploys the recommended
+//! views, then answers **ad-hoc** queries against the deployment — from
+//! repeated `--query` arguments, or one query per stdin line when none is
+//! given — printing each chosen plan (view scans vs base scans) and its
+//! answers.
 //!
 //! options:
+//!   --query <q>                      (query mode) an ad-hoc query to
+//!                                    answer; repeatable
+//!   --policy views|hybrid|base       (query mode) answer policy for atoms
+//!                                    no view covers (default: hybrid)
 //!   --mode plain|saturate|pre|post   entailment handling (default: plain;
 //!                                    all but plain extract the RDFS from
 //!                                    the data triples)
@@ -43,14 +54,19 @@ struct Args {
     partition: bool,
     materialize: bool,
     threads: usize,
+    /// The `query` subcommand: deploy, then answer ad-hoc queries.
+    query_mode: bool,
+    /// Ad-hoc queries from `--query` (stdin when empty in query mode).
+    adhoc: Vec<String>,
+    policy: AnswerPolicy,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: rdfviews <data.nt> <workload.rq> [--mode plain|saturate|pre|post] \
+        "usage: rdfviews [query] <data.nt> <workload.rq> [--mode plain|saturate|pre|post] \
          [--strategy dfs|gstr|exnaive|exstr|pruning|greedy|heuristic] \
          [--budget SECONDS] [--max-states N] [--strict-budget] [--partition] [--threads N] \
-         [--materialize]"
+         [--materialize] [--query QUERY]... [--policy views|hybrid|base]"
     );
     ExitCode::from(2)
 }
@@ -68,10 +84,28 @@ fn parse_args() -> Result<Args, ExitCode> {
         partition: false,
         materialize: false,
         threads: 1,
+        query_mode: false,
+        adhoc: Vec::new(),
+        policy: AnswerPolicy::Hybrid,
     };
-    let mut it = std::env::args().skip(1);
+    let mut it = std::env::args().skip(1).peekable();
+    if it.peek().map(String::as_str) == Some("query") {
+        args.query_mode = true;
+        it.next();
+    }
     while let Some(arg) = it.next() {
         match arg.as_str() {
+            "--query" => {
+                args.adhoc.push(it.next().ok_or_else(usage)?);
+            }
+            "--policy" => {
+                args.policy = match it.next().as_deref() {
+                    Some("views") => AnswerPolicy::ViewsOnly,
+                    Some("hybrid") => AnswerPolicy::Hybrid,
+                    Some("base") => AnswerPolicy::BaseFallback,
+                    _ => return Err(usage()),
+                }
+            }
             "--mode" => {
                 args.mode = match it.next().as_deref() {
                     Some("plain") => ReasoningMode::Plain,
@@ -158,6 +192,35 @@ fn main() -> ExitCode {
     };
     eprintln!("parsed {} workload queries", workload.len());
 
+    // -- Ad-hoc queries (query mode): --query args, or stdin lines. -------
+    let mut adhoc_texts = args.adhoc.clone();
+    if args.query_mode && adhoc_texts.is_empty() {
+        use std::io::Read;
+        let mut buf = String::new();
+        if std::io::stdin().read_to_string(&mut buf).is_ok() {
+            adhoc_texts.extend(
+                buf.lines()
+                    .map(str::trim)
+                    .filter(|l| !l.is_empty() && !l.starts_with('#'))
+                    .map(String::from),
+            );
+        }
+    }
+    let mut adhoc_queries = Vec::new();
+    for text in &adhoc_texts {
+        match parse_query(text, db.dict_mut()) {
+            Ok(p) => adhoc_queries.push((text.clone(), p.query)),
+            Err(e) => {
+                eprintln!("error: ad-hoc query `{text}`: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if args.query_mode && adhoc_queries.is_empty() {
+        eprintln!("error: query mode needs at least one ad-hoc query (--query or stdin)");
+        return ExitCode::FAILURE;
+    }
+
     // -- Schema (extracted from data when reasoning is requested). --------
     // Intern the RDFS vocabulary first: extraction looks the vocabulary up
     // in the dictionary, and a data file need not mention every RDFS URI.
@@ -216,6 +279,58 @@ fn main() -> ExitCode {
                 rdfviews::query::display::ucq_to_string(&v.id.to_string(), u, db.dict())
             );
         }
+    }
+
+    if args.query_mode {
+        let mut deployment = match advisor.deploy(rec) {
+            Ok(dep) => dep,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        println!(
+            "#\n# deployed {} views; answering {} ad-hoc queries (policy: {:?})",
+            deployment.view_count(),
+            adhoc_queries.len(),
+            args.policy
+        );
+        for (text, q) in &adhoc_queries {
+            println!("#\n# query: {text}");
+            let plan = match deployment.plan_with(q, args.policy) {
+                Ok(p) => p,
+                Err(e) => {
+                    println!("#   no plan: {e}");
+                    continue;
+                }
+            };
+            print!("{}", plan.describe(db.dict()));
+            match deployment.answer_query(&plan) {
+                Ok(answers) => {
+                    println!("# answers: {}", answers.len());
+                    for row in answers.tuples().iter().take(5) {
+                        let rendered: Vec<String> = row
+                            .iter()
+                            .map(|&id| {
+                                rdfviews::query::display::term_to_string(
+                                    &rdfviews::query::QTerm::Const(id),
+                                    db.dict(),
+                                )
+                            })
+                            .collect();
+                        println!("#   ({})", rendered.join(", "));
+                    }
+                    if answers.len() > 5 {
+                        println!("#   … {} more", answers.len() - 5);
+                    }
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        return ExitCode::SUCCESS;
     }
 
     if args.materialize {

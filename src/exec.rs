@@ -13,11 +13,16 @@
 //! building blocks, kept for direct use and backward compatibility.
 
 use rdf_engine::{
-    evaluate_over_views, materialize_union, Answers, DeleteDelta, DeltaSet, MaintainedView,
-    MaintenanceStats, ViewAtom, ViewTable,
+    evaluate_mixed, evaluate_over_views, materialize_union, Answers, DeleteDelta, DeltaSet,
+    MaintainedView, MaintenanceStats, MixedAtom, ViewAtom, ViewTable,
 };
-use rdf_model::{FxHashMap, FxHashSet, Id, Triple, TripleStore};
+use rdf_model::{Dictionary, FxHashMap, FxHashSet, Id, Triple, TripleStore};
+use rdf_query::minimize;
+use rdf_query::ConjunctiveQuery;
+use rdf_reform::{reformulate_with_limit, ReformLimit};
 use rdf_schema::{saturate, saturated_copy, Schema, VocabIds};
+use rdf_stats::{estimate_conjunction, CardinalityEstimator, RelAtom};
+use rdfviews_core::rewrite::{self, PlanAtom, RewritePlan};
 use rdfviews_core::{Recommendation, SelectionError, State, ViewId};
 
 /// The materialized views of a recommendation (or state), keyed by view id.
@@ -118,6 +123,12 @@ pub fn try_answer_original_query(
 
 /// Panicking wrapper over [`try_answer_original_query`], kept for
 /// backward compatibility.
+#[deprecated(
+    since = "0.2.0",
+    note = "panics on a bad index; use `Deployment::answer(idx)` (or \
+            `try_answer_original_query`) for the Result-returning path, and \
+            `Deployment::plan`/`answer_query` for ad-hoc queries"
+)]
 pub fn answer_original_query(
     rec: &Recommendation,
     mv: &MaterializedViews,
@@ -125,6 +136,142 @@ pub fn answer_original_query(
 ) -> Answers {
     try_answer_original_query(rec, mv, original_idx)
         .unwrap_or_else(|e| panic!("answer_original_query: {e}"))
+}
+
+/// How [`Deployment::plan`] treats query atoms the deployed views cannot
+/// cover.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AnswerPolicy {
+    /// Fail with [`SelectionError::NoViewsOnlyPlan`] unless the whole
+    /// query is answerable from the views alone — never a base-store scan
+    /// (the paper's offline-client setting, where no base store exists).
+    ViewsOnly,
+    /// Cover what the views can; scan the base store for the rest (the
+    /// default).
+    #[default]
+    Hybrid,
+    /// Use the views only when they cover the whole query; otherwise
+    /// evaluate the whole query on the base store.
+    BaseFallback,
+}
+
+/// One executable branch of a [`QueryPlan`]: for plain and saturation
+/// deployments the single plan; for reformulation-mode deployments with
+/// residual base atoms, one plan per reformulation branch (base-store
+/// scans are entailment-complete only through reformulation — view scans
+/// need none, their tables already hold the saturated extensions).
+#[derive(Debug, Clone)]
+pub struct PlannedBranch {
+    /// The branch query (the minimized input itself when no reformulation
+    /// applies).
+    pub query: ConjunctiveQuery,
+    /// The plan: view scans and base-store scans.
+    pub plan: RewritePlan,
+    /// Estimated evaluation cost from the recommendation's statistics
+    /// catalog: scanned cardinality plus estimated join output.
+    pub estimated_cost: f64,
+}
+
+/// An inspectable, executable plan for one ad-hoc conjunctive query over a
+/// [`Deployment`] — which views cover which atoms, which atoms fall back
+/// to base-store scans, and what evaluation is estimated to cost.
+///
+/// Produced by [`Deployment::plan`] / [`Deployment::plan_with`], executed
+/// by [`Deployment::answer_query`]. Planning records the deployment's
+/// store version; execution refuses a plan whose version no longer matches
+/// ([`SelectionError::StaleSession`]) — updates between planning and
+/// execution require re-planning, never silently stale reads.
+#[derive(Debug, Clone)]
+pub struct QueryPlan {
+    query: ConjunctiveQuery,
+    branches: Vec<PlannedBranch>,
+    policy: AnswerPolicy,
+    store_version: u64,
+    /// The deployment lineage that produced the plan — plans bind view
+    /// ids of their own deployment and are refused elsewhere
+    /// ([`SelectionError::ForeignPlan`]).
+    deployment: u64,
+}
+
+impl QueryPlan {
+    /// The minimized query this plan answers.
+    pub fn query(&self) -> &ConjunctiveQuery {
+        &self.query
+    }
+
+    /// The executable branches.
+    pub fn branches(&self) -> &[PlannedBranch] {
+        &self.branches
+    }
+
+    /// The policy the plan was made under.
+    pub fn policy(&self) -> AnswerPolicy {
+        self.policy
+    }
+
+    /// The store version the plan was made against.
+    pub fn store_version(&self) -> u64 {
+        self.store_version
+    }
+
+    /// Whether every branch answers from the views alone.
+    pub fn is_views_only(&self) -> bool {
+        self.branches.iter().all(|b| b.plan.is_views_only())
+    }
+
+    /// Total base-store atoms across branches (0 for a views-only plan).
+    pub fn residual_atoms(&self) -> usize {
+        self.branches.iter().map(|b| b.plan.residual_atoms()).sum()
+    }
+
+    /// The distinct views scanned, in id order.
+    pub fn views_used(&self) -> Vec<ViewId> {
+        let mut ids: Vec<ViewId> = self
+            .branches
+            .iter()
+            .flat_map(|b| b.plan.views_used())
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// Total estimated evaluation cost across branches.
+    pub fn estimated_cost(&self) -> f64 {
+        self.branches.iter().map(|b| b.estimated_cost).sum()
+    }
+
+    /// A human-readable rendering of the plan, one line per branch.
+    pub fn describe(&self, dict: &Dictionary) -> String {
+        use rdf_query::display::{atom_to_string, term_to_string};
+        let mut out = String::new();
+        for (bi, b) in self.branches.iter().enumerate() {
+            let atoms: Vec<String> = b
+                .plan
+                .atoms
+                .iter()
+                .map(|pa| match pa {
+                    PlanAtom::View(ra) => {
+                        let args: Vec<String> =
+                            ra.args.iter().map(|t| term_to_string(t, dict)).collect();
+                        format!("{}({})", ra.view, args.join(", "))
+                    }
+                    PlanAtom::Base(a) => format!("base {}", atom_to_string(a, dict)),
+                })
+                .collect();
+            out.push_str(&format!(
+                "branch {bi} [{}] cost≈{:.3e}: {}\n",
+                if b.plan.is_views_only() {
+                    "views-only".to_string()
+                } else {
+                    format!("hybrid, {} base atom(s)", b.plan.residual_atoms())
+                },
+                b.estimated_cost,
+                atoms.join(" ⋈ ")
+            ));
+        }
+        out
+    }
 }
 
 /// One materialized view kept incrementally consistent: a maintained
@@ -193,10 +340,31 @@ pub struct Deployment {
     tables: MaterializedViews,
     dirty: FxHashSet<ViewId>,
     entailment: Option<EntailmentBase>,
+    /// The schema for ad-hoc query reformulation — set on deployments of
+    /// pre/post-reformulation recommendations, whose base store is the
+    /// *original* (unsaturated) one: hybrid plans reformulate the query so
+    /// that base-store scans stay entailment-complete (Theorem 4.1).
+    /// Saturation-mode deployments need none (their base store is
+    /// saturated); neither do views-only plans in any mode (the view
+    /// tables already hold the saturated extensions, Theorem 4.2).
+    reform: Option<(Schema, VocabIds)>,
     /// The store version the views are maintained to; diverges from
     /// `store.version()` only through direct `store_mut` writes.
     maintained_version: u64,
+    /// Process-unique lineage id stamped into every [`QueryPlan`], so a
+    /// plan from one deployment cannot silently execute on another whose
+    /// store happens to share a version number (clones keep the id: their
+    /// stores, views and view ids are identical at the point of cloning).
+    deployment_id: u64,
+    /// Cached plans of the stored workload rewritings, keyed by original
+    /// query index — [`Deployment::answer`] serves repeated calls from
+    /// here instead of re-assembling (and re-estimating) the plan. The
+    /// recorded store version invalidates entries after any maintenance.
+    workload_plans: FxHashMap<usize, QueryPlan>,
 }
+
+/// Allocator for [`Deployment`] lineage ids.
+static DEPLOYMENT_IDS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
 
 impl Deployment {
     /// Materializes `rec`'s views over `store` and snapshots the store as
@@ -229,8 +397,22 @@ impl Deployment {
             tables,
             dirty: FxHashSet::default(),
             entailment: None,
+            reform: None,
             maintained_version,
+            deployment_id: DEPLOYMENT_IDS.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+            workload_plans: FxHashMap::default(),
         }
+    }
+
+    /// Attaches a schema for **ad-hoc query** reformulation — used by
+    /// `Advisor::deploy` for pre/post-reformulation recommendations, whose
+    /// base store is the original (unsaturated) one. Hybrid/base-fallback
+    /// plans then reformulate the query per Theorem 4.1 so base-store
+    /// scans remain entailment-complete; without it, residual base scans
+    /// on such a deployment would silently miss implicit triples.
+    pub fn with_query_reformulation(mut self, schema: Schema, vocab: VocabIds) -> Self {
+        self.reform = Some((schema, vocab));
+        self
     }
 
     /// Materializes `rec`'s views over the `saturated` store and keeps the
@@ -364,13 +546,306 @@ impl Deployment {
         Ok(self.tables()?.total_cells())
     }
 
-    /// Answers original workload query `query_idx` from the views alone.
-    /// Fails with [`SelectionError::StaleSession`] after unmaintained
-    /// direct writes — never with silently stale answers.
+    /// Answers original workload query `query_idx` from the views alone —
+    /// a thin delegate that plans the stored workload rewriting
+    /// ([`Deployment::plan_workload`]) and executes it through
+    /// [`Deployment::answer_query`]. Fails with
+    /// [`SelectionError::StaleSession`] after unmaintained direct writes —
+    /// never with silently stale answers.
     pub fn answer(&mut self, query_idx: usize) -> Result<Answers, SelectionError> {
+        // Serve repeated calls from the plan cache; the recorded store
+        // version invalidates entries after any maintenance pass.
+        let cached = self
+            .workload_plans
+            .get(&query_idx)
+            .filter(|p| p.store_version == self.store.version())
+            .cloned();
+        let plan = match cached {
+            Some(plan) => plan,
+            None => {
+                let plan = self.plan_workload(query_idx)?;
+                self.workload_plans.insert(query_idx, plan.clone());
+                plan
+            }
+        };
+        self.answer_query(&plan)
+    }
+
+    /// Plans original workload query `query_idx` from its **stored**
+    /// rewriting(s) — no cover search needed: the recommendation already
+    /// carries one views-only rewriting per effective query (several
+    /// branches in pre-reformulation mode). The resulting plan is always
+    /// views-only.
+    pub fn plan_workload(&self, query_idx: usize) -> Result<QueryPlan, SelectionError> {
         self.ensure_fresh()?;
+        let state = &self.rec.outcome.best_state;
+        let mut branches = Vec::new();
+        for (eff, &orig) in self.rec.branch_of.iter().enumerate() {
+            if orig != query_idx {
+                continue;
+            }
+            let r = &state.rewritings()[eff];
+            let plan = RewritePlan {
+                head: r.head.clone(),
+                atoms: r.atoms.iter().map(|a| PlanAtom::View(a.clone())).collect(),
+            };
+            branches.push(self.branch_of_plan(self.rec.workload[eff].clone(), plan));
+        }
+        if branches.is_empty() {
+            return Err(SelectionError::UnknownQuery {
+                index: query_idx,
+                len: self.rec.original_query_count(),
+            });
+        }
+        Ok(QueryPlan {
+            query: branches[0].query.clone(),
+            branches,
+            policy: AnswerPolicy::ViewsOnly,
+            store_version: self.store.version(),
+            deployment: self.deployment_id,
+        })
+    }
+
+    /// Plans an **ad-hoc** conjunctive query — any query, registered in
+    /// the tuned workload or not — under the default
+    /// ([`AnswerPolicy::Hybrid`]) policy. See [`Deployment::plan_with`].
+    pub fn plan(&self, q: &ConjunctiveQuery) -> Result<QueryPlan, SelectionError> {
+        self.plan_with(q, AnswerPolicy::default())
+    }
+
+    /// Plans an ad-hoc conjunctive query under `policy`.
+    ///
+    /// The query is minimized, then the bucket/MiniCon-style cover search
+    /// of `rdfviews_core::rewrite` looks for a **complete views-only
+    /// rewriting** (verified equivalent through its unfolding). Such a
+    /// plan answers the query in every reasoning mode without
+    /// reformulation — the view tables already hold the saturated
+    /// extensions (Theorem 4.2). When atoms stay uncovered:
+    ///
+    /// * [`AnswerPolicy::ViewsOnly`] fails with
+    ///   [`SelectionError::NoViewsOnlyPlan`];
+    /// * [`AnswerPolicy::Hybrid`] mixes view scans with base-store scans;
+    /// * [`AnswerPolicy::BaseFallback`] evaluates the whole query on the
+    ///   base store.
+    ///
+    /// On deployments of pre/post-reformulation recommendations the base
+    /// store is the *original* (unsaturated) one, so plans with base
+    /// atoms first split the query into its reformulation branches
+    /// (Theorem 4.1) — one [`PlannedBranch`] each — keeping base scans
+    /// entailment-complete; branch answers union at execution.
+    pub fn plan_with(
+        &self,
+        q: &ConjunctiveQuery,
+        policy: AnswerPolicy,
+    ) -> Result<QueryPlan, SelectionError> {
+        self.ensure_fresh()?;
+        if q.atoms.is_empty() {
+            return Err(SelectionError::UnsupportedQuery {
+                reason: "the query body is empty".into(),
+            });
+        }
+        if !q.is_safe() {
+            return Err(SelectionError::UnsupportedQuery {
+                reason: "a head variable does not occur in the body".into(),
+            });
+        }
+        if q.atoms.len() > rewrite::MAX_QUERY_ATOMS {
+            return Err(SelectionError::UnsupportedQuery {
+                reason: format!(
+                    "the query has {} atoms; the planner caps at {}",
+                    q.atoms.len(),
+                    rewrite::MAX_QUERY_ATOMS
+                ),
+            });
+        }
+        let minimized = minimize(q).normalized();
+        let views = &self.rec.views;
+        // One planner pass: a complete views-only cover when it exists,
+        // the best hybrid otherwise.
+        let best = rewrite::rewrite_best(&minimized, views);
+        if best.is_views_only() {
+            let branch = self.branch_of_plan(minimized.clone(), best);
+            return Ok(QueryPlan {
+                query: minimized,
+                branches: vec![branch],
+                policy,
+                store_version: self.store.version(),
+                deployment: self.deployment_id,
+            });
+        }
+        if policy == AnswerPolicy::ViewsOnly {
+            // (No reformulation detour can save the views-only policy:
+            // the original query is always its own first reformulation
+            // branch, so an uncoverable query has an uncoverable branch.)
+            return Err(SelectionError::NoViewsOnlyPlan {
+                residual_atoms: best.residual_atoms(),
+            });
+        }
+        let branches: Vec<PlannedBranch> = match self.reformulation_branches(&minimized)? {
+            Some(branch_queries) => branch_queries
+                .into_iter()
+                .map(|b| {
+                    // Branch 0 is the original query: reuse its search.
+                    let best_b = if b == minimized {
+                        best.clone()
+                    } else {
+                        rewrite::rewrite_best(&b, views)
+                    };
+                    let plan = match policy {
+                        AnswerPolicy::Hybrid => best_b,
+                        _ if best_b.is_views_only() => best_b,
+                        _ => rewrite::base_plan(&b),
+                    };
+                    self.branch_of_plan(b, plan)
+                })
+                .collect(),
+            None => {
+                let plan = match policy {
+                    AnswerPolicy::Hybrid => best,
+                    _ => rewrite::base_plan(&minimized),
+                };
+                vec![self.branch_of_plan(minimized.clone(), plan)]
+            }
+        };
+        Ok(QueryPlan {
+            query: minimized,
+            branches,
+            policy,
+            store_version: self.store.version(),
+            deployment: self.deployment_id,
+        })
+    }
+
+    /// The reformulation branches of a (minimized) ad-hoc query, for
+    /// deployments carrying a reformulation schema: `Ok(None)` when the
+    /// deployment needs no reformulation (plain / saturation),
+    /// `Err(UnsupportedQuery)` when the expansion exceeds the branch cap.
+    fn reformulation_branches(
+        &self,
+        minimized: &ConjunctiveQuery,
+    ) -> Result<Option<Vec<ConjunctiveQuery>>, SelectionError> {
+        let Some((schema, vocab)) = &self.reform else {
+            return Ok(None);
+        };
+        let limit = ReformLimit { max_queries: 256 };
+        let ucq = reformulate_with_limit(minimized, schema, vocab, limit).map_err(|partial| {
+            SelectionError::UnsupportedQuery {
+                reason: format!(
+                    "reformulation exceeds {} branches; answer it views-only or re-deploy \
+                     under saturation",
+                    partial.len()
+                ),
+            }
+        })?;
+        Ok(Some(
+            ucq.branches()
+                .iter()
+                .map(|b| minimize(b).normalized())
+                .collect(),
+        ))
+    }
+
+    fn branch_of_plan(&self, query: ConjunctiveQuery, plan: RewritePlan) -> PlannedBranch {
+        let estimated_cost = self.estimate_plan(&plan);
+        PlannedBranch {
+            query,
+            plan,
+            estimated_cost,
+        }
+    }
+
+    /// Estimated evaluation cost of one plan from the recommendation's
+    /// statistics catalog (the same System-R estimator the search used):
+    /// total scanned cardinality plus the estimated join output.
+    fn estimate_plan(&self, plan: &RewritePlan) -> f64 {
+        let est = CardinalityEstimator::new(&self.rec.catalog);
+        let rel_atoms: Vec<RelAtom> = plan
+            .atoms
+            .iter()
+            .map(|pa| match pa {
+                PlanAtom::View(ra) => {
+                    let view = self
+                        .rec
+                        .views
+                        .iter()
+                        .find(|v| v.id == ra.view)
+                        .expect("plan scans a deployed view");
+                    RelAtom {
+                        stats: est.view_stats(&view.as_query()),
+                        args: ra.args.clone(),
+                        baked: false,
+                    }
+                }
+                PlanAtom::Base(a) => RelAtom {
+                    stats: est.atom_stats(a),
+                    args: a.terms().to_vec(),
+                    baked: true,
+                },
+            })
+            .collect();
+        let io: f64 = rel_atoms.iter().map(|a| a.stats.card).sum();
+        io + estimate_conjunction(&rel_atoms)
+    }
+
+    /// Executes a plan produced by [`Deployment::plan`] /
+    /// [`Deployment::plan_workload`]: every branch runs through the shared
+    /// backtracking join core (`evaluate_mixed` — view scans probe the
+    /// materialized tables through on-demand hash indexes, base atoms the
+    /// store's permutation indexes), and branch answers union set-wise.
+    ///
+    /// Fails with [`SelectionError::StaleSession`] when the deployment is
+    /// stale **or** when the plan was made against an older store version:
+    /// maintenance between planning and execution requires re-planning,
+    /// never a silently stale (or silently wrong) read. A plan produced by
+    /// a *different* deployment fails with
+    /// [`SelectionError::ForeignPlan`] — view ids only mean something
+    /// within their own lineage.
+    pub fn answer_query(&mut self, plan: &QueryPlan) -> Result<Answers, SelectionError> {
+        if plan.deployment != self.deployment_id {
+            return Err(SelectionError::ForeignPlan);
+        }
+        self.ensure_fresh()?;
+        if plan.store_version != self.store.version() {
+            return Err(SelectionError::StaleSession {
+                prepared: plan.store_version,
+                current: self.store.version(),
+            });
+        }
         self.rebuild_dirty();
-        try_answer_original_query(&self.rec, &self.tables, query_idx)
+        let arity = plan.query.head.len();
+        let mut set: FxHashSet<Vec<Id>> = FxHashSet::default();
+        for b in &plan.branches {
+            let atoms: Vec<MixedAtom<'_>> = b
+                .plan
+                .atoms
+                .iter()
+                .map(|pa| match pa {
+                    PlanAtom::View(ra) => MixedAtom::View(ViewAtom {
+                        table: self.tables.table(ra.view),
+                        args: ra.args.clone(),
+                    }),
+                    PlanAtom::Base(a) => MixedAtom::Store(*a),
+                })
+                .collect();
+            set.extend(evaluate_mixed(&self.store, &atoms, &b.plan.head).into_tuples());
+        }
+        Ok(Answers::from_set(arity, set))
+    }
+
+    /// Plans and answers an ad-hoc query in one call under the default
+    /// ([`AnswerPolicy::Hybrid`]) policy.
+    pub fn answer_adhoc(&mut self, q: &ConjunctiveQuery) -> Result<Answers, SelectionError> {
+        self.answer_adhoc_with(q, AnswerPolicy::default())
+    }
+
+    /// Plans and answers an ad-hoc query in one call under `policy`.
+    pub fn answer_adhoc_with(
+        &mut self,
+        q: &ConjunctiveQuery,
+        policy: AnswerPolicy,
+    ) -> Result<Answers, SelectionError> {
+        let plan = self.plan_with(q, policy)?;
+        self.answer_query(&plan)
     }
 
     /// Applies a triple insertion: updates the base store and every view
@@ -555,7 +1030,7 @@ mod tests {
         let rec = recommend(&mut db);
         let mv = materialize_recommendation(db.store(), &rec);
         assert_eq!(mv.len(), rec.views.len());
-        let from_views = answer_original_query(&rec, &mv, 0);
+        let from_views = try_answer_original_query(&rec, &mv, 0).unwrap();
         let direct = rdf_engine::evaluate(db.store(), &rec.workload[0]);
         assert_eq!(from_views, direct);
         assert_eq!(from_views.len(), 10); // s1, s4, …, s28

@@ -57,6 +57,67 @@
 //! # Ok::<(), rdfviews::core::SelectionError>(())
 //! ```
 //!
+//! ## Ad-hoc querying: rewrite arbitrary queries over the deployed views
+//!
+//! `answer(query_idx)` serves the tuned workload by index — but a real
+//! front end must answer queries that arrive **after** tuning. Any
+//! conjunctive query goes through the deployment's planner:
+//! [`Deployment::plan`](exec::Deployment::plan) computes a
+//! bucket/MiniCon-style rewriting over the deployed views (verified
+//! equivalent through its unfolding, the same Definition-2.2 yardstick the
+//! selection search uses) and returns an inspectable
+//! [`QueryPlan`](exec::QueryPlan) — which views cover which atoms, the
+//! residual base-store atoms, the estimated cost — executed by
+//! [`Deployment::answer_query`](exec::Deployment::answer_query). The
+//! [`AnswerPolicy`](exec::AnswerPolicy) decides what happens when the
+//! views cannot cover the whole query: `ViewsOnly` fails with the typed
+//! [`SelectionError::NoViewsOnlyPlan`](core::SelectionError::NoViewsOnlyPlan)
+//! (never wrong or silently empty answers), `Hybrid` — the default —
+//! mixes view scans with base-store scans, and `BaseFallback` evaluates
+//! the whole query on the base store. Index-based `answer(idx)` is now a
+//! thin delegate that plans the stored workload rewriting through the same
+//! path.
+//!
+//! ```
+//! use rdfviews::prelude::*;
+//! # use rdfviews::model::Term;
+//! let mut db = Dataset::new();
+//! # for i in 0..20 {
+//! #   db.insert_terms(Term::uri(format!("s{i}")), Term::uri("p"), Term::uri(format!("o{}", i % 4)));
+//! #   db.insert_terms(Term::uri(format!("s{i}")), Term::uri("q"), Term::uri("c"));
+//! # }
+//! let q = parse_query("q(X, Y) :- t(X, <p>, Y)", db.dict_mut()).unwrap();
+//! let mut advisor = Advisor::builder(&db).build()?;
+//! let rec = advisor.recommend(&[q.query])?;
+//! let mut deployment = advisor.deploy(rec)?;
+//!
+//! // An ad-hoc query the workload never mentioned: a selection over the
+//! // tuned predicate. The planner covers it from the views alone.
+//! let adhoc = parse_query("a(X) :- t(X, <p>, <o1>)", db.dict_mut()).unwrap().query;
+//! let plan = deployment.plan(&adhoc)?;
+//! assert!(plan.is_views_only());
+//! let answers = deployment.answer_query(&plan)?;
+//! assert_eq!(answers, rdfviews::engine::evaluate(db.store(), &adhoc));
+//!
+//! // Maintenance between planning and execution? The plan is refused —
+//! // plans record the store version; re-plan to pick up the new state.
+//! # let s2 = db.dict().lookup_uri("s2").unwrap();
+//! # let p = db.dict().lookup_uri("p").unwrap();
+//! # let o1 = db.dict().lookup_uri("o1").unwrap();
+//! deployment.insert([s2, p, o1]);
+//! assert!(matches!(deployment.answer_query(&plan), Err(SelectionError::StaleSession { .. })));
+//! assert!(deployment.answer_adhoc(&adhoc).is_ok());
+//! # Ok::<(), rdfviews::core::SelectionError>(())
+//! ```
+//!
+//! Under RDFS reasoning the planner stays entailment-complete: views-only
+//! plans need no reformulation (the view tables hold the saturated
+//! extensions, Theorem 4.2), saturation-mode deployments scan a saturated
+//! base store, and pre/post-reformulation deployments reformulate a
+//! hybrid plan's query per Theorem 4.1 — one plan branch per
+//! reformulation branch — before letting it touch their original
+//! (unsaturated) base store.
+//!
 //! ## Maintenance quickstart: batched updates and writable stores
 //!
 //! Update feeds go through [`Deployment::insert_batch`] /
@@ -150,8 +211,10 @@
 //! | `select_views(store, dict, schema, w, opts)` | `Advisor::builder(&db).schema(..).options(opts).build()?` then `advisor.recommend(&w)?` |
 //! | `select_views_partitioned(store, dict, schema, w, opts, par)` | `advisor.recommend_partitioned(&w, par)?` |
 //! | `exec::materialize_recommendation(store, &rec)` | `advisor.deploy(rec)?` (a [`Deployment`](exec::Deployment)) |
-//! | `exec::answer_original_query(&rec, &mv, i)` | `deployment.answer(i)?` |
+//! | `exec::answer_original_query(&rec, &mv, i)` (deprecated) | `deployment.answer(i)?` |
 //! | `exec::answer_query(&state, &mv, i)` | `deployment.answer(i)?` (per-branch access stays available) |
+//! | `answer(query_idx)` for an unregistered query | `deployment.plan(&q)?` + `deployment.answer_query(&plan)?` (or `deployment.answer_adhoc(&q)?`) |
+//! | *(not possible: index-only API)* | `deployment.plan_with(&q, AnswerPolicy::ViewsOnly \| Hybrid \| BaseFallback)?` |
 //! | `mv.total_rows()` / `mv.total_cells()` | `deployment.total_rows()?` / `deployment.total_cells()?` |
 //! | manual `MaintainedView` feeding | `deployment.insert_batch(&triples)` / `deployment.delete_batch(&triples)` |
 //! | panic on missing schema | `Err(SelectionError::SchemaRequired(mode))` |
@@ -192,9 +255,11 @@ pub mod prelude {
     pub use crate::engine::{
         evaluate, evaluate_union, materialize, Answers, MaintainedView, MaintenanceStats, ViewTable,
     };
+    #[allow(deprecated)]
+    pub use crate::exec::answer_original_query;
     pub use crate::exec::{
-        answer_original_query, answer_query, materialize_recommendation, Deployment,
-        MaterializedViews,
+        answer_query, materialize_recommendation, try_answer_original_query, AnswerPolicy,
+        Deployment, MaterializedViews, PlannedBranch, QueryPlan,
     };
     pub use crate::model::{Dataset, Dictionary, Term, Triple, TripleStore};
     pub use crate::query::parser::parse_query;

@@ -6,7 +6,7 @@ use rdfviews::core::{
 };
 use rdfviews::engine::evaluate;
 use rdfviews::exec::{
-    answer_original_query, answer_query, materialize_recommendation, materialize_state,
+    answer_query, materialize_recommendation, materialize_state, try_answer_original_query,
 };
 use rdfviews::model::{Dataset, Term};
 use rdfviews::query::parser::parse_query;
@@ -65,7 +65,7 @@ fn single_atom_single_query() {
         &SelectionOptions::recommended(),
     );
     let mv = materialize_recommendation(db.store(), &rec);
-    let ans = answer_original_query(&rec, &mv, 0);
+    let ans = try_answer_original_query(&rec, &mv, 0).unwrap();
     assert_eq!(ans.len(), 5); // s2, s6, s10, s14, s18
 }
 
@@ -145,7 +145,7 @@ fn empty_answer_query_still_rewrites() {
         &SelectionOptions::recommended(),
     );
     let mv = materialize_recommendation(db.store(), &rec);
-    assert!(answer_original_query(&rec, &mv, 0).is_empty());
+    assert!(try_answer_original_query(&rec, &mv, 0).unwrap().is_empty());
 }
 
 #[test]
@@ -236,7 +236,7 @@ fn literals_and_blank_nodes_in_data_and_queries() {
         &SelectionOptions::recommended(),
     );
     let mv = materialize_recommendation(db.store(), &rec);
-    let ans = answer_original_query(&rec, &mv, 0);
+    let ans = try_answer_original_query(&rec, &mv, 0).unwrap();
     assert_eq!(ans.len(), 1);
     let lit = db.dict().lookup(&Term::literal("thing two")).unwrap();
     assert!(ans.contains(&[lit]));

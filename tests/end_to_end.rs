@@ -4,7 +4,7 @@
 
 use rdfviews::core::{select_views, ReasoningMode, SearchConfig, SelectionOptions};
 use rdfviews::engine::evaluate;
-use rdfviews::exec::{answer_original_query, materialize_recommendation};
+use rdfviews::exec::{materialize_recommendation, try_answer_original_query};
 use rdfviews::schema::saturated_copy;
 use rdfviews::workload::{
     generate_barton, generate_satisfiable, BartonSpec, SatisfiableSpec, Shape,
@@ -47,7 +47,7 @@ fn all_reasoning_modes_return_complete_answers() {
         };
         for (qi, q) in workload.iter().enumerate() {
             let truth = evaluate(&saturated, &q.normalized());
-            let got = answer_original_query(&rec, &mv, qi);
+            let got = try_answer_original_query(&rec, &mv, qi).unwrap();
             assert_eq!(got, truth, "{mode:?}, query {qi}");
         }
     }
@@ -67,7 +67,11 @@ fn plain_mode_matches_non_saturated_evaluation() {
     let mv = materialize_recommendation(data.db.store(), &rec);
     for (qi, q) in workload.iter().enumerate() {
         let truth = evaluate(data.db.store(), &q.normalized());
-        assert_eq!(answer_original_query(&rec, &mv, qi), truth, "query {qi}");
+        assert_eq!(
+            try_answer_original_query(&rec, &mv, qi).unwrap(),
+            truth,
+            "query {qi}"
+        );
     }
 }
 
@@ -144,7 +148,7 @@ fn partitioned_selection_returns_complete_answers() {
         for (qi, q) in workload.iter().enumerate() {
             let truth = evaluate(&saturated, &q.normalized());
             assert_eq!(
-                answer_original_query(&rec, &mv, qi),
+                try_answer_original_query(&rec, &mv, qi).unwrap(),
                 truth,
                 "parallel={parallel}, query {qi}"
             );
