@@ -200,5 +200,22 @@ fn main() {
         &format!("{t_direct:.4}"),
         &per(t_direct, all.len()),
     ]);
+    let per_query = |t: f64, n: usize| 1e3 * t / (repeats * n).max(1) as f64;
+    rdfviews_bench::emit_bench_json(
+        "adhoc_query",
+        &[
+            ("plan_per_query_ms", per_query(t_plan, all.len())),
+            (
+                "views_only_per_query_ms",
+                per_query(t_views, views_only_plans.len()),
+            ),
+            (
+                "hybrid_per_query_ms",
+                per_query(t_hybrid, hybrid_plans.len()),
+            ),
+            ("direct_per_query_ms", per_query(t_direct, all.len())),
+            ("triples", db.len() as f64),
+        ],
+    );
     println!("\n# views-only and hybrid answers verified set-equal to direct evaluation ✓");
 }

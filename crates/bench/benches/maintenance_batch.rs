@@ -127,6 +127,7 @@ fn main() {
         ],
         &[6, 9, 13, 13, 7, 7],
     );
+    let mut summary: Vec<(String, f64)> = Vec::new();
     let mut baseline: Option<RunResult> = None;
     for &size in &[1usize, 32, 1024] {
         let run = run_at(&pristine, &feed, &retractions, size, workload.len());
@@ -170,9 +171,17 @@ fn main() {
             &(run.insert.batches + run.delete.batches).to_string(),
             &format!("{speedup:.2}x"),
         ]);
+        summary.push((format!("wall_batch{size}_s"), run.wall));
+        summary.push((
+            format!("delta_tuples_batch{size}"),
+            (run.insert.delta_tuples + run.delete.delta_tuples) as f64,
+        ));
         if baseline.is_none() {
             baseline = Some(run);
         }
     }
+    summary.push(("feed_triples".to_string(), feed.len() as f64));
+    let metrics: Vec<(&str, f64)> = summary.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+    rdfviews_bench::emit_bench_json("maintenance_batch", &metrics);
     println!("\n# batched and per-triple maintenance converge to identical views ✓");
 }

@@ -153,10 +153,20 @@ fn main() {
         &[7, 9, 10, 10, 14, 7],
     );
     let mut baseline: Option<(f64, f64)> = None; // (wall, best cost)
+    let mut summary: Vec<(String, f64)> = Vec::new();
     for threads in [1usize, 2, 4] {
         let (out, wall) = run_at(&workload, &model, threads, 3_000_000);
         assert!(!out.stats.out_of_budget, "parity workload must complete");
         assert!(ledger_balances(&out), "counter ledger at {threads} threads");
+        summary.push((format!("parity_wall_{threads}t_s"), wall));
+        summary.push((
+            format!("parity_states_per_s_{threads}t"),
+            out.stats.created as f64 / wall.max(1e-9),
+        ));
+        if threads == 1 {
+            summary.push(("parity_best_cost".to_string(), out.best_cost));
+            summary.push(("parity_created".to_string(), out.stats.created as f64));
+        }
         let speedup = match &baseline {
             None => {
                 baseline = Some((wall, out.best_cost));
@@ -180,6 +190,8 @@ fn main() {
             &format!("{speedup:.2}x"),
         ]);
     }
+    let metrics: Vec<(&str, f64)> = summary.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+    rdfviews_bench::emit_bench_json("parallel_search", &metrics);
 
     // -- Section 2: throughput under a state budget. ----------------------
     if !smoke {

@@ -1,0 +1,175 @@
+//! Durability: snapshot write/open, WAL append, and replay recovery.
+//!
+//! Measures the three durable-deployment paths on a chain workload:
+//!
+//! 1. **Snapshot** — `persist` (atomic bundle write) and `open` (full
+//!    validation: trailer hash, per-section CRCs, framing) wall-clock and
+//!    bundle size.
+//! 2. **WAL append** — logged `insert_batch` throughput (every record is
+//!    fsync'd before the in-memory apply, so this is dominated by the
+//!    sync) vs the same batches applied without durability.
+//! 3. **Replay** — `DurableDeployment::recover` (snapshot load + WAL
+//!    replay through the set-at-a-time maintenance path), asserting the
+//!    recovered content hash equals the live deployment's — the
+//!    determinism contract, checked on every bench run.
+//!
+//! Smoke mode (`RDFVIEWS_SMOKE=1` or `--smoke`) shrinks the data so CI
+//! finishes fast; the parity assertions still run. Emits
+//! `BENCH_recovery.json`.
+
+use std::time::Instant;
+
+use rdfviews::model::Triple;
+use rdfviews::prelude::*;
+use rdfviews::workload::{generate_matching_data, generate_workload, Commonality, Shape};
+use rdfviews_bench::{emit_bench_json, Table};
+
+fn time_it(f: impl FnOnce()) -> f64 {
+    let t0 = Instant::now();
+    f();
+    t0.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let smoke = std::env::var("RDFVIEWS_SMOKE").is_ok() || std::env::args().any(|a| a == "--smoke");
+    let (data_triples, feed_triples, batch) = if smoke {
+        (1_500usize, 240usize, 24usize)
+    } else {
+        (6_000, 2_048, 64)
+    };
+    let dir = std::env::temp_dir().join(format!("rdfviews-recovery-bench-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+
+    // -- Dataset, workload, deployment. -----------------------------------
+    let mut db = Dataset::new();
+    let spec = rdfviews::workload::WorkloadSpec::new(3, 4, Shape::Chain, Commonality::High);
+    let workload = generate_workload(&spec, db.dict_mut());
+    let (mut dict, mut store) = db.into_parts();
+    generate_matching_data(&spec, &mut dict, &mut store, data_triples);
+    let db = Dataset::from_parts(dict, store);
+
+    let mut advisor = Advisor::builder(&db).build().expect("plain advisor");
+    let rec = advisor.recommend(&workload).expect("recommendation");
+    let baseline = advisor.deploy(rec.clone()).expect("fresh session deploys");
+
+    // The update feed (fresh triples over the same vocabulary).
+    let feed: Vec<Triple> = {
+        let mut feed_store = rdfviews::model::TripleStore::new();
+        let mut feed_spec = spec.clone();
+        feed_spec.seed = 0xfeed;
+        let mut dict = db.dict().clone();
+        generate_matching_data(&feed_spec, &mut dict, &mut feed_store, feed_triples);
+        feed_store
+            .triples()
+            .iter()
+            .copied()
+            .filter(|t| !baseline.store().contains(*t))
+            .collect()
+    };
+    println!(
+        "# recovery: {} base triples, {} views, {}-triple feed in batches of {batch}{}",
+        db.len(),
+        baseline.view_count(),
+        feed.len(),
+        if smoke { " [smoke]" } else { "" },
+    );
+
+    // -- Section 1: snapshot write / open. --------------------------------
+    let mut durable = advisor
+        .deploy_durable(rec, &dir)
+        .expect("fresh session deploys durably")
+        // Compaction timing is measured separately below.
+        .with_compact_threshold(u64::MAX);
+    let snapshot_bytes = std::fs::metadata(dir.join(rdfviews::exec::SNAPSHOT_FILE))
+        .map(|m| m.len())
+        .unwrap_or(0);
+    let t_persist = time_it(|| {
+        durable.checkpoint().expect("checkpoint");
+    });
+    let t_open = time_it(|| {
+        Deployment::open(&dir).expect("open");
+    });
+
+    // -- Section 2: WAL append throughput vs in-memory apply. -------------
+    let mut in_memory = baseline;
+    let t_memory = time_it(|| {
+        for chunk in feed.chunks(batch) {
+            in_memory.insert_batch(chunk);
+        }
+    });
+    let mut records = 0usize;
+    let t_logged = time_it(|| {
+        for chunk in feed.chunks(batch) {
+            durable.insert_batch(chunk).expect("logged insert");
+            records += 1;
+        }
+    });
+    let wal_bytes = durable.wal_size();
+    let live_hash = durable
+        .deployment()
+        .content_hash(durable.dict())
+        .expect("fresh");
+    drop(durable); // the process "crashes" here
+
+    // -- Section 3: replay recovery. --------------------------------------
+    let mut recovered_hash = 0u128;
+    let mut replayed = 0usize;
+    let t_recover = time_it(|| {
+        let (handle, report) = DurableDeployment::recover(&dir).expect("recover");
+        recovered_hash = report.state_hash;
+        replayed = report.records_replayed;
+        drop(handle);
+    });
+    assert_eq!(replayed, records, "every logged record must replay");
+    assert_eq!(
+        recovered_hash, live_hash,
+        "replay must reproduce the live deployment bit-for-bit"
+    );
+
+    let table = Table::new(&["path", "wall (s)", "throughput"], &[16, 10, 24]);
+    table.row(&[
+        "snapshot write",
+        &format!("{t_persist:.4}"),
+        &format!(
+            "{:.1} MB/s",
+            snapshot_bytes as f64 / 1e6 / t_persist.max(1e-9)
+        ),
+    ]);
+    table.row(&[
+        "snapshot open",
+        &format!("{t_open:.4}"),
+        &format!("{:.1} MB/s", snapshot_bytes as f64 / 1e6 / t_open.max(1e-9)),
+    ]);
+    table.row(&[
+        "wal append",
+        &format!("{t_logged:.4}"),
+        &format!("{:.0} rec/s (fsync'd)", records as f64 / t_logged.max(1e-9)),
+    ]);
+    table.row(&[
+        "in-memory apply",
+        &format!("{t_memory:.4}"),
+        &format!("{:.0} batch/s", records as f64 / t_memory.max(1e-9)),
+    ]);
+    table.row(&[
+        "replay recover",
+        &format!("{t_recover:.4}"),
+        &format!("{:.0} rec/s", replayed as f64 / t_recover.max(1e-9)),
+    ]);
+
+    emit_bench_json(
+        "recovery",
+        &[
+            ("snapshot_write_s", t_persist),
+            ("snapshot_open_s", t_open),
+            ("snapshot_bytes", snapshot_bytes as f64),
+            ("wal_append_s", t_logged),
+            ("wal_bytes", wal_bytes as f64),
+            ("wal_records", records as f64),
+            ("in_memory_apply_s", t_memory),
+            ("replay_s", t_recover),
+            ("replayed_records", replayed as f64),
+        ],
+    );
+    println!("\n# recovered state hash equals the live deployment's ✓");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -50,6 +50,30 @@ pub fn env_usize_list(var: &str, default: &[usize]) -> Vec<usize> {
         .unwrap_or_else(|| default.to_vec())
 }
 
+/// Writes a machine-readable `BENCH_<name>.json` summary — a flat map of
+/// metric name to number — for CI trend tracking. The output directory is
+/// the current one unless `RDFVIEWS_BENCH_DIR` overrides it. Failures are
+/// reported on stderr, never panicked on (a bench must not fail because a
+/// summary could not be written).
+pub fn emit_bench_json(name: &str, metrics: &[(&str, f64)]) {
+    let dir = std::env::var("RDFVIEWS_BENCH_DIR").unwrap_or_else(|_| ".".to_string());
+    let path = std::path::Path::new(&dir).join(format!("BENCH_{name}.json"));
+    let mut body = format!("{{\n  \"bench\": \"{name}\"");
+    for (key, value) in metrics {
+        let rendered = if value.is_finite() {
+            format!("{value}")
+        } else {
+            "null".to_string()
+        };
+        body.push_str(&format!(",\n  \"{key}\": {rendered}"));
+    }
+    body.push_str("\n}\n");
+    match std::fs::write(&path, body) {
+        Ok(()) => println!("# wrote {}", path.display()),
+        Err(e) => eprintln!("# warning: cannot write {}: {e}", path.display()),
+    }
+}
+
 /// A minimal fixed-width table printer for the bench reports.
 pub struct Table {
     widths: Vec<usize>,
@@ -231,6 +255,20 @@ mod tests {
         assert_eq!(rb.q1.len(), 5);
         assert_eq!(rb.q2.len(), 10);
         assert_eq!(&rb.q2[..5], &rb.q1[..]);
+    }
+
+    #[test]
+    fn bench_json_is_written() {
+        let dir = std::env::temp_dir().join(format!("rdfviews-bench-json-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::env::set_var("RDFVIEWS_BENCH_DIR", &dir);
+        emit_bench_json("unit", &[("wall_s", 0.25), ("rows", 42.0)]);
+        std::env::remove_var("RDFVIEWS_BENCH_DIR");
+        let body = std::fs::read_to_string(dir.join("BENCH_unit.json")).unwrap();
+        assert!(body.contains("\"bench\": \"unit\""));
+        assert!(body.contains("\"wall_s\": 0.25"));
+        assert!(body.contains("\"rows\": 42"));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -81,6 +81,30 @@ pub enum SelectionError {
         /// The store's current version.
         current: u64,
     },
+    /// An operating-system I/O failure on a durability path (snapshot
+    /// write, WAL append, recovery read). The OS error travels as a string
+    /// so the type stays `Clone + PartialEq`.
+    Io {
+        /// What was being attempted (e.g. `"writing snapshot /data/x"`).
+        context: String,
+        /// The OS error message.
+        message: String,
+    },
+    /// A snapshot bundle failed validation: bad magic, unsupported format
+    /// version, a section checksum mismatch, or inconsistent contents.
+    /// Detected at load time — a bundle that decodes is fully trusted at
+    /// query time.
+    CorruptBundle {
+        /// The first defect found.
+        detail: String,
+    },
+    /// The write-ahead log ends in an incomplete (torn) record. Recovery
+    /// drops the tail and succeeds; strict verification surfaces it as
+    /// this error.
+    WalTornTail {
+        /// Byte offset of the first incomplete record.
+        offset: u64,
+    },
 }
 
 impl std::fmt::Display for SelectionError {
@@ -124,6 +148,17 @@ impl std::fmt::Display for SelectionError {
                 "session was prepared at store version {prepared} but the store is now at \
                  {current}; refresh() the session before recommending"
             ),
+            SelectionError::Io { context, message } => {
+                write!(f, "i/o failure while {context}: {message}")
+            }
+            SelectionError::CorruptBundle { detail } => {
+                write!(f, "corrupt snapshot bundle: {detail}")
+            }
+            SelectionError::WalTornTail { offset } => write!(
+                f,
+                "write-ahead log has a torn tail record at byte {offset}; \
+                 recover() drops it and replays the valid prefix"
+            ),
         }
     }
 }
@@ -163,6 +198,21 @@ mod tests {
         };
         let msg = e.to_string();
         assert!(msg.contains('3') && msg.contains('9'));
+    }
+
+    #[test]
+    fn durability_errors_display_their_payloads() {
+        let e = SelectionError::Io {
+            context: "writing snapshot /x".into(),
+            message: "disk full".into(),
+        };
+        assert!(e.to_string().contains("disk full"));
+        let e = SelectionError::CorruptBundle {
+            detail: "section 3 checksum mismatch".into(),
+        };
+        assert!(e.to_string().contains("checksum"));
+        let e = SelectionError::WalTornTail { offset: 42 };
+        assert!(e.to_string().contains("42"));
     }
 
     #[test]

@@ -108,6 +108,28 @@ pub struct Rewriting {
 }
 
 impl Rewriting {
+    /// Reassembles a rewriting from persisted parts. `next_var` must be
+    /// at least one past every variable used in `head`/`atoms` (it is
+    /// whatever [`Rewriting::next_var`] reported when serialized).
+    pub fn from_parts(
+        query_index: usize,
+        head: Vec<QTerm>,
+        atoms: Vec<RewAtom>,
+        next_var: u32,
+    ) -> Self {
+        Rewriting {
+            query_index,
+            head,
+            atoms,
+            next_var,
+        }
+    }
+
+    /// The fresh-variable counter (for serialization).
+    pub fn next_var(&self) -> u32 {
+        self.next_var
+    }
+
     /// Allocates a fresh rewriting variable.
     pub fn fresh_var(&mut self) -> Var {
         let v = Var(self.next_var);
@@ -238,6 +260,28 @@ impl State {
             rewritings,
             next_view_id: queries.len() as u32,
         }
+    }
+
+    /// Reassembles a state from persisted parts: the view set, one
+    /// rewriting per workload query, and the view-id counter reported by
+    /// [`State::next_view_id`] at serialization time. The caller vouches
+    /// that the parts came from a valid state; `check_invariants` can be
+    /// run afterwards as a defense-in-depth check.
+    pub fn from_parts(
+        views: impl IntoIterator<Item = View>,
+        rewritings: Vec<Rewriting>,
+        next_view_id: u32,
+    ) -> State {
+        State {
+            views: views.into_iter().map(|v| (v.id, v)).collect(),
+            rewritings,
+            next_view_id,
+        }
+    }
+
+    /// The fresh-view-id counter (for serialization).
+    pub fn next_view_id(&self) -> u32 {
+        self.next_view_id
     }
 
     /// The views, ordered by id.

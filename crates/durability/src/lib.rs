@@ -1,0 +1,92 @@
+//! Durability primitives for deployed view recommendations.
+//!
+//! The crate is deliberately domain-free: it knows nothing about triples,
+//! views, or dictionaries. It provides the four layers the facade's
+//! persistence module (`rdfviews::exec`) composes into durable deployments:
+//!
+//! * [`wire`] — a canonical little-endian codec. Every integer has a fixed
+//!   width, every collection is length-prefixed, floats travel as IEEE-754
+//!   bit patterns, so the same value always encodes to the same bytes.
+//! * [`crc`] — CRC-32 (IEEE polynomial) for per-section and per-record
+//!   corruption checks.
+//! * [`hash`] — SipHash-2-4 with 128-bit output and explicit domain
+//!   separation, used for whole-bundle integrity and for the semantic
+//!   *state hash* that proves replay determinism.
+//! * [`bundle`] / [`wal`] — the two on-disk artifacts: a versioned,
+//!   section-framed snapshot bundle and a CRC-framed append-only log with
+//!   torn-tail detection.
+//!
+//! Everything fallible returns [`DurabilityError`]; the crate never panics
+//! on malformed input.
+
+pub mod bundle;
+pub mod crc;
+pub mod fsutil;
+pub mod hash;
+pub mod wal;
+pub mod wire;
+
+/// Errors raised by the durability layer.
+///
+/// String payloads (rather than `std::io::Error` values) keep the type
+/// `Clone + PartialEq`, which the facade's `SelectionError` requires.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DurabilityError {
+    /// An operating-system I/O failure, with the operation that failed.
+    Io {
+        /// What was being attempted (e.g. `"write snapshot /tmp/x"`).
+        context: String,
+        /// The OS error message.
+        message: String,
+    },
+    /// A bundle or WAL failed structural validation: bad magic, unsupported
+    /// format version, checksum mismatch, or inconsistent section contents.
+    Corrupt {
+        /// Human-readable description of the first defect found.
+        detail: String,
+    },
+    /// The write-ahead log ends in an incomplete record at `offset`.
+    ///
+    /// Recovery treats this as a survivable condition (the tail is
+    /// dropped); strict readers surface it as an error.
+    TornTail {
+        /// Byte offset of the first incomplete record.
+        offset: u64,
+    },
+}
+
+impl std::fmt::Display for DurabilityError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DurabilityError::Io { context, message } => {
+                write!(f, "i/o failure while {context}: {message}")
+            }
+            DurabilityError::Corrupt { detail } => write!(f, "corrupt artifact: {detail}"),
+            DurabilityError::TornTail { offset } => {
+                write!(f, "write-ahead log has a torn tail record at byte {offset}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DurabilityError {}
+
+impl DurabilityError {
+    /// Wraps an OS error with the operation being attempted.
+    pub fn io(context: impl Into<String>, err: std::io::Error) -> Self {
+        DurabilityError::Io {
+            context: context.into(),
+            message: err.to_string(),
+        }
+    }
+
+    /// A structural-validation failure.
+    pub fn corrupt(detail: impl Into<String>) -> Self {
+        DurabilityError::Corrupt {
+            detail: detail.into(),
+        }
+    }
+}
+
+/// Shorthand for results in this crate.
+pub type Result<T> = std::result::Result<T, DurabilityError>;

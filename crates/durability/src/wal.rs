@@ -1,0 +1,353 @@
+//! The write-ahead log: an append-only file of CRC-framed records.
+//!
+//! Layout (little-endian):
+//!
+//! ```text
+//! header:      magic b"RDFVWAL\0" | format version u32      12 bytes
+//! per record:  len u32 | payload | crc32(payload) u32
+//! ```
+//!
+//! The append protocol is *frame, write, fsync, then apply in memory* —
+//! a record is durable before its effects exist anywhere volatile.
+//! Scanning stops at the first incomplete or checksum-failing frame and
+//! reports it as a **torn tail**: everything before it is trusted,
+//! everything from it on is dropped. Recovery treats a torn tail as the
+//! expected signature of a crash mid-append, not an error.
+
+use std::fs::File;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use crate::crc::crc32;
+use crate::fsutil;
+use crate::{DurabilityError, Result};
+
+/// First bytes of every WAL file.
+pub const MAGIC: [u8; 8] = *b"RDFVWAL\0";
+/// The current WAL format version.
+pub const FORMAT_VERSION: u32 = 1;
+/// Size of the file header in bytes.
+pub const HEADER_LEN: u64 = 12;
+
+fn header_bytes() -> [u8; HEADER_LEN as usize] {
+    let mut h = [0u8; HEADER_LEN as usize];
+    h[..8].copy_from_slice(&MAGIC);
+    h[8..].copy_from_slice(&FORMAT_VERSION.to_le_bytes());
+    h
+}
+
+/// One validated record returned by a scan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalRecord {
+    /// Byte offset of the record's frame within the file.
+    pub offset: u64,
+    /// The record payload (framing stripped, CRC verified).
+    pub payload: Vec<u8>,
+}
+
+/// Result of scanning a WAL file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalScan {
+    /// Records with valid framing and checksums, in file order.
+    pub records: Vec<WalRecord>,
+    /// Length of the trusted prefix: header plus every valid frame. An
+    /// appender reopening this WAL must truncate to this length first.
+    pub valid_len: u64,
+    /// Offset of the first torn/corrupt frame, if the file does not end
+    /// cleanly on a record boundary.
+    pub torn_tail: Option<u64>,
+}
+
+/// Scans WAL bytes, tolerating a torn tail.
+///
+/// An empty byte string is a valid empty log (a crash can leave the file
+/// created but unwritten); a present-but-malformed *header* is corruption,
+/// not a torn tail.
+pub fn scan(bytes: &[u8]) -> Result<WalScan> {
+    if bytes.is_empty() {
+        return Ok(WalScan {
+            records: Vec::new(),
+            valid_len: 0,
+            torn_tail: None,
+        });
+    }
+    if bytes.len() < HEADER_LEN as usize {
+        return Err(DurabilityError::corrupt("wal header truncated"));
+    }
+    if bytes[..8] != MAGIC {
+        return Err(DurabilityError::corrupt("bad wal magic"));
+    }
+    let version = u32::from_le_bytes([bytes[8], bytes[9], bytes[10], bytes[11]]);
+    if version != FORMAT_VERSION {
+        return Err(DurabilityError::corrupt(format!(
+            "unsupported wal format version {version} (this build reads {FORMAT_VERSION})"
+        )));
+    }
+
+    let mut records = Vec::new();
+    let mut pos = HEADER_LEN as usize;
+    let mut torn = None;
+    while pos < bytes.len() {
+        let frame_start = pos;
+        if bytes.len() - pos < 4 {
+            torn = Some(frame_start as u64);
+            break;
+        }
+        let len = u32::from_le_bytes([bytes[pos], bytes[pos + 1], bytes[pos + 2], bytes[pos + 3]])
+            as usize;
+        pos += 4;
+        if bytes.len() - pos < len + 4 {
+            torn = Some(frame_start as u64);
+            break;
+        }
+        let payload = &bytes[pos..pos + len];
+        pos += len;
+        let stored =
+            u32::from_le_bytes([bytes[pos], bytes[pos + 1], bytes[pos + 2], bytes[pos + 3]]);
+        pos += 4;
+        if crc32(payload) != stored {
+            torn = Some(frame_start as u64);
+            break;
+        }
+        records.push(WalRecord {
+            offset: frame_start as u64,
+            payload: payload.to_vec(),
+        });
+    }
+    let valid_len = torn.unwrap_or(bytes.len() as u64);
+    Ok(WalScan {
+        records,
+        valid_len,
+        torn_tail: torn,
+    })
+}
+
+/// Like [`scan`], but a torn tail is an error ([`DurabilityError::TornTail`]).
+pub fn scan_strict(bytes: &[u8]) -> Result<Vec<WalRecord>> {
+    let s = scan(bytes)?;
+    match s.torn_tail {
+        Some(offset) => Err(DurabilityError::TornTail { offset }),
+        None => Ok(s.records),
+    }
+}
+
+/// An open WAL file positioned for appending.
+#[derive(Debug)]
+pub struct WalWriter {
+    file: File,
+    path: PathBuf,
+    len: u64,
+}
+
+impl WalWriter {
+    /// Creates (or truncates) the WAL at `path` with a fresh header,
+    /// fsync'd before returning.
+    pub fn create(path: &Path) -> Result<Self> {
+        let ctx = || format!("creating wal {}", path.display());
+        let mut file = File::create(path).map_err(|e| DurabilityError::io(ctx(), e))?;
+        file.write_all(&header_bytes())
+            .map_err(|e| DurabilityError::io(ctx(), e))?;
+        file.sync_all().map_err(|e| DurabilityError::io(ctx(), e))?;
+        if let Some(dir) = path.parent() {
+            fsutil::sync_dir(dir)?;
+        }
+        Ok(WalWriter {
+            file,
+            path: path.to_path_buf(),
+            len: HEADER_LEN,
+        })
+    }
+
+    /// Reopens an existing WAL for appending after a scan, truncating any
+    /// torn tail beyond `valid_len`. A `valid_len` below the header size
+    /// (an empty or never-synced file) recreates the log from scratch.
+    pub fn open_at(path: &Path, valid_len: u64) -> Result<Self> {
+        if valid_len < HEADER_LEN {
+            return Self::create(path);
+        }
+        let ctx = || format!("opening wal {}", path.display());
+        let file = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(path)
+            .map_err(|e| DurabilityError::io(ctx(), e))?;
+        file.set_len(valid_len)
+            .map_err(|e| DurabilityError::io(ctx(), e))?;
+        file.sync_all().map_err(|e| DurabilityError::io(ctx(), e))?;
+        use std::io::Seek;
+        let mut file = file;
+        file.seek(std::io::SeekFrom::End(0))
+            .map_err(|e| DurabilityError::io(ctx(), e))?;
+        Ok(WalWriter {
+            file,
+            path: path.to_path_buf(),
+            len: valid_len,
+        })
+    }
+
+    /// Appends one record and fsyncs it. When this returns `Ok`, the
+    /// record is durable — callers apply the in-memory effect only after.
+    pub fn append(&mut self, payload: &[u8]) -> Result<()> {
+        let ctx = || format!("appending to wal {}", self.path.display());
+        let mut frame = Vec::with_capacity(payload.len() + 8);
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(payload);
+        frame.extend_from_slice(&crc32(payload).to_le_bytes());
+        self.file
+            .write_all(&frame)
+            .map_err(|e| DurabilityError::io(ctx(), e))?;
+        self.file
+            .sync_data()
+            .map_err(|e| DurabilityError::io(ctx(), e))?;
+        self.len += frame.len() as u64;
+        Ok(())
+    }
+
+    /// Total file length in bytes (header included).
+    pub fn size(&self) -> u64 {
+        self.len
+    }
+
+    /// Truncates the log back to an empty header (used after a snapshot
+    /// checkpoint absorbs every logged record).
+    pub fn reset(&mut self) -> Result<()> {
+        let ctx = || format!("resetting wal {}", self.path.display());
+        self.file
+            .set_len(HEADER_LEN)
+            .map_err(|e| DurabilityError::io(ctx(), e))?;
+        use std::io::Seek;
+        self.file
+            .seek(std::io::SeekFrom::Start(HEADER_LEN))
+            .map_err(|e| DurabilityError::io(ctx(), e))?;
+        self.file
+            .sync_all()
+            .map_err(|e| DurabilityError::io(ctx(), e))?;
+        self.len = HEADER_LEN;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("rdfviews_wal_test");
+        fsutil::ensure_dir(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn append_scan_round_trip() {
+        let path = tmp("basic.wal");
+        let mut w = WalWriter::create(&path).unwrap();
+        w.append(b"one").unwrap();
+        w.append(b"").unwrap();
+        w.append(&[0xAB; 300]).unwrap();
+        let scan = scan(&fsutil::read_file(&path).unwrap()).unwrap();
+        assert_eq!(scan.torn_tail, None);
+        assert_eq!(scan.records.len(), 3);
+        assert_eq!(scan.records[0].payload, b"one");
+        assert_eq!(scan.records[1].payload, b"");
+        assert_eq!(scan.records[2].payload, vec![0xAB; 300]);
+        assert_eq!(scan.valid_len, w.size());
+    }
+
+    #[test]
+    fn torn_tail_at_every_cut() {
+        let path = tmp("torn.wal");
+        let mut w = WalWriter::create(&path).unwrap();
+        w.append(b"first-record").unwrap();
+        let boundary = w.size();
+        w.append(b"second-record").unwrap();
+        let bytes = fsutil::read_file(&path).unwrap();
+        // Every truncation strictly inside the second frame drops exactly
+        // that frame and keeps the first.
+        for cut in boundary + 1..bytes.len() as u64 {
+            let scan = scan(&bytes[..cut as usize]).unwrap();
+            assert_eq!(scan.records.len(), 1, "cut at {cut}");
+            assert_eq!(scan.valid_len, boundary, "cut at {cut}");
+            assert_eq!(scan.torn_tail, Some(boundary), "cut at {cut}");
+        }
+        // Exactly on the boundary: clean, one record.
+        let clean = scan(&bytes[..boundary as usize]).unwrap();
+        assert_eq!(clean.torn_tail, None);
+        assert_eq!(clean.records.len(), 1);
+    }
+
+    #[test]
+    fn corrupt_record_stops_scan() {
+        let path = tmp("corrupt.wal");
+        let mut w = WalWriter::create(&path).unwrap();
+        w.append(b"good").unwrap();
+        let first_end = w.size();
+        w.append(b"evil").unwrap();
+        let mut bytes = fsutil::read_file(&path).unwrap();
+        let flip = first_end as usize + 5; // inside the second payload
+        bytes[flip] ^= 0xFF;
+        let scan = scan(&bytes).unwrap();
+        assert_eq!(scan.records.len(), 1);
+        assert_eq!(scan.torn_tail, Some(first_end));
+        assert!(matches!(
+            scan_strict(&bytes),
+            Err(DurabilityError::TornTail { offset }) if offset == first_end
+        ));
+    }
+
+    #[test]
+    fn reopen_truncates_torn_tail() {
+        let path = tmp("reopen.wal");
+        let mut w = WalWriter::create(&path).unwrap();
+        w.append(b"keep-me").unwrap();
+        let boundary = w.size();
+        w.append(b"torn-away").unwrap();
+        drop(w);
+        // Simulate the crash: chop the last frame in half.
+        let bytes = fsutil::read_file(&path).unwrap();
+        std::fs::write(&path, &bytes[..boundary as usize + 3]).unwrap();
+        let scan1 = scan(&fsutil::read_file(&path).unwrap()).unwrap();
+        assert_eq!(scan1.torn_tail, Some(boundary));
+        let mut w = WalWriter::open_at(&path, scan1.valid_len).unwrap();
+        w.append(b"after-recovery").unwrap();
+        let scan2 = scan(&fsutil::read_file(&path).unwrap()).unwrap();
+        assert_eq!(scan2.torn_tail, None);
+        assert_eq!(
+            scan2
+                .records
+                .iter()
+                .map(|r| r.payload.clone())
+                .collect::<Vec<_>>(),
+            vec![b"keep-me".to_vec(), b"after-recovery".to_vec()]
+        );
+    }
+
+    #[test]
+    fn empty_and_bad_headers() {
+        assert_eq!(scan(&[]).unwrap().records.len(), 0);
+        assert!(matches!(
+            scan(&[1, 2, 3]),
+            Err(DurabilityError::Corrupt { .. })
+        ));
+        let mut bad = header_bytes();
+        bad[0] ^= 1;
+        assert!(matches!(scan(&bad), Err(DurabilityError::Corrupt { .. })));
+        let mut vers = header_bytes();
+        vers[8] = 9;
+        assert!(matches!(scan(&vers), Err(DurabilityError::Corrupt { .. })));
+    }
+
+    #[test]
+    fn reset_empties_log() {
+        let path = tmp("reset.wal");
+        let mut w = WalWriter::create(&path).unwrap();
+        w.append(b"soon-gone").unwrap();
+        w.reset().unwrap();
+        assert_eq!(w.size(), HEADER_LEN);
+        let s1 = scan(&fsutil::read_file(&path).unwrap()).unwrap();
+        assert!(s1.records.is_empty());
+        assert_eq!(s1.torn_tail, None);
+        w.append(b"fresh").unwrap();
+        let s2 = scan(&fsutil::read_file(&path).unwrap()).unwrap();
+        assert_eq!(s2.records.len(), 1);
+    }
+}

@@ -122,6 +122,24 @@ impl MaintainedView {
         Self { def, rows }
     }
 
+    /// Reassembles a maintained view from persisted parts without
+    /// re-evaluating the definition — the rows are trusted to be exactly
+    /// the view's extension at the store version they were serialized
+    /// with. Recovery relies on this: a snapshot restores tables directly,
+    /// then replays the write-ahead log through the normal delta joins.
+    pub fn from_parts(def: ConjunctiveQuery, rows: impl IntoIterator<Item = Vec<Id>>) -> Self {
+        Self {
+            def,
+            rows: rows.into_iter().collect(),
+        }
+    }
+
+    /// The materialized rows, in arbitrary order. Serializers must impose
+    /// their own canonical order.
+    pub fn rows(&self) -> impl Iterator<Item = &Vec<Id>> {
+        self.rows.iter()
+    }
+
     /// The view definition.
     pub fn definition(&self) -> &ConjunctiveQuery {
         &self.def

@@ -146,6 +146,29 @@ impl TripleStore {
         }
     }
 
+    /// Reconstructs a store from persisted parts: the triple list (already
+    /// deduplicated, in insertion order) and the version stamp it carried
+    /// when serialized. The seen-set is rebuilt; index snapshots start
+    /// cold. Restoring the *same* version matters for durability: sessions
+    /// and plans pinned to the persisted store remain valid after a
+    /// reload, and write-ahead-log records stamped with pre-apply versions
+    /// replay against the exact counter they were logged under.
+    pub fn from_parts(triples: Vec<Triple>, version: u64) -> Self {
+        let seen: FxHashSet<Triple> = triples.iter().copied().collect();
+        debug_assert_eq!(
+            seen.len(),
+            triples.len(),
+            "persisted triples must be distinct"
+        );
+        Self {
+            triples,
+            seen,
+            version,
+            indexes: RwLock::new(Default::default()),
+            distinct: RwLock::new(None),
+        }
+    }
+
     /// The store's version stamp: a counter bumped by every mutation
     /// (once per call for the batch entry points). Snapshot caches — and
     /// the selection pipeline's `Preparation` sessions — compare versions
@@ -555,6 +578,21 @@ mod tests {
         assert_eq!(mm[1], (Id(100), Id(102)));
         assert!(mm[0].0 <= mm[0].1);
         assert!(TripleStore::new().min_max().is_none());
+    }
+
+    #[test]
+    fn from_parts_restores_version_and_contents() {
+        let mut st = store_with(7);
+        st.insert([Id(200), Id(201), Id(202)]);
+        let restored = TripleStore::from_parts(st.triples().to_vec(), st.version());
+        assert_eq!(restored.version(), st.version());
+        assert_eq!(restored.triples(), st.triples());
+        assert!(restored.contains([Id(200), Id(201), Id(202)]));
+        assert_eq!(
+            restored.match_count(&StorePattern::with_p(Id(100))),
+            st.match_count(&StorePattern::with_p(Id(100)))
+        );
+        assert_eq!(restored.distinct_counts(), st.distinct_counts());
     }
 
     #[test]

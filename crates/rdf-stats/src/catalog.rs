@@ -181,6 +181,36 @@ impl StatsCatalog {
             self.avg_width[col]
         }
     }
+
+    /// The raw per-column average widths, without the empty-store default
+    /// substitution (for exact serialization round-trips).
+    pub fn avg_widths_raw(&self) -> [f64; 3] {
+        self.avg_width
+    }
+
+    /// Every recorded `(atom key, count)` pair, in arbitrary order.
+    /// Serializers must impose their own canonical order.
+    pub fn counts(&self) -> impl Iterator<Item = (&AtomKey, u64)> {
+        self.counts.iter().map(|(k, &c)| (k, c))
+    }
+
+    /// Reassembles a catalog from persisted parts (the exact fields the
+    /// accessors above expose).
+    pub fn from_parts(
+        counts: impl IntoIterator<Item = (AtomKey, u64)>,
+        dataset_size: u64,
+        distinct: [u64; 3],
+        min_max: Option<[(Id, Id); 3]>,
+        avg_width: [f64; 3],
+    ) -> Self {
+        Self {
+            counts: counts.into_iter().collect(),
+            dataset_size,
+            distinct,
+            min_max,
+            avg_width,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -211,6 +241,31 @@ mod tests {
         assert!((cat.avg_width(0) - 2.0).abs() < 1e-9);
         assert!((cat.avg_width(1) - 4.0).abs() < 1e-9);
         assert!((cat.avg_width(2) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn from_parts_round_trips() {
+        use rdf_model::{Dataset, Term};
+        let mut db = Dataset::new();
+        db.insert_terms(Term::uri("aa"), Term::uri("p"), Term::literal("x"));
+        let mut cat = StatsCatalog::store_level(db.store(), db.dict());
+        cat.insert_count(AtomKey::of(&Atom::new(Var(0), Id(1), Var(1))), 17);
+        let parts: Vec<(AtomKey, u64)> = cat.counts().map(|(k, c)| (*k, c)).collect();
+        let rebuilt = StatsCatalog::from_parts(
+            parts,
+            cat.dataset_size(),
+            [cat.distinct(0), cat.distinct(1), cat.distinct(2)],
+            cat.min_max(),
+            cat.avg_widths_raw(),
+        );
+        assert_eq!(rebuilt.dataset_size(), cat.dataset_size());
+        assert_eq!(rebuilt.recorded_atoms(), 1);
+        assert_eq!(
+            rebuilt.key_count(&AtomKey::of(&Atom::new(Var(5), Id(1), Var(9)))),
+            Some(17)
+        );
+        assert_eq!(rebuilt.min_max(), cat.min_max());
+        assert_eq!(rebuilt.avg_widths_raw(), cat.avg_widths_raw());
     }
 
     #[test]

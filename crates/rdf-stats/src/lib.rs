@@ -31,7 +31,7 @@ mod collector;
 mod estimator;
 pub mod postreform;
 
-pub use catalog::{AtomKey, StatsCatalog};
+pub use catalog::{AtomKey, KeySlot, StatsCatalog};
 pub use collector::{collect_stats, count_atom, extend_stats, relaxations_of, stats_cover};
 pub use estimator::{estimate_conjunction, CardinalityEstimator, RelAtom, RelStats};
 pub use postreform::{

@@ -37,7 +37,7 @@ use rdfviews_core::{
     ReasoningMode, Recommendation, SelectionError, SelectionOptions, StrategyKind,
 };
 
-use crate::exec::Deployment;
+use crate::exec::{Deployment, DurableDeployment};
 
 /// The advisor's dataset: borrowed for the classic read-only session, or
 /// owned for the **writable-store mode** where the session itself holds
@@ -416,6 +416,21 @@ impl<'a> Advisor<'a> {
             }
             _ => Deployment::new(db.store(), rec),
         })
+    }
+
+    /// [`Advisor::deploy`] plus durability: the deployment is persisted
+    /// into `dir` (snapshot bundle + empty write-ahead log) together with
+    /// a clone of the session dictionary, and returned as a
+    /// [`DurableDeployment`] whose `insert_batch`/`delete_batch` are
+    /// write-ahead logged. Reopen later with
+    /// [`DurableDeployment::recover`].
+    pub fn deploy_durable(
+        &self,
+        rec: Recommendation,
+        dir: &std::path::Path,
+    ) -> Result<DurableDeployment, SelectionError> {
+        let dep = self.deploy(rec)?;
+        DurableDeployment::create(dir, dep, self.db.get().dict().clone())
     }
 }
 

@@ -3,12 +3,22 @@
 //! ```text
 //! rdfviews <data.nt> <workload.rq> [options]
 //! rdfviews query <data.nt> <workload.rq> [options] [--query "<q>"]...
+//! rdfviews save <data.nt> <workload.rq> <dir> [options]
+//! rdfviews load <dir> [--query "<q>"]... [--policy ...]
+//! rdfviews recover <dir> [--query "<q>"]... [--policy ...]
 //!
 //! The `query` subcommand tunes on the workload, deploys the recommended
 //! views, then answers **ad-hoc** queries against the deployment — from
 //! repeated `--query` arguments, or one query per stdin line when none is
 //! given — printing each chosen plan (view scans vs base scans) and its
 //! answers.
+//!
+//! The durability subcommands: `save` tunes and persists the deployment
+//! into `<dir>` (snapshot bundle + write-ahead log), printing its content
+//! hash; `load` reopens the snapshot (ignoring the log) and can answer
+//! ad-hoc queries against it; `recover` additionally replays the
+//! write-ahead log through the maintenance path, reporting replayed /
+//! skipped records and any dropped torn tail.
 //!
 //! options:
 //!   --query <q>                      (query mode) an ad-hoc query to
@@ -46,6 +56,8 @@ use rdfviews::prelude::*;
 struct Args {
     data: String,
     workload: String,
+    /// The `save` subcommand's deployment directory.
+    save_dir: Option<String>,
     mode: ReasoningMode,
     strategy: StrategyKind,
     budget: Duration,
@@ -66,7 +78,10 @@ fn usage() -> ExitCode {
         "usage: rdfviews [query] <data.nt> <workload.rq> [--mode plain|saturate|pre|post] \
          [--strategy dfs|gstr|exnaive|exstr|pruning|greedy|heuristic] \
          [--budget SECONDS] [--max-states N] [--strict-budget] [--partition] [--threads N] \
-         [--materialize] [--query QUERY]... [--policy views|hybrid|base]"
+         [--materialize] [--query QUERY]... [--policy views|hybrid|base]\n\
+         \x20      rdfviews save <data.nt> <workload.rq> <dir> [tuning options]\n\
+         \x20      rdfviews load <dir> [--query QUERY]... [--policy views|hybrid|base]\n\
+         \x20      rdfviews recover <dir> [--query QUERY]... [--policy views|hybrid|base]"
     );
     ExitCode::from(2)
 }
@@ -76,6 +91,7 @@ fn parse_args() -> Result<Args, ExitCode> {
     let mut args = Args {
         data: String::new(),
         workload: String::new(),
+        save_dir: None,
         mode: ReasoningMode::Plain,
         strategy: StrategyKind::Dfs,
         budget: Duration::from_secs(10),
@@ -89,9 +105,17 @@ fn parse_args() -> Result<Args, ExitCode> {
         policy: AnswerPolicy::Hybrid,
     };
     let mut it = std::env::args().skip(1).peekable();
-    if it.peek().map(String::as_str) == Some("query") {
-        args.query_mode = true;
-        it.next();
+    let mut save_mode = false;
+    match it.peek().map(String::as_str) {
+        Some("query") => {
+            args.query_mode = true;
+            it.next();
+        }
+        Some("save") => {
+            save_mode = true;
+            it.next();
+        }
+        _ => {}
     }
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -144,15 +168,125 @@ fn parse_args() -> Result<Args, ExitCode> {
             other => positional.push(other.to_string()),
         }
     }
-    if positional.len() != 2 {
+    if positional.len() != if save_mode { 3 } else { 2 } {
         return Err(usage());
     }
     args.data = positional.remove(0);
     args.workload = positional.remove(0);
+    if save_mode {
+        args.save_dir = Some(positional.remove(0));
+    }
     Ok(args)
 }
 
+/// The `load` / `recover` subcommands: reopen a persisted deployment
+/// directory (replaying the write-ahead log when `replay_wal`) and answer
+/// any ad-hoc queries against it.
+fn run_open(replay_wal: bool) -> ExitCode {
+    let mut dir = None;
+    let mut adhoc: Vec<String> = Vec::new();
+    let mut policy = AnswerPolicy::Hybrid;
+    let mut it = std::env::args().skip(2);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--query" => match it.next() {
+                Some(q) => adhoc.push(q),
+                None => return usage(),
+            },
+            "--policy" => {
+                policy = match it.next().as_deref() {
+                    Some("views") => AnswerPolicy::ViewsOnly,
+                    Some("hybrid") => AnswerPolicy::Hybrid,
+                    Some("base") => AnswerPolicy::BaseFallback,
+                    _ => return usage(),
+                }
+            }
+            "--help" | "-h" => return usage(),
+            other if dir.is_none() => dir = Some(other.to_string()),
+            _ => return usage(),
+        }
+    }
+    let Some(dir) = dir else { return usage() };
+    let dir = std::path::Path::new(&dir);
+
+    let (mut deployment, mut dict) = if replay_wal {
+        match Deployment::recover(dir) {
+            Ok((dep, dict, report)) => {
+                println!(
+                    "# recovered: {} wal records replayed, {} skipped (absorbed by snapshot)",
+                    report.records_replayed, report.records_skipped
+                );
+                if let Some(offset) = report.torn_tail {
+                    println!("# dropped torn tail record at byte {offset}");
+                }
+                println!("# state hash   : {:032x}", report.state_hash);
+                (dep, dict)
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        match Deployment::open(dir) {
+            Ok(pair) => pair,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+    println!(
+        "# loaded deployment {:#x}: {} views over {} triples (store version {})",
+        deployment.lineage(),
+        deployment.view_count(),
+        deployment.store().len(),
+        deployment.store().version(),
+    );
+    if !replay_wal {
+        match deployment.content_hash(&dict) {
+            Ok(hash) => println!("# state hash   : {hash:032x}"),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    for text in &adhoc {
+        println!("#\n# query: {text}");
+        let q = match parse_query(text, &mut dict) {
+            Ok(p) => p.query,
+            Err(e) => {
+                eprintln!("error: ad-hoc query `{text}`: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let plan = match deployment.plan_with(&q, policy) {
+            Ok(p) => p,
+            Err(e) => {
+                println!("#   no plan: {e}");
+                continue;
+            }
+        };
+        print!("{}", plan.describe(&dict));
+        match deployment.answer_query(&plan) {
+            Ok(answers) => println!("# answers: {}", answers.len()),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
+    match std::env::args().nth(1).as_deref() {
+        Some("load") => return run_open(false),
+        Some("recover") => return run_open(true),
+        _ => {}
+    }
     let args = match parse_args() {
         Ok(a) => a,
         Err(code) => return code,
@@ -279,6 +413,37 @@ fn main() -> ExitCode {
                 rdfviews::query::display::ucq_to_string(&v.id.to_string(), u, db.dict())
             );
         }
+    }
+
+    if let Some(dir) = &args.save_dir {
+        let dir = std::path::Path::new(dir);
+        let durable = match advisor.deploy_durable(rec, dir) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let hash = match durable.deployment().content_hash(durable.dict()) {
+            Ok(h) => h,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let snapshot_bytes = std::fs::metadata(dir.join(rdfviews::exec::SNAPSHOT_FILE))
+            .map(|m| m.len())
+            .unwrap_or(0);
+        println!(
+            "#\n# saved deployment {:#x} to {}: {} views, snapshot {} bytes, wal {} bytes",
+            durable.deployment().lineage(),
+            dir.display(),
+            durable.deployment().view_count(),
+            snapshot_bytes,
+            durable.wal_size(),
+        );
+        println!("# state hash   : {hash:032x}");
+        return ExitCode::SUCCESS;
     }
 
     if args.query_mode {

@@ -25,6 +25,10 @@ use rdf_stats::{estimate_conjunction, CardinalityEstimator, RelAtom};
 use rdfviews_core::rewrite::{self, PlanAtom, RewritePlan};
 use rdfviews_core::{Recommendation, SelectionError, State, ViewId};
 
+#[path = "exec_persist.rs"]
+mod persist;
+pub use persist::{DurableDeployment, RecoveryReport, SNAPSHOT_FILE, WAL_FILE};
+
 /// The materialized views of a recommendation (or state), keyed by view id.
 #[derive(Debug, Clone, Default)]
 pub struct MaterializedViews {
@@ -356,6 +360,12 @@ pub struct Deployment {
     /// store happens to share a version number (clones keep the id: their
     /// stores, views and view ids are identical at the point of cloning).
     deployment_id: u64,
+    /// The durable lineage id: persisted into snapshot bundles and
+    /// restored by [`Deployment::open`], unlike `deployment_id` (which is
+    /// process-scoped and regenerated on every open so stale in-memory
+    /// plans can never execute against a reloaded deployment). Initially
+    /// equal to `deployment_id`.
+    lineage: u64,
     /// Cached plans of the stored workload rewritings, keyed by original
     /// query index — [`Deployment::answer`] serves repeated calls from
     /// here instead of re-assembling (and re-estimating) the plan. The
@@ -390,6 +400,7 @@ impl Deployment {
             tables.tables.insert(dv.id, dv.merged_table());
         }
         let maintained_version = store.version();
+        let id = DEPLOYMENT_IDS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         Self {
             rec,
             store,
@@ -399,9 +410,17 @@ impl Deployment {
             entailment: None,
             reform: None,
             maintained_version,
-            deployment_id: DEPLOYMENT_IDS.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+            deployment_id: id,
+            lineage: id,
             workload_plans: FxHashMap::default(),
         }
+    }
+
+    /// The durable lineage id: stable across [`Deployment::persist`] /
+    /// [`Deployment::open`] round-trips, so a recovered deployment can be
+    /// traced back to the tuning session that produced it.
+    pub fn lineage(&self) -> u64 {
+        self.lineage
     }
 
     /// Attaches a schema for **ad-hoc query** reformulation — used by

@@ -1,0 +1,1225 @@
+//! Durable deployments: snapshot bundles, the write-ahead log, and
+//! deterministic replay recovery.
+//!
+//! A deployment directory holds two artifacts:
+//!
+//! * **`snapshot.rdfb`** — a [`rdfviews_durability::bundle`] serializing
+//!   the complete deployment: dictionary, base store at its version, the
+//!   recommendation (workload, search outcome, views, materialization
+//!   definitions, statistics catalog), the maintained view rows per
+//!   branch, the entailment/reformulation context, and the lineage id.
+//!   Written atomically (temp file + fsync + rename).
+//! * **`wal.rdfl`** — a [`rdfviews_durability::wal`] of every
+//!   `insert_batch`/`delete_batch` applied since the snapshot. Records are
+//!   CRC-framed, stamped with the pre-apply store version, and fsync'd
+//!   **before** the in-memory apply, so a crash at any instant loses at
+//!   most an un-applied (and un-acknowledged) batch.
+//!
+//! Recovery ([`Deployment::recover`]) loads the snapshot and replays the
+//! WAL suffix through the ordinary set-at-a-time maintenance path — the
+//! same joins, the same saturation fixpoint — which makes it
+//! *deterministic*: the recovered state reproduces the pre-crash state
+//! bit-for-bit, proven by the 128-bit **state hash** (domain
+//! `rdfviews.state.v1`, over the canonical semantic sections). Torn tail
+//! records are dropped gracefully; records already absorbed by a newer
+//! snapshot (a crash between checkpoint and WAL reset) are skipped by
+//! their version stamps.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
+
+use rdf_model::{Term, TermKind};
+use rdf_query::{Atom, QTerm, UnionQuery, Var};
+use rdf_schema::SchemaStatement;
+use rdf_stats::{AtomKey, KeySlot, StatsCatalog};
+use rdfviews_core::{RewAtom, Rewriting, SearchOutcome, SearchStats, View};
+use rdfviews_durability::hash::Hasher128;
+use rdfviews_durability::wire::{Reader, Writer};
+use rdfviews_durability::{bundle, fsutil, wal, DurabilityError};
+
+use super::*;
+
+/// File name of the snapshot bundle inside a deployment directory.
+pub const SNAPSHOT_FILE: &str = "snapshot.rdfb";
+/// File name of the write-ahead log inside a deployment directory.
+pub const WAL_FILE: &str = "wal.rdfl";
+
+/// Domain string of the semantic state hash (see [`Deployment::content_hash`]).
+const STATE_DOMAIN: &str = "rdfviews.state.v1";
+
+// Section tags, in their required file order.
+const SEC_DICT: u32 = 1;
+const SEC_STORE: u32 = 2;
+const SEC_REC: u32 = 3;
+const SEC_VIEWS: u32 = 4;
+const SEC_ENTAIL: u32 = 5;
+const SEC_REFORM: u32 = 6;
+const SEC_META: u32 = 7;
+const SECTION_ORDER: [u32; 7] = [
+    SEC_DICT, SEC_STORE, SEC_REC, SEC_VIEWS, SEC_ENTAIL, SEC_REFORM, SEC_META,
+];
+
+fn lift(e: DurabilityError) -> SelectionError {
+    match e {
+        DurabilityError::Io { context, message } => SelectionError::Io { context, message },
+        DurabilityError::Corrupt { detail } => SelectionError::CorruptBundle { detail },
+        DurabilityError::TornTail { offset } => SelectionError::WalTornTail { offset },
+    }
+}
+
+fn corrupt(detail: impl Into<String>) -> DurabilityError {
+    DurabilityError::Corrupt {
+        detail: detail.into(),
+    }
+}
+
+type DResult<T> = Result<T, DurabilityError>;
+
+// ---------------------------------------------------------------------
+// Canonical encoding of the domain types. Unordered collections (view
+// rows, catalog counts) are sorted before encoding so that equal states
+// always produce equal bytes — the property the state hash relies on.
+// ---------------------------------------------------------------------
+
+fn enc_term(w: &mut Writer, t: &Term) {
+    w.u8(match t.kind() {
+        TermKind::Uri => 0,
+        TermKind::Blank => 1,
+        TermKind::Literal => 2,
+    });
+    w.str(t.lexical());
+}
+
+fn dec_term(r: &mut Reader<'_>) -> DResult<Term> {
+    let kind = r.u8("term kind")?;
+    let lex = r.str("term lexical")?;
+    Ok(match kind {
+        0 => Term::uri(lex),
+        1 => Term::blank(lex),
+        2 => Term::literal(lex),
+        other => return Err(corrupt(format!("unknown term kind {other}"))),
+    })
+}
+
+fn enc_dict(dict: &Dictionary) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.len_prefix(dict.len());
+    for (_, term) in dict.iter() {
+        enc_term(&mut w, term);
+    }
+    w.into_bytes()
+}
+
+fn dec_dict(bytes: &[u8]) -> DResult<Dictionary> {
+    let mut r = Reader::new(bytes);
+    let n = r.len_prefix("dictionary size", 2)?;
+    let mut dict = Dictionary::new();
+    for i in 0..n {
+        let term = dec_term(&mut r)?;
+        let id = dict.intern(term);
+        if id.index() != i {
+            return Err(corrupt(format!(
+                "dictionary entry {i} is a duplicate of id {}",
+                id.index()
+            )));
+        }
+    }
+    r.expect_exhausted("dictionary section")?;
+    Ok(dict)
+}
+
+fn enc_store_into(w: &mut Writer, store: &TripleStore) {
+    w.u64(store.version());
+    w.len_prefix(store.len());
+    for t in store.triples() {
+        for &id in t {
+            w.u32(id.0);
+        }
+    }
+}
+
+fn dec_store(r: &mut Reader<'_>, dict_len: usize) -> DResult<TripleStore> {
+    let version = r.u64("store version")?;
+    let n = r.len_prefix("store triple count", 12)?;
+    let mut triples = Vec::with_capacity(n);
+    for _ in 0..n {
+        let mut t = [Id(0); 3];
+        for slot in &mut t {
+            let raw = r.u32("triple id")?;
+            if raw as usize >= dict_len {
+                return Err(corrupt(format!(
+                    "triple id {raw} outside dictionary of {dict_len} terms"
+                )));
+            }
+            *slot = Id(raw);
+        }
+        triples.push(t);
+    }
+    let store = TripleStore::from_parts(triples, version);
+    if store.len() != n {
+        return Err(corrupt("store section contains duplicate triples"));
+    }
+    Ok(store)
+}
+
+fn enc_qterm(w: &mut Writer, t: QTerm) {
+    match t {
+        QTerm::Var(v) => {
+            w.u8(0);
+            w.u32(v.0);
+        }
+        QTerm::Const(c) => {
+            w.u8(1);
+            w.u32(c.0);
+        }
+    }
+}
+
+fn dec_qterm(r: &mut Reader<'_>) -> DResult<QTerm> {
+    match r.u8("qterm tag")? {
+        0 => Ok(QTerm::Var(Var(r.u32("qterm var")?))),
+        1 => Ok(QTerm::Const(Id(r.u32("qterm const")?))),
+        other => Err(corrupt(format!("unknown qterm tag {other}"))),
+    }
+}
+
+fn enc_atom(w: &mut Writer, a: &Atom) {
+    for &t in a.terms() {
+        enc_qterm(w, t);
+    }
+}
+
+fn dec_atom(r: &mut Reader<'_>) -> DResult<Atom> {
+    Ok(Atom([dec_qterm(r)?, dec_qterm(r)?, dec_qterm(r)?]))
+}
+
+fn enc_cq(w: &mut Writer, q: &ConjunctiveQuery) {
+    w.len_prefix(q.head.len());
+    for &t in &q.head {
+        enc_qterm(w, t);
+    }
+    w.len_prefix(q.atoms.len());
+    for a in &q.atoms {
+        enc_atom(w, a);
+    }
+}
+
+fn dec_cq(r: &mut Reader<'_>) -> DResult<ConjunctiveQuery> {
+    let hn = r.len_prefix("query head", 5)?;
+    let mut head = Vec::with_capacity(hn);
+    for _ in 0..hn {
+        head.push(dec_qterm(r)?);
+    }
+    let an = r.len_prefix("query atoms", 15)?;
+    let mut atoms = Vec::with_capacity(an);
+    for _ in 0..an {
+        atoms.push(dec_atom(r)?);
+    }
+    Ok(ConjunctiveQuery::new(head, atoms))
+}
+
+fn enc_view(w: &mut Writer, v: &View) {
+    w.u32(v.id.0);
+    w.len_prefix(v.head.len());
+    for &h in &v.head {
+        w.u32(h.0);
+    }
+    w.len_prefix(v.atoms.len());
+    for a in &v.atoms {
+        enc_atom(w, a);
+    }
+}
+
+fn dec_view(r: &mut Reader<'_>) -> DResult<View> {
+    let id = ViewId(r.u32("view id")?);
+    let hn = r.len_prefix("view head", 4)?;
+    let mut head = Vec::with_capacity(hn);
+    for _ in 0..hn {
+        head.push(Var(r.u32("view head var")?));
+    }
+    let an = r.len_prefix("view atoms", 15)?;
+    let mut atoms = Vec::with_capacity(an);
+    for _ in 0..an {
+        atoms.push(dec_atom(r)?);
+    }
+    Ok(View { id, head, atoms })
+}
+
+fn enc_rewriting(w: &mut Writer, rw: &Rewriting) {
+    w.u64(rw.query_index as u64);
+    w.len_prefix(rw.head.len());
+    for &t in &rw.head {
+        enc_qterm(w, t);
+    }
+    w.len_prefix(rw.atoms.len());
+    for a in &rw.atoms {
+        w.u32(a.view.0);
+        w.len_prefix(a.args.len());
+        for &arg in &a.args {
+            enc_qterm(w, arg);
+        }
+    }
+    w.u32(rw.next_var());
+}
+
+fn dec_rewriting(r: &mut Reader<'_>) -> DResult<Rewriting> {
+    let query_index = r.u64("rewriting query index")? as usize;
+    let hn = r.len_prefix("rewriting head", 5)?;
+    let mut head = Vec::with_capacity(hn);
+    for _ in 0..hn {
+        head.push(dec_qterm(r)?);
+    }
+    let an = r.len_prefix("rewriting atoms", 12)?;
+    let mut atoms = Vec::with_capacity(an);
+    for _ in 0..an {
+        let view = ViewId(r.u32("rewriting atom view")?);
+        let argn = r.len_prefix("rewriting atom args", 5)?;
+        let mut args = Vec::with_capacity(argn);
+        for _ in 0..argn {
+            args.push(dec_qterm(r)?);
+        }
+        atoms.push(RewAtom { view, args });
+    }
+    let next_var = r.u32("rewriting next_var")?;
+    Ok(Rewriting::from_parts(query_index, head, atoms, next_var))
+}
+
+fn enc_state(w: &mut Writer, s: &State) {
+    w.len_prefix(s.view_count());
+    for v in s.views() {
+        enc_view(w, v);
+    }
+    w.len_prefix(s.rewritings().len());
+    for rw in s.rewritings() {
+        enc_rewriting(w, rw);
+    }
+    w.u32(s.next_view_id());
+}
+
+fn dec_state(r: &mut Reader<'_>) -> DResult<State> {
+    let vn = r.len_prefix("state views", 20)?;
+    let mut views = Vec::with_capacity(vn);
+    for _ in 0..vn {
+        views.push(dec_view(r)?);
+    }
+    let rn = r.len_prefix("state rewritings", 20)?;
+    let mut rewritings = Vec::with_capacity(rn);
+    for _ in 0..rn {
+        rewritings.push(dec_rewriting(r)?);
+    }
+    let next_view_id = r.u32("state next_view_id")?;
+    Ok(State::from_parts(views, rewritings, next_view_id))
+}
+
+fn enc_stats(w: &mut Writer, s: &SearchStats) {
+    w.u64(s.created);
+    w.u64(s.duplicates);
+    w.u64(s.discarded);
+    w.u64(s.explored);
+    w.u64(s.transitions);
+    w.u64(s.reexpansions);
+    w.u64(s.frontier_remaining);
+    w.len_prefix(s.best_cost_trace.len());
+    for &(t, c) in &s.best_cost_trace {
+        w.f64(t);
+        w.f64(c);
+    }
+    w.bool(s.out_of_budget);
+    w.bool(s.timed_out);
+    w.u64(s.elapsed.as_secs());
+    w.u32(s.elapsed.subsec_nanos());
+}
+
+fn dec_stats(r: &mut Reader<'_>) -> DResult<SearchStats> {
+    let mut s = SearchStats {
+        created: r.u64("stats created")?,
+        duplicates: r.u64("stats duplicates")?,
+        discarded: r.u64("stats discarded")?,
+        explored: r.u64("stats explored")?,
+        transitions: r.u64("stats transitions")?,
+        reexpansions: r.u64("stats reexpansions")?,
+        frontier_remaining: r.u64("stats frontier")?,
+        ..SearchStats::default()
+    };
+    let tn = r.len_prefix("stats trace", 16)?;
+    s.best_cost_trace = Vec::with_capacity(tn);
+    for _ in 0..tn {
+        let t = r.f64("trace time")?;
+        let c = r.f64("trace cost")?;
+        s.best_cost_trace.push((t, c));
+    }
+    s.out_of_budget = r.bool("stats out_of_budget")?;
+    s.timed_out = r.bool("stats timed_out")?;
+    let secs = r.u64("stats elapsed secs")?;
+    let nanos = r.u32("stats elapsed nanos")?;
+    if nanos >= 1_000_000_000 {
+        return Err(corrupt("stats elapsed nanos out of range"));
+    }
+    s.elapsed = Duration::new(secs, nanos);
+    Ok(s)
+}
+
+fn enc_catalog(w: &mut Writer, cat: &StatsCatalog) {
+    // HashMap entries sorted by their encoded bytes (KeySlot has no Ord).
+    let mut entries: Vec<Vec<u8>> = cat
+        .counts()
+        .map(|(key, count)| {
+            let mut ew = Writer::new();
+            for slot in key.0 {
+                match slot {
+                    KeySlot::Const(id) => {
+                        ew.u8(0);
+                        ew.u32(id.0);
+                    }
+                    KeySlot::Var(v) => {
+                        ew.u8(1);
+                        ew.u32(v as u32);
+                    }
+                }
+            }
+            ew.u64(count);
+            ew.into_bytes()
+        })
+        .collect();
+    entries.sort_unstable();
+    w.len_prefix(entries.len());
+    for e in entries {
+        w.raw(&e);
+    }
+    w.u64(cat.dataset_size());
+    for col in 0..3 {
+        w.u64(cat.distinct(col));
+    }
+    match cat.min_max() {
+        Some(mm) => {
+            w.bool(true);
+            for (lo, hi) in mm {
+                w.u32(lo.0);
+                w.u32(hi.0);
+            }
+        }
+        None => w.bool(false),
+    }
+    for width in cat.avg_widths_raw() {
+        w.f64(width);
+    }
+}
+
+fn dec_catalog(r: &mut Reader<'_>) -> DResult<StatsCatalog> {
+    let n = r.len_prefix("catalog entries", 23)?;
+    let mut counts = Vec::with_capacity(n);
+    for _ in 0..n {
+        let mut slots = [KeySlot::Var(0); 3];
+        for slot in &mut slots {
+            *slot = match r.u8("catalog key slot tag")? {
+                0 => KeySlot::Const(Id(r.u32("catalog key const")?)),
+                1 => {
+                    let v = r.u32("catalog key var")?;
+                    if v > u8::MAX as u32 {
+                        return Err(corrupt("catalog key var out of range"));
+                    }
+                    KeySlot::Var(v as u8)
+                }
+                other => return Err(corrupt(format!("unknown key slot tag {other}"))),
+            };
+        }
+        let count = r.u64("catalog count")?;
+        counts.push((AtomKey(slots), count));
+    }
+    let dataset_size = r.u64("catalog dataset size")?;
+    let mut distinct = [0u64; 3];
+    for d in &mut distinct {
+        *d = r.u64("catalog distinct")?;
+    }
+    let min_max = if r.bool("catalog min_max flag")? {
+        let mut mm = [(Id(0), Id(0)); 3];
+        for pair in &mut mm {
+            pair.0 = Id(r.u32("catalog min")?);
+            pair.1 = Id(r.u32("catalog max")?);
+        }
+        Some(mm)
+    } else {
+        None
+    };
+    let mut widths = [0.0f64; 3];
+    for width in &mut widths {
+        *width = r.f64("catalog avg width")?;
+    }
+    Ok(StatsCatalog::from_parts(
+        counts,
+        dataset_size,
+        distinct,
+        min_max,
+        widths,
+    ))
+}
+
+fn enc_rec(rec: &Recommendation) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.len_prefix(rec.workload.len());
+    for q in &rec.workload {
+        enc_cq(&mut w, q);
+    }
+    w.len_prefix(rec.branch_of.len());
+    for &orig in &rec.branch_of {
+        w.u64(orig as u64);
+    }
+    enc_state(&mut w, &rec.outcome.best_state);
+    w.f64(rec.outcome.best_cost);
+    w.f64(rec.outcome.initial_cost);
+    enc_stats(&mut w, &rec.outcome.stats);
+    w.len_prefix(rec.views.len());
+    for v in &rec.views {
+        enc_view(&mut w, v);
+    }
+    w.len_prefix(rec.materialization.len());
+    for u in &rec.materialization {
+        w.len_prefix(u.branches().len());
+        for b in u.branches() {
+            enc_cq(&mut w, b);
+        }
+    }
+    enc_catalog(&mut w, &rec.catalog);
+    w.into_bytes()
+}
+
+fn dec_rec(bytes: &[u8]) -> DResult<Recommendation> {
+    let mut r = Reader::new(bytes);
+    let wn = r.len_prefix("workload", 16)?;
+    let mut workload = Vec::with_capacity(wn);
+    for _ in 0..wn {
+        workload.push(dec_cq(&mut r)?);
+    }
+    let bn = r.len_prefix("branch_of", 8)?;
+    let mut branch_of = Vec::with_capacity(bn);
+    for _ in 0..bn {
+        branch_of.push(r.u64("branch_of entry")? as usize);
+    }
+    let best_state = dec_state(&mut r)?;
+    let best_cost = r.f64("best cost")?;
+    let initial_cost = r.f64("initial cost")?;
+    let stats = dec_stats(&mut r)?;
+    let vn = r.len_prefix("recommended views", 20)?;
+    let mut views = Vec::with_capacity(vn);
+    for _ in 0..vn {
+        views.push(dec_view(&mut r)?);
+    }
+    let mn = r.len_prefix("materialization", 8)?;
+    let mut materialization = Vec::with_capacity(mn);
+    for _ in 0..mn {
+        let un = r.len_prefix("union branches", 16)?;
+        let mut u = UnionQuery::new();
+        for _ in 0..un {
+            if !u.push(dec_cq(&mut r)?) {
+                return Err(corrupt("materialization union has duplicate branches"));
+            }
+        }
+        materialization.push(u);
+    }
+    let catalog = Arc::new(dec_catalog(&mut r)?);
+    r.expect_exhausted("recommendation section")?;
+    if branch_of.len() != workload.len() {
+        return Err(corrupt("branch_of length does not match workload"));
+    }
+    if views.len() != materialization.len() {
+        return Err(corrupt("views and materialization lengths differ"));
+    }
+    Ok(Recommendation {
+        workload,
+        branch_of,
+        outcome: SearchOutcome {
+            best_state,
+            best_cost,
+            initial_cost,
+            stats,
+        },
+        views,
+        materialization,
+        catalog,
+    })
+}
+
+fn enc_deployed_views(views: &[DeployedView]) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.len_prefix(views.len());
+    for dv in views {
+        w.u32(dv.id.0);
+        w.len_prefix(dv.arity);
+        w.len_prefix(dv.branches.len());
+        for b in &dv.branches {
+            enc_cq(&mut w, b.definition());
+            let mut rows: Vec<&Vec<Id>> = b.rows().collect();
+            rows.sort_unstable();
+            w.len_prefix(rows.len());
+            for row in rows {
+                for &id in row {
+                    w.u32(id.0);
+                }
+            }
+        }
+    }
+    w.into_bytes()
+}
+
+fn dec_deployed_views(bytes: &[u8]) -> DResult<Vec<DeployedView>> {
+    let mut r = Reader::new(bytes);
+    let n = r.len_prefix("deployed views", 20)?;
+    let mut views = Vec::with_capacity(n);
+    for _ in 0..n {
+        let id = ViewId(r.u32("deployed view id")?);
+        let arity = r.len_prefix("deployed view arity", 0)?;
+        let bn = r.len_prefix("deployed view branches", 16)?;
+        let mut branches = Vec::with_capacity(bn);
+        for _ in 0..bn {
+            let def = dec_cq(&mut r)?;
+            if def.head.len() != arity {
+                return Err(corrupt("branch arity does not match its view"));
+            }
+            let rn = r.len_prefix("branch rows", arity.max(1) * 4)?;
+            let mut rows = Vec::with_capacity(rn);
+            for _ in 0..rn {
+                let mut row = Vec::with_capacity(arity);
+                for _ in 0..arity {
+                    row.push(Id(r.u32("branch row id")?));
+                }
+                rows.push(row);
+            }
+            let mv = MaintainedView::from_parts(def, rows);
+            if mv.len() != rn {
+                return Err(corrupt("branch rows contain duplicates"));
+            }
+            branches.push(mv);
+        }
+        views.push(DeployedView {
+            id,
+            arity,
+            branches,
+        });
+    }
+    r.expect_exhausted("deployed views section")?;
+    Ok(views)
+}
+
+fn enc_schema_into(w: &mut Writer, schema: &Schema, vocab: &VocabIds) {
+    w.len_prefix(schema.statements().len());
+    for stmt in schema.statements() {
+        let (tag, (a, b)) = match stmt {
+            SchemaStatement::SubClassOf(..) => (0u8, stmt.pair()),
+            SchemaStatement::SubPropertyOf(..) => (1, stmt.pair()),
+            SchemaStatement::Domain(..) => (2, stmt.pair()),
+            SchemaStatement::Range(..) => (3, stmt.pair()),
+        };
+        w.u8(tag);
+        w.u32(a.0);
+        w.u32(b.0);
+    }
+    for id in [
+        vocab.rdf_type,
+        vocab.sub_class_of,
+        vocab.sub_property_of,
+        vocab.domain,
+        vocab.range,
+    ] {
+        w.u32(id.0);
+    }
+}
+
+fn dec_schema(r: &mut Reader<'_>) -> DResult<(Schema, VocabIds)> {
+    let n = r.len_prefix("schema statements", 9)?;
+    let mut schema = Schema::new();
+    for _ in 0..n {
+        let tag = r.u8("schema statement tag")?;
+        let a = Id(r.u32("schema statement lhs")?);
+        let b = Id(r.u32("schema statement rhs")?);
+        let stmt = match tag {
+            0 => SchemaStatement::SubClassOf(a, b),
+            1 => SchemaStatement::SubPropertyOf(a, b),
+            2 => SchemaStatement::Domain(a, b),
+            3 => SchemaStatement::Range(a, b),
+            other => return Err(corrupt(format!("unknown schema statement tag {other}"))),
+        };
+        schema.add(stmt);
+    }
+    let mut ids = [Id(0); 5];
+    for id in &mut ids {
+        *id = Id(r.u32("vocab id")?);
+    }
+    Ok((
+        schema,
+        VocabIds {
+            rdf_type: ids[0],
+            sub_class_of: ids[1],
+            sub_property_of: ids[2],
+            domain: ids[3],
+            range: ids[4],
+        },
+    ))
+}
+
+// ---------------------------------------------------------------------
+// Bundle assembly.
+// ---------------------------------------------------------------------
+
+struct EncodedBundle {
+    sections: Vec<(u32, Vec<u8>)>,
+    state_hash: u128,
+}
+
+/// Hashes the semantic payloads (everything except the lineage id) under
+/// the state domain. Each payload is length-prefixed into the hash so
+/// section boundaries cannot alias.
+fn state_hash_of(semantic: &[&[u8]], maintained_version: u64) -> u128 {
+    let mut h = Hasher128::with_domain(STATE_DOMAIN);
+    for payload in semantic {
+        h.update(&(payload.len() as u64).to_le_bytes());
+        h.update(payload);
+    }
+    h.update(&maintained_version.to_le_bytes());
+    h.finish()
+}
+
+impl Deployment {
+    fn encode_bundle(&self, dict: &Dictionary) -> EncodedBundle {
+        let dict_bytes = enc_dict(dict);
+        let mut store_w = Writer::new();
+        enc_store_into(&mut store_w, &self.store);
+        let store_bytes = store_w.into_bytes();
+        let rec_bytes = enc_rec(&self.rec);
+        let views_bytes = enc_deployed_views(&self.views);
+        let entail_bytes = {
+            let mut w = Writer::new();
+            match &self.entailment {
+                Some(ent) => {
+                    w.bool(true);
+                    enc_schema_into(&mut w, &ent.schema, &ent.vocab);
+                    enc_store_into(&mut w, &ent.explicit);
+                }
+                None => w.bool(false),
+            }
+            w.into_bytes()
+        };
+        let reform_bytes = {
+            let mut w = Writer::new();
+            match &self.reform {
+                Some((schema, vocab)) => {
+                    w.bool(true);
+                    enc_schema_into(&mut w, schema, vocab);
+                }
+                None => w.bool(false),
+            }
+            w.into_bytes()
+        };
+        let state_hash = state_hash_of(
+            &[
+                &dict_bytes,
+                &store_bytes,
+                &rec_bytes,
+                &views_bytes,
+                &entail_bytes,
+                &reform_bytes,
+            ],
+            self.maintained_version,
+        );
+        let mut meta_w = Writer::new();
+        meta_w.u64(self.maintained_version);
+        meta_w.u64(self.lineage);
+        EncodedBundle {
+            sections: vec![
+                (SEC_DICT, dict_bytes),
+                (SEC_STORE, store_bytes),
+                (SEC_REC, rec_bytes),
+                (SEC_VIEWS, views_bytes),
+                (SEC_ENTAIL, entail_bytes),
+                (SEC_REFORM, reform_bytes),
+                (SEC_META, meta_w.into_bytes()),
+            ],
+            state_hash,
+        }
+    }
+
+    fn decode_bundle(bytes: &[u8]) -> DResult<(Deployment, Dictionary, u128)> {
+        let sections = bundle::decode(bytes)?;
+        if sections.len() != SECTION_ORDER.len() {
+            return Err(corrupt(format!(
+                "bundle has {} sections, expected {}",
+                sections.len(),
+                SECTION_ORDER.len()
+            )));
+        }
+        for (got, want) in sections.iter().zip(SECTION_ORDER) {
+            if got.0 != want {
+                return Err(corrupt(format!(
+                    "unexpected section tag {} (expected {want})",
+                    got.0
+                )));
+            }
+        }
+
+        let dict = dec_dict(&sections[0].1)?;
+        let mut store_r = Reader::new(&sections[1].1);
+        let store = dec_store(&mut store_r, dict.len())?;
+        store_r.expect_exhausted("store section")?;
+        let rec = dec_rec(&sections[2].1)?;
+        let views = dec_deployed_views(&sections[3].1)?;
+
+        let mut ent_r = Reader::new(&sections[4].1);
+        let entailment = if ent_r.bool("entailment flag")? {
+            let (schema, vocab) = dec_schema(&mut ent_r)?;
+            let explicit = dec_store(&mut ent_r, dict.len())?;
+            Some(EntailmentBase {
+                schema,
+                vocab,
+                explicit,
+            })
+        } else {
+            None
+        };
+        ent_r.expect_exhausted("entailment section")?;
+
+        let mut ref_r = Reader::new(&sections[5].1);
+        let reform = if ref_r.bool("reformulation flag")? {
+            Some(dec_schema(&mut ref_r)?)
+        } else {
+            None
+        };
+        ref_r.expect_exhausted("reformulation section")?;
+
+        let mut meta_r = Reader::new(&sections[6].1);
+        let maintained_version = meta_r.u64("maintained version")?;
+        let lineage = meta_r.u64("lineage")?;
+        meta_r.expect_exhausted("meta section")?;
+
+        if maintained_version != store.version() {
+            return Err(corrupt(format!(
+                "maintained version {maintained_version} does not match store version {}",
+                store.version()
+            )));
+        }
+        if views.len() != rec.views.len() {
+            return Err(corrupt("deployed view count does not match recommendation"));
+        }
+
+        let state_hash = state_hash_of(
+            &[
+                &sections[0].1,
+                &sections[1].1,
+                &sections[2].1,
+                &sections[3].1,
+                &sections[4].1,
+                &sections[5].1,
+            ],
+            maintained_version,
+        );
+
+        let mut tables = MaterializedViews::default();
+        for dv in &views {
+            tables.tables.insert(dv.id, dv.merged_table());
+        }
+        let dep = Deployment {
+            rec,
+            store,
+            views,
+            tables,
+            dirty: FxHashSet::default(),
+            entailment,
+            reform,
+            maintained_version,
+            // Fresh process-scoped id: plans from the pre-crash process
+            // must not execute against the reloaded deployment.
+            deployment_id: DEPLOYMENT_IDS.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+            lineage,
+            workload_plans: FxHashMap::default(),
+        };
+        Ok((dep, dict, state_hash))
+    }
+
+    /// Serializes the deployment (and the dictionary its ids refer to)
+    /// into `dir/snapshot.rdfb`, written atomically. Returns the 128-bit
+    /// **state hash** — the canonical content fingerprint that
+    /// [`Deployment::recover`] reproduces exactly.
+    ///
+    /// Fails with [`SelectionError::StaleSession`] while unmaintained
+    /// direct writes are pending (a snapshot must never capture views that
+    /// lag their store), and with [`SelectionError::Io`] on filesystem
+    /// failures.
+    pub fn persist(&self, dir: &Path, dict: &Dictionary) -> Result<u128, SelectionError> {
+        self.ensure_fresh()?;
+        fsutil::ensure_dir(dir).map_err(lift)?;
+        let encoded = self.encode_bundle(dict);
+        let bytes = bundle::encode(&encoded.sections);
+        fsutil::atomic_write(&dir.join(SNAPSHOT_FILE), &bytes).map_err(lift)?;
+        Ok(encoded.state_hash)
+    }
+
+    /// Loads the snapshot bundle from `dir`, ignoring any write-ahead log
+    /// (use [`Deployment::recover`] to replay one). Returns the deployment
+    /// and the dictionary it was persisted with. All structural validation
+    /// happens here: a corrupted or version-mixed bundle is a
+    /// [`SelectionError::CorruptBundle`] at load time, never a wrong
+    /// answer at query time.
+    pub fn open(dir: &Path) -> Result<(Deployment, Dictionary), SelectionError> {
+        let bytes = fsutil::read_file(&dir.join(SNAPSHOT_FILE)).map_err(lift)?;
+        let (dep, dict, _) = Self::decode_bundle(&bytes).map_err(lift)?;
+        Ok((dep, dict))
+    }
+
+    /// The deployment's canonical 128-bit content fingerprint (domain
+    /// `rdfviews.state.v1`), over the same canonical encoding
+    /// [`Deployment::persist`] writes — equal hashes mean equal
+    /// dictionary, store, recommendation, and view tables. The lineage id
+    /// is excluded, so a live deployment and its recovered twin compare
+    /// equal.
+    pub fn content_hash(&self, dict: &Dictionary) -> Result<u128, SelectionError> {
+        self.ensure_fresh()?;
+        Ok(self.encode_bundle(dict).state_hash)
+    }
+
+    /// Recovers a deployment from `dir`: loads the snapshot, then replays
+    /// the write-ahead log suffix through the ordinary batch-maintenance
+    /// path (the same delta joins and saturation fixpoint the live
+    /// deployment ran). A torn tail record — the signature of a crash
+    /// mid-append — is dropped gracefully and reported; records already
+    /// absorbed by a newer snapshot are skipped by their version stamps;
+    /// a record from the *future* (version stamp ahead of the store) is
+    /// corruption.
+    pub fn recover(dir: &Path) -> Result<(Deployment, Dictionary, RecoveryReport), SelectionError> {
+        let (mut dep, mut dict) = Self::open(dir)?;
+        let wal_path = dir.join(WAL_FILE);
+        let scan = if wal_path.exists() {
+            wal::scan(&fsutil::read_file(&wal_path).map_err(lift)?).map_err(lift)?
+        } else {
+            wal::WalScan {
+                records: Vec::new(),
+                valid_len: 0,
+                torn_tail: None,
+            }
+        };
+        let mut report = RecoveryReport {
+            records_scanned: scan.records.len(),
+            records_replayed: 0,
+            records_skipped: 0,
+            torn_tail: scan.torn_tail,
+            wal_valid_len: scan.valid_len,
+            triples_inserted: 0,
+            triples_deleted: 0,
+            state_hash: 0,
+        };
+        for record in &scan.records {
+            let (kind, pre_version, new_terms, triples) =
+                dec_wal_record(&record.payload).map_err(lift)?;
+            // Dictionary growth replays idempotently: terms already known
+            // (snapshot newer than the record) re-intern to their ids.
+            for term in new_terms {
+                dict.intern(term);
+            }
+            for t in &triples {
+                for &id in t {
+                    if id.index() >= dict.len() {
+                        return Err(SelectionError::CorruptBundle {
+                            detail: format!(
+                                "wal record at byte {} references id {} outside the dictionary",
+                                record.offset, id.0
+                            ),
+                        });
+                    }
+                }
+            }
+            let current = dep.store.version();
+            if pre_version > current {
+                return Err(SelectionError::CorruptBundle {
+                    detail: format!(
+                        "wal record at byte {} expects store version {pre_version} but the \
+                         store is at {current}",
+                        record.offset
+                    ),
+                });
+            }
+            if pre_version < current {
+                // Already absorbed by a newer snapshot (crash between
+                // checkpoint write and wal reset).
+                report.records_skipped += 1;
+                continue;
+            }
+            match kind {
+                WalKind::Insert => {
+                    dep.insert_batch(&triples);
+                    report.triples_inserted += triples.len();
+                }
+                WalKind::Delete => {
+                    dep.delete_batch(&triples);
+                    report.triples_deleted += triples.len();
+                }
+            }
+            report.records_replayed += 1;
+        }
+        report.state_hash = dep.content_hash(&dict)?;
+        Ok((dep, dict, report))
+    }
+
+    /// Strictly verifies the write-ahead log in `dir`: returns the number
+    /// of valid records, [`SelectionError::WalTornTail`] if the log ends
+    /// in an incomplete record, [`SelectionError::CorruptBundle`] on a
+    /// malformed header. A missing log is an empty one.
+    pub fn verify_wal(dir: &Path) -> Result<usize, SelectionError> {
+        let wal_path = dir.join(WAL_FILE);
+        if !wal_path.exists() {
+            return Ok(0);
+        }
+        let bytes = fsutil::read_file(&wal_path).map_err(lift)?;
+        Ok(wal::scan_strict(&bytes).map_err(lift)?.len())
+    }
+}
+
+/// What [`Deployment::recover`] found and did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Valid WAL records found (replayed + skipped).
+    pub records_scanned: usize,
+    /// Records replayed through the maintenance path.
+    pub records_replayed: usize,
+    /// Records skipped because a newer snapshot had already absorbed them
+    /// (their version stamp predates the snapshot's store version).
+    pub records_skipped: usize,
+    /// Offset of a torn tail record that was dropped, if any.
+    pub torn_tail: Option<u64>,
+    /// Length of the trusted WAL prefix (what an appender must truncate
+    /// to).
+    pub wal_valid_len: u64,
+    /// Triples submitted through replayed insert records.
+    pub triples_inserted: usize,
+    /// Triples submitted through replayed delete records.
+    pub triples_deleted: usize,
+    /// The recovered deployment's content hash — equal to the pre-crash
+    /// deployment's [`Deployment::content_hash`] at the last durable
+    /// record.
+    pub state_hash: u128,
+}
+
+// ---------------------------------------------------------------------
+// WAL records.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WalKind {
+    Insert,
+    Delete,
+}
+
+fn enc_wal_record(
+    kind: WalKind,
+    pre_version: u64,
+    new_terms: &[&Term],
+    batch: &[Triple],
+) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.u8(match kind {
+        WalKind::Insert => 0,
+        WalKind::Delete => 1,
+    });
+    w.u64(pre_version);
+    w.len_prefix(new_terms.len());
+    for term in new_terms {
+        enc_term(&mut w, term);
+    }
+    w.len_prefix(batch.len());
+    for t in batch {
+        for &id in t {
+            w.u32(id.0);
+        }
+    }
+    w.into_bytes()
+}
+
+fn dec_wal_record(payload: &[u8]) -> DResult<(WalKind, u64, Vec<Term>, Vec<Triple>)> {
+    let mut r = Reader::new(payload);
+    let kind = match r.u8("wal record kind")? {
+        0 => WalKind::Insert,
+        1 => WalKind::Delete,
+        other => return Err(corrupt(format!("unknown wal record kind {other}"))),
+    };
+    let pre_version = r.u64("wal record version")?;
+    let tn = r.len_prefix("wal record terms", 2)?;
+    let mut new_terms = Vec::with_capacity(tn);
+    for _ in 0..tn {
+        new_terms.push(dec_term(&mut r)?);
+    }
+    let bn = r.len_prefix("wal record triples", 12)?;
+    let mut batch = Vec::with_capacity(bn);
+    for _ in 0..bn {
+        let mut t = [Id(0); 3];
+        for slot in &mut t {
+            *slot = Id(r.u32("wal record triple id")?);
+        }
+        batch.push(t);
+    }
+    r.expect_exhausted("wal record")?;
+    Ok((kind, pre_version, new_terms, batch))
+}
+
+// ---------------------------------------------------------------------
+// The durable wrapper: a deployment whose batches tee into the WAL.
+// ---------------------------------------------------------------------
+
+/// A [`Deployment`] bound to a directory: every
+/// [`DurableDeployment::insert_batch`] / [`DurableDeployment::delete_batch`]
+/// is appended to the write-ahead log (and fsync'd) *before* it is applied
+/// in memory, so the deployment state is recoverable after a crash at any
+/// instant. Once the WAL exceeds the compaction threshold, a fresh
+/// snapshot absorbs it automatically.
+///
+/// The wrapper owns the [`Dictionary`]: terms interned after deployment
+/// (new subjects arriving in update feeds) travel inside the WAL records
+/// that first reference them, so recovery rebuilds the dictionary too.
+#[derive(Debug)]
+pub struct DurableDeployment {
+    dep: Deployment,
+    dict: Dictionary,
+    dir: PathBuf,
+    wal: wal::WalWriter,
+    /// Dictionary length already captured by the snapshot or an earlier
+    /// WAL record; the next record carries the terms beyond it.
+    persisted_dict_len: usize,
+    compact_threshold: u64,
+}
+
+impl DurableDeployment {
+    /// Default WAL size (bytes) that triggers a compaction checkpoint.
+    pub const DEFAULT_COMPACT_THRESHOLD: u64 = 1 << 20;
+
+    /// Persists `dep` into `dir` (snapshot + empty WAL) and returns the
+    /// durable handle. The dictionary is the one the deployment's ids
+    /// refer to — usually the advisor's (see `Advisor::deploy_durable`).
+    pub fn create(
+        dir: &Path,
+        dep: Deployment,
+        dict: Dictionary,
+    ) -> Result<DurableDeployment, SelectionError> {
+        fsutil::ensure_dir(dir).map_err(lift)?;
+        dep.persist(dir, &dict)?;
+        let wal = wal::WalWriter::create(&dir.join(WAL_FILE)).map_err(lift)?;
+        Ok(DurableDeployment {
+            dep,
+            persisted_dict_len: dict.len(),
+            dict,
+            dir: dir.to_path_buf(),
+            wal,
+            compact_threshold: Self::DEFAULT_COMPACT_THRESHOLD,
+        })
+    }
+
+    /// Recovers the deployment in `dir` (snapshot + WAL replay) and
+    /// reopens the WAL for appending, truncating any torn tail.
+    pub fn recover(dir: &Path) -> Result<(DurableDeployment, RecoveryReport), SelectionError> {
+        let (dep, dict, report) = Deployment::recover(dir)?;
+        let wal =
+            wal::WalWriter::open_at(&dir.join(WAL_FILE), report.wal_valid_len).map_err(lift)?;
+        Ok((
+            DurableDeployment {
+                dep,
+                persisted_dict_len: dict.len(),
+                dict,
+                dir: dir.to_path_buf(),
+                wal,
+                compact_threshold: Self::DEFAULT_COMPACT_THRESHOLD,
+            },
+            report,
+        ))
+    }
+
+    /// Overrides the WAL size threshold that triggers automatic
+    /// compaction (`0` compacts after every batch).
+    pub fn with_compact_threshold(mut self, bytes: u64) -> Self {
+        self.compact_threshold = bytes;
+        self
+    }
+
+    /// The deployment directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Read access to the wrapped deployment.
+    pub fn deployment(&self) -> &Deployment {
+        &self.dep
+    }
+
+    /// Mutable access for the read entry points that cache (`answer`,
+    /// `answer_adhoc`, `tables`, …). Mutating the base store directly
+    /// through this handle bypasses the WAL — such writes are not durable
+    /// until the next [`DurableDeployment::checkpoint`].
+    pub fn deployment_mut(&mut self) -> &mut Deployment {
+        &mut self.dep
+    }
+
+    /// The dictionary the deployment's ids refer to.
+    pub fn dict(&self) -> &Dictionary {
+        &self.dict
+    }
+
+    /// Mutable dictionary access (interning terms for new triples or
+    /// ad-hoc queries). Newly interned terms become durable with the next
+    /// logged batch or checkpoint.
+    pub fn dict_mut(&mut self) -> &mut Dictionary {
+        &mut self.dict
+    }
+
+    /// Current WAL size in bytes (header included).
+    pub fn wal_size(&self) -> u64 {
+        self.wal.size()
+    }
+
+    /// Consumes the handle, releasing the deployment and dictionary.
+    pub fn into_parts(self) -> (Deployment, Dictionary) {
+        (self.dep, self.dict)
+    }
+
+    fn log_and_apply(
+        &mut self,
+        kind: WalKind,
+        batch: &[Triple],
+    ) -> Result<MaintenanceStats, SelectionError> {
+        if batch.is_empty() {
+            return Ok(MaintenanceStats::default());
+        }
+        let new_terms: Vec<&Term> = (self.persisted_dict_len..self.dict.len())
+            .map(|i| self.dict.term(Id(i as u32)))
+            .collect();
+        let record = enc_wal_record(kind, self.dep.store.version(), &new_terms, batch);
+        // Durability point: the record is on disk before the apply.
+        self.wal.append(&record).map_err(lift)?;
+        self.persisted_dict_len = self.dict.len();
+        let stats = match kind {
+            WalKind::Insert => self.dep.insert_batch(batch),
+            WalKind::Delete => self.dep.delete_batch(batch),
+        };
+        if self.wal.size() >= self.compact_threshold {
+            self.checkpoint()?;
+        }
+        Ok(stats)
+    }
+
+    /// Logs and applies an insertion batch (see
+    /// [`Deployment::insert_batch`] for maintenance semantics).
+    pub fn insert_batch(&mut self, batch: &[Triple]) -> Result<MaintenanceStats, SelectionError> {
+        self.log_and_apply(WalKind::Insert, batch)
+    }
+
+    /// Logs and applies a deletion batch (see
+    /// [`Deployment::delete_batch`]).
+    pub fn delete_batch(&mut self, batch: &[Triple]) -> Result<MaintenanceStats, SelectionError> {
+        self.log_and_apply(WalKind::Delete, batch)
+    }
+
+    /// Writes a fresh snapshot absorbing every logged record, then resets
+    /// the WAL. Crash-safe in both orders: a crash before the snapshot
+    /// rename keeps the old snapshot + full WAL; a crash between rename
+    /// and reset leaves a newer snapshot + stale records, which recovery
+    /// skips by their version stamps. Returns the snapshot's state hash.
+    pub fn checkpoint(&mut self) -> Result<u128, SelectionError> {
+        let hash = self.dep.persist(&self.dir, &self.dict)?;
+        self.wal.reset().map_err(lift)?;
+        self.persisted_dict_len = self.dict.len();
+        Ok(hash)
+    }
+}

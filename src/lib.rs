@@ -201,6 +201,65 @@
 //! previous optimum instead of the whole space (observable as far fewer
 //! `created` states in the returned `SearchStats`).
 //!
+//! ## Durability quickstart: persist, open, recover
+//!
+//! A deployment can outlive its process.
+//! [`Advisor::deploy_durable`](advisor::Advisor::deploy_durable) (or
+//! [`Deployment::persist`](exec::Deployment::persist) on an existing
+//! deployment) writes a **snapshot bundle** — a versioned, per-section
+//! checksummed, content-hashed byte format holding the dictionary, base
+//! store, recommendation, and materialized view tables — into a
+//! directory, alongside a **write-ahead log**: every
+//! [`DurableDeployment::insert_batch`](exec::DurableDeployment::insert_batch)
+//! / `delete_batch` is CRC-framed and fsync'd *before* it is applied in
+//! memory. After a crash,
+//! [`DurableDeployment::recover`](exec::DurableDeployment::recover)
+//! reloads the snapshot and replays the log suffix through the ordinary
+//! maintenance path, reproducing the pre-crash state exactly — provable
+//! via [`Deployment::content_hash`](exec::Deployment::content_hash). Torn
+//! tail records (a crash mid-append) are dropped gracefully, and the log
+//! is compacted into a fresh snapshot once it grows past a threshold.
+//!
+//! ```
+//! use rdfviews::prelude::*;
+//! # use rdfviews::model::Term;
+//! # let dir = std::env::temp_dir().join(format!("rdfviews-doc-{}", std::process::id()));
+//! let mut db = Dataset::new();
+//! # for i in 0..20 {
+//! #   db.insert_terms(Term::uri(format!("s{i}")), Term::uri("p"), Term::uri(format!("o{}", i % 4)));
+//! #   db.insert_terms(Term::uri(format!("s{i}")), Term::uri("q"), Term::uri("c"));
+//! # }
+//! let q = parse_query("q(X) :- t(X, <p>, <o1>)", db.dict_mut()).unwrap();
+//! let mut advisor = Advisor::builder(&db).build()?;
+//! let rec = advisor.recommend(&[q.query])?;
+//!
+//! // Deploy durably: snapshot + write-ahead log in `dir`.
+//! let mut durable = advisor.deploy_durable(rec, &dir)?;
+//! let s = durable.dict_mut().intern(Term::uri("fresh"));
+//! let p = durable.dict().lookup_uri("p").unwrap();
+//! let o1 = durable.dict().lookup_uri("o1").unwrap();
+//! durable.insert_batch(&[[s, p, o1]])?; // logged, fsync'd, then applied
+//! let live_hash = durable.deployment().content_hash(durable.dict())?;
+//! drop(durable); // simulate the process dying
+//!
+//! // Recover: snapshot + WAL replay ≡ the pre-crash deployment.
+//! let (recovered, report) = DurableDeployment::recover(&dir)?;
+//! assert_eq!(report.records_replayed, 1);
+//! assert_eq!(report.state_hash, live_hash);
+//! # std::fs::remove_dir_all(&dir).ok();
+//! # Ok::<(), rdfviews::core::SelectionError>(())
+//! ```
+//!
+//! Bundles carry a format version (currently 1): a bundle written by a
+//! different, incompatible format version — or any flipped bit, anywhere
+//! in the file — is refused at load time with the typed
+//! [`SelectionError::CorruptBundle`](core::SelectionError::CorruptBundle),
+//! never a wrong answer at query time. All filesystem failures surface as
+//! [`SelectionError::Io`](core::SelectionError::Io); a strict WAL check
+//! ([`Deployment::verify_wal`](exec::Deployment::verify_wal)) reports a
+//! torn tail as
+//! [`SelectionError::WalTornTail`](core::SelectionError::WalTornTail).
+//!
 //! ## Migrating from the free functions
 //!
 //! The pre-session entry points still exist (and now share the prepared
@@ -218,6 +277,9 @@
 //! | `mv.total_rows()` / `mv.total_cells()` | `deployment.total_rows()?` / `deployment.total_cells()?` |
 //! | manual `MaintainedView` feeding | `deployment.insert_batch(&triples)` / `deployment.delete_batch(&triples)` |
 //! | panic on missing schema | `Err(SelectionError::SchemaRequired(mode))` |
+//! | *(not possible: in-memory only)* | `advisor.deploy_durable(rec, dir)?` (a [`DurableDeployment`](exec::DurableDeployment)) |
+//! | *(not possible)* | `deployment.persist(dir, dict)?` / `Deployment::open(dir)?` / `Deployment::recover(dir)?` |
+//! | ad-hoc file formats, panics on bad bytes | `Err(SelectionError::Io \| CorruptBundle \| WalTornTail)` |
 //!
 //! The workspace crates map to the paper's components:
 //!
@@ -231,6 +293,7 @@
 //! | [`engine`] (`rdf-engine`) | SPJ evaluation, view materialization, incremental maintenance |
 //! | [`core`] (`rdfviews-core`) | states, transitions SC/JC/VB/VF, cost model, search strategies, prepared pipeline |
 //! | [`workload`] (`rdfviews-workload`) | Barton-like dataset, star/chain/cycle/random/mixed workload generators |
+//! | [`durability`] (`rdfviews-durability`) | snapshot bundle format, CRC-framed write-ahead log, content hashing |
 
 pub use rdf_engine as engine;
 pub use rdf_model as model;
@@ -239,6 +302,7 @@ pub use rdf_reform as reform;
 pub use rdf_schema as schema;
 pub use rdf_stats as stats;
 pub use rdfviews_core as core;
+pub use rdfviews_durability as durability;
 pub use rdfviews_workload as workload;
 
 pub mod advisor;
@@ -259,7 +323,7 @@ pub mod prelude {
     pub use crate::exec::answer_original_query;
     pub use crate::exec::{
         answer_query, materialize_recommendation, try_answer_original_query, AnswerPolicy,
-        Deployment, MaterializedViews, PlannedBranch, QueryPlan,
+        Deployment, DurableDeployment, MaterializedViews, PlannedBranch, QueryPlan, RecoveryReport,
     };
     pub use crate::model::{Dataset, Dictionary, Term, Triple, TripleStore};
     pub use crate::query::parser::parse_query;
