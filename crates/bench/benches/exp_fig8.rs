@@ -143,8 +143,8 @@ fn main() {
         ],
         &[6, 11, 11, 11, 11, 11, 11],
     );
-    let scan_only = EvalOptions { use_indexes: false };
-    let indexed = EvalOptions { use_indexes: true };
+    let scan_only = EvalOptions::scan_baseline();
+    let indexed = EvalOptions::default();
     for (qi, q) in rb.q1.iter().enumerate() {
         let nq = q.normalized();
         // Correctness first: all configurations agree.

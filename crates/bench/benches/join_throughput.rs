@@ -1,0 +1,313 @@
+//! Join throughput of the compiled index-native core at million-triple
+//! scale.
+//!
+//! Builds a synthetic store of 1M+ triples (deterministic LCG, fixed
+//! fan-out), then runs a fixed set of join shapes — chains, stars,
+//! anchored variants with constants, an intra-atom repeated variable and a
+//! view-mixed delta join — under three engines:
+//!
+//! * **compiled** — the default index-native core (flat frames, direct
+//!   index-range iteration, adaptive per-depth ordering, pooled scratch);
+//! * **legacy** — the pre-compiled collect-per-node core this PR replaced
+//!   (`EvalOptions::legacy_indexed`), the speedup reference;
+//! * **scan** — the full-scan Figure-8 baseline
+//!   (`EvalOptions::scan_baseline`), used for answer parity, on the full
+//!   store where tractable and on a prefix store everywhere.
+//!
+//! Every engine must produce identical answers before anything is timed.
+//! The view-mixed section additionally asserts the delta table's resident
+//! hash indexes are built once across the whole timed loop.
+//!
+//! Smoke mode (`RDFVIEWS_SMOKE=1` or `--smoke`) shrinks the store so CI
+//! finishes fast; the parity and index-reuse assertions still run. With
+//! `RDFVIEWS_ENFORCE_FLOOR=1` (set by CI) the bench fails if compiled
+//! throughput drops below a conservative committed floor.
+
+use std::time::Instant;
+
+use rdfviews::engine::{
+    evaluate_mixed, evaluate_with, EvalOptions, MixedAtom, ViewAtom, ViewTable,
+};
+use rdfviews::model::{Id, Triple, TripleStore};
+use rdfviews::query::{Atom, ConjunctiveQuery, QTerm, Var};
+use rdfviews_bench::Table;
+
+/// Conservative throughput floors (answer tuples per second, compiled
+/// core, debug-free release build). Measured at ~20x below the reference
+/// machine so only a genuine regression — not scheduler noise — trips
+/// them.
+const FLOOR_FULL_TPS: f64 = 100_000.0;
+const FLOOR_SMOKE_TPS: f64 = 50_000.0;
+
+/// Deterministic 64-bit LCG (Knuth's MMIX constants).
+fn lcg(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *state >> 33
+}
+
+fn synth_triples(n: usize, subjects: u64, predicates: u64) -> Vec<Triple> {
+    let mut rng = 0x5eed_u64;
+    let mut batch = Vec::with_capacity(n);
+    for _ in 0..n {
+        let s = Id((lcg(&mut rng) % subjects) as u32);
+        let p = Id(1_000_000 + (lcg(&mut rng) % predicates) as u32);
+        let o = Id((lcg(&mut rng) % subjects) as u32);
+        batch.push([s, p, o]);
+    }
+    batch
+}
+
+struct Case {
+    name: &'static str,
+    query: ConjunctiveQuery,
+    /// Whether the full-scan baseline is tractable on the full store (it
+    /// re-scans everything at every recursion node, so only queries that
+    /// fan out from a constant qualify at 1M scale).
+    scan_on_full: bool,
+}
+
+fn cases(anchor: Id) -> Vec<Case> {
+    let var = |v: u32| QTerm::Var(Var(v));
+    let p = |i: u32| QTerm::Const(Id(1_000_000 + i));
+    vec![
+        Case {
+            name: "single_p",
+            query: ConjunctiveQuery::new(vec![var(0), var(1)], vec![Atom([var(0), p(0), var(1)])]),
+            scan_on_full: true,
+        },
+        Case {
+            name: "chain2",
+            query: ConjunctiveQuery::new(
+                vec![var(0), var(2)],
+                vec![Atom([var(0), p(0), var(1)]), Atom([var(1), p(1), var(2)])],
+            ),
+            scan_on_full: false,
+        },
+        Case {
+            name: "chain3",
+            query: ConjunctiveQuery::new(
+                vec![var(0), var(3)],
+                vec![
+                    Atom([var(0), p(0), var(1)]),
+                    Atom([var(1), p(1), var(2)]),
+                    Atom([var(2), p(2), var(3)]),
+                ],
+            ),
+            scan_on_full: false,
+        },
+        Case {
+            name: "star2",
+            query: ConjunctiveQuery::new(
+                vec![var(0), var(1), var(2)],
+                vec![Atom([var(0), p(0), var(1)]), Atom([var(0), p(1), var(2)])],
+            ),
+            scan_on_full: false,
+        },
+        Case {
+            name: "anchored_chain2",
+            query: ConjunctiveQuery::new(
+                vec![var(1), var(2)],
+                vec![
+                    Atom([QTerm::Const(anchor), p(0), var(1)]),
+                    Atom([var(1), p(1), var(2)]),
+                ],
+            ),
+            scan_on_full: true,
+        },
+        Case {
+            name: "self_loop",
+            query: ConjunctiveQuery::new(vec![var(0)], vec![Atom([var(0), p(0), var(0)])]),
+            scan_on_full: true,
+        },
+    ]
+}
+
+/// Times `runs` evaluations, returning (wall seconds, answers of one run).
+fn time_engine(
+    store: &TripleStore,
+    q: &ConjunctiveQuery,
+    opts: &EvalOptions,
+    runs: usize,
+) -> (f64, usize) {
+    let mut tuples = 0;
+    let t0 = Instant::now();
+    for _ in 0..runs {
+        tuples = evaluate_with(store, q, opts).len();
+    }
+    (t0.elapsed().as_secs_f64(), tuples)
+}
+
+fn main() {
+    let smoke = std::env::var("RDFVIEWS_SMOKE").is_ok() || std::env::args().any(|a| a == "--smoke");
+    let (n, subjects, runs) = if smoke {
+        (60_000, 6_000, 2)
+    } else {
+        (1_200_000, 100_000, 3)
+    };
+    let predicates = 16;
+
+    let batch = synth_triples(n, subjects, predicates);
+    let mut store = TripleStore::new();
+    store.insert_batch(&batch);
+    println!(
+        "# join_throughput: {} stored triples ({} subjects, {} predicates){}",
+        store.len(),
+        subjects,
+        predicates,
+        if smoke { " [smoke]" } else { "" },
+    );
+    assert!(
+        smoke || store.len() >= 1_000_000,
+        "full mode must exercise at least one million stored triples"
+    );
+
+    // A prefix store keeps the full-scan baseline tractable for the
+    // unanchored joins (it pays a full scan per recursion node).
+    let prefix_n = if smoke { store.len() } else { 50_000 };
+    let mut prefix = TripleStore::new();
+    prefix.insert_batch(&batch[..prefix_n.min(batch.len())]);
+
+    let compiled = EvalOptions::default();
+    let legacy = EvalOptions::legacy_indexed();
+    let scan = EvalOptions::scan_baseline();
+    // Anchor on a subject whose p0 edge reaches a node with an outgoing
+    // p1 edge, so the anchored chain fans out to full depth.
+    let p1_subjects: std::collections::HashSet<Id> = batch
+        .iter()
+        .filter(|t| t[1] == Id(1_000_001))
+        .map(|t| t[0])
+        .collect();
+    let anchor = batch
+        .iter()
+        .find(|t| t[1] == Id(1_000_000) && p1_subjects.contains(&t[2]))
+        .map_or(batch[0][0], |t| t[0]);
+    let cases = cases(anchor);
+
+    // -- Parity first: all engines agree before anything is timed. --------
+    for case in &cases {
+        let want = evaluate_with(&prefix, &case.query, &scan);
+        assert_eq!(
+            evaluate_with(&prefix, &case.query, &compiled),
+            want,
+            "{}: compiled vs full-scan parity (prefix store)",
+            case.name
+        );
+        assert_eq!(
+            evaluate_with(&prefix, &case.query, &legacy),
+            want,
+            "{}: legacy vs full-scan parity (prefix store)",
+            case.name
+        );
+        let full_compiled = evaluate_with(&store, &case.query, &compiled);
+        assert_eq!(
+            full_compiled,
+            evaluate_with(&store, &case.query, &legacy),
+            "{}: compiled vs legacy parity (full store)",
+            case.name
+        );
+        if case.scan_on_full {
+            assert_eq!(
+                full_compiled,
+                evaluate_with(&store, &case.query, &scan),
+                "{}: compiled vs full-scan parity (full store)",
+                case.name
+            );
+        }
+    }
+    println!("# parity: compiled == legacy == full-scan on every shape ✓\n");
+
+    // -- Timed store-atom joins. ------------------------------------------
+    let table = Table::new(
+        &["query", "answers", "compiled (s)", "legacy (s)", "speedup"],
+        &[16, 10, 12, 12, 8],
+    );
+    let mut summary: Vec<(String, f64)> = Vec::new();
+    let mut wall_compiled_total = 0.0;
+    let mut wall_legacy_total = 0.0;
+    let mut tuples_total = 0usize;
+    for case in &cases {
+        let (wc, tuples) = time_engine(&store, &case.query, &compiled, runs);
+        let (wl, _) = time_engine(&store, &case.query, &legacy, runs);
+        wall_compiled_total += wc;
+        wall_legacy_total += wl;
+        tuples_total += tuples * runs;
+        table.row(&[
+            case.name,
+            &tuples.to_string(),
+            &format!("{:.4}", wc / runs as f64),
+            &format!("{:.4}", wl / runs as f64),
+            &format!("{:.2}x", wl / wc.max(1e-9)),
+        ]);
+        summary.push((format!("wall_{}_compiled_s", case.name), wc / runs as f64));
+        summary.push((format!("wall_{}_legacy_s", case.name), wl / runs as f64));
+    }
+    let speedup = wall_legacy_total / wall_compiled_total.max(1e-9);
+    let throughput = tuples_total as f64 / wall_compiled_total.max(1e-9);
+    println!(
+        "\n# total: compiled {:.3}s vs legacy {:.3}s — {:.2}x speedup, {:.0} answer tuples/s",
+        wall_compiled_total, wall_legacy_total, speedup, throughput
+    );
+
+    // -- View-mixed delta join: resident index reuse under repetition. ----
+    // The maintenance shape: Δ(X, <p0>, Y) ⋈ t(Y, <p1>, Z). The constant
+    // predicate column keeps the delta probed through its hash index (not
+    // a full unbound scan), so the reuse assertion below has teeth.
+    let delta = ViewTable::from_rows(3, batch.iter().take(4_096).map(|t| t.to_vec()));
+    let var = |v: u32| QTerm::Var(Var(v));
+    let head = vec![var(0), var(2)];
+    let mixed_runs = runs.max(3);
+    let atoms = vec![
+        MixedAtom::View(ViewAtom {
+            table: &delta,
+            args: vec![var(0), QTerm::Const(Id(1_000_000)), var(1)],
+        }),
+        MixedAtom::Store(Atom([var(1), QTerm::Const(Id(1_000_001)), var(2)])),
+    ];
+    let first = evaluate_mixed(&store, &atoms, &head);
+    let builds = delta.index_builds();
+    assert!(builds >= 1, "the delta's bound predicate column is indexed");
+    let t0 = Instant::now();
+    for _ in 0..mixed_runs {
+        assert_eq!(evaluate_mixed(&store, &atoms, &head), first);
+    }
+    let wall_mixed = t0.elapsed().as_secs_f64();
+    assert_eq!(
+        delta.index_builds(),
+        builds,
+        "repeated mixed joins must reuse the delta table's cached indexes"
+    );
+    println!(
+        "# mixed delta join: {} answers, {:.4}s/run, {} index build(s) across {} runs ✓",
+        first.len(),
+        wall_mixed / mixed_runs as f64,
+        builds,
+        mixed_runs + 1
+    );
+
+    // -- Summary + regression floor. --------------------------------------
+    summary.push(("triples".to_string(), store.len() as f64));
+    summary.push(("speedup_vs_legacy".to_string(), speedup));
+    summary.push(("throughput_tuples_per_s".to_string(), throughput));
+    summary.push(("wall_compiled_total_s".to_string(), wall_compiled_total));
+    summary.push(("wall_legacy_total_s".to_string(), wall_legacy_total));
+    summary.push(("wall_mixed_s".to_string(), wall_mixed / mixed_runs as f64));
+    let metrics: Vec<(&str, f64)> = summary.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+    rdfviews_bench::emit_bench_json("join_throughput", &metrics);
+
+    let floor = if smoke {
+        FLOOR_SMOKE_TPS
+    } else {
+        FLOOR_FULL_TPS
+    };
+    if std::env::var("RDFVIEWS_ENFORCE_FLOOR").is_ok() {
+        assert!(
+            throughput >= floor,
+            "compiled join throughput regressed: {throughput:.0} tuples/s < floor {floor:.0}"
+        );
+        println!("# floor guard: {throughput:.0} tuples/s ≥ {floor:.0} ✓");
+    } else {
+        println!("# floor (informational): {throughput:.0} tuples/s vs {floor:.0}");
+    }
+}

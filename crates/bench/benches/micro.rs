@@ -1,8 +1,11 @@
 //! Criterion micro-benchmarks for the core operations: store pattern
 //! matching, saturation, reformulation, canonicalization, transition
-//! application, cardinality estimation and query evaluation.
+//! application, cardinality estimation and query evaluation. After the
+//! run, every recorded mean lands in `BENCH_micro.json` (metric name =
+//! bench name with `/` replaced by `_`, value = mean ns/iter) so CI can
+//! trend the micro costs alongside the experiment benches.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use criterion::{criterion_group, BatchSize, Criterion};
 use std::hint::black_box;
 
 use rdfviews::core::transitions::{apply, enumerate, TransitionConfig, TransitionKind};
@@ -138,4 +141,13 @@ criterion_group! {
     targets = bench_store, bench_saturation, bench_reformulate, bench_canonical,
               bench_transitions, bench_cost, bench_evaluate
 }
-criterion_main!(benches);
+fn main() {
+    benches();
+    let measurements = criterion::take_measurements();
+    let named: Vec<(String, f64)> = measurements
+        .into_iter()
+        .map(|(name, ns)| (format!("{}_ns", name.replace('/', "_")), ns))
+        .collect();
+    let metrics: Vec<(&str, f64)> = named.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+    rdfviews_bench::emit_bench_json("micro", &metrics);
+}

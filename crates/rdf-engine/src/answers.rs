@@ -24,6 +24,18 @@ impl Answers {
         Self::from_set(arity, set)
     }
 
+    /// Builds from tuples the caller guarantees are already distinct
+    /// (e.g. drained from a dedup set) — skips the re-hashing pass that
+    /// [`Answers::from_tuples`] would pay.
+    pub fn from_distinct(arity: usize, mut tuples: Vec<Vec<Id>>) -> Self {
+        tuples.sort_unstable();
+        debug_assert!(
+            tuples.windows(2).all(|w| w[0] != w[1]),
+            "from_distinct caller passed duplicates"
+        );
+        Self { arity, tuples }
+    }
+
     /// Number of head columns.
     pub fn arity(&self) -> usize {
         self.arity

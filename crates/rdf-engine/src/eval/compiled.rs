@@ -1,0 +1,306 @@
+//! The compiled, index-native join core.
+//!
+//! [`compile`] turns a query into a [`CompiledPlan`] once: variables get
+//! dense slot numbers (so the bindings frame is a flat vector plus an undo
+//! trail, not a hash map) and every atom becomes a pre-resolved access
+//! path. [`execute`] then runs a backtracking join in which
+//!
+//! * store atoms iterate **directly** over `Arc`-shared sorted index
+//!   ranges ([`TripleStore::pattern_range`]) — no per-node `Vec<Triple>`
+//!   materialization;
+//! * view atoms probe the table's cached hash indexes
+//!   ([`ViewTable::index_for_mask`]) and iterate row ids in place; a fully
+//!   unbound view atom walks rows directly instead of collecting row ids;
+//! * the atom order is chosen **adaptively per depth**: the atom with the
+//!   smallest bound-prefix extent (`match_count` / index-bucket length)
+//!   under the current bindings runs next, and a zero-extent atom prunes
+//!   the subtree immediately;
+//! * per-column bind/check ops are computed once per recursion node, so
+//!   the per-row work is a handful of array reads — **no heap allocation
+//!   in the inner loop** (frame, trail, keys and output staging all come
+//!   from the pooled [`EvalScratch`]).
+
+use rdf_model::{FxHashMap, Id, StorePattern, TripleStore};
+use rdf_query::{QTerm, Var};
+
+use super::scratch::{ColAction, EvalScratch};
+use super::EvalAtom;
+use crate::answers::Answers;
+use crate::view_table::ViewTable;
+
+/// A compiled term: a constant or a dense variable slot.
+#[derive(Debug, Clone, Copy)]
+enum CTerm {
+    Const(Id),
+    Slot(u32),
+}
+
+/// A compiled atom: its access-path kind plus slot-resolved terms.
+enum CAtom<'a> {
+    Store {
+        terms: [CTerm; 3],
+    },
+    View {
+        table: &'a ViewTable,
+        terms: Vec<CTerm>,
+    },
+}
+
+/// A query compiled for the index-native core.
+pub(super) struct CompiledPlan<'a> {
+    atoms: Vec<CAtom<'a>>,
+    head: Vec<CTerm>,
+    n_slots: usize,
+}
+
+/// Compiles atoms and head into dense slots and access paths.
+pub(super) fn compile<'a>(atoms: Vec<EvalAtom<'a>>, head: &[QTerm]) -> CompiledPlan<'a> {
+    let mut slots: FxHashMap<Var, u32> = FxHashMap::default();
+    let mut cterm = |t: &QTerm| -> CTerm {
+        match t {
+            QTerm::Const(c) => CTerm::Const(*c),
+            QTerm::Var(v) => {
+                let next = slots.len() as u32;
+                CTerm::Slot(*slots.entry(*v).or_insert(next))
+            }
+        }
+    };
+    let atoms = atoms
+        .into_iter()
+        .map(|a| match a {
+            EvalAtom::Store { atom } => CAtom::Store {
+                terms: [
+                    cterm(&atom.terms()[0]),
+                    cterm(&atom.terms()[1]),
+                    cterm(&atom.terms()[2]),
+                ],
+            },
+            EvalAtom::View { table, args } => CAtom::View {
+                table,
+                terms: args.iter().map(&mut cterm).collect(),
+            },
+        })
+        .collect();
+    // Head variables missing from the body get fresh (never-bound) slots;
+    // emitting then panics with the same "unsafe query" contract as the
+    // legacy core.
+    let head = head.iter().map(&mut cterm).collect();
+    CompiledPlan {
+        atoms,
+        head,
+        n_slots: slots.len(),
+    }
+}
+
+/// Runs a compiled plan with pooled scratch memory.
+pub(super) fn execute(store: &TripleStore, plan: &CompiledPlan) -> Answers {
+    let mut scratch = EvalScratch::take(plan.n_slots, plan.atoms.len());
+    recurse(store, plan, &mut scratch, 0);
+    let answers = Answers::from_distinct(plan.head.len(), scratch.drain_out());
+    scratch.release();
+    answers
+}
+
+#[inline]
+fn value_of(t: CTerm, frame: &[Option<Id>]) -> Option<Id> {
+    match t {
+        CTerm::Const(c) => Some(c),
+        CTerm::Slot(s) => frame[s as usize],
+    }
+}
+
+#[inline]
+fn store_pattern(terms: &[CTerm; 3], frame: &[Option<Id>]) -> StorePattern {
+    StorePattern::new(
+        value_of(terms[0], frame),
+        value_of(terms[1], frame),
+        value_of(terms[2], frame),
+    )
+}
+
+fn recurse(store: &TripleStore, plan: &CompiledPlan, s: &mut EvalScratch, depth: usize) {
+    let n = plan.atoms.len();
+    if depth == n {
+        emit(plan, s);
+        return;
+    }
+    if depth + 1 < n {
+        // Adaptive per-depth ordering: pick the remaining atom with the
+        // smallest extent under the current bindings. With one atom left
+        // the pick is forced and the estimate would duplicate the access
+        // path's own lookup, so this block is skipped.
+        let mut key = std::mem::take(&mut s.keys[depth]);
+        let mut best_pos = depth;
+        let mut best_est = usize::MAX;
+        for pos in depth..n {
+            let est = match &plan.atoms[s.order[pos] as usize] {
+                CAtom::Store { terms } => store.match_count(&store_pattern(terms, &s.frame)),
+                CAtom::View { table, terms } => {
+                    key.clear();
+                    let mut mask = 0u64;
+                    for (c, t) in terms.iter().enumerate() {
+                        if let Some(v) = value_of(*t, &s.frame) {
+                            mask |= 1 << c;
+                            key.push(v);
+                        }
+                    }
+                    if mask == 0 {
+                        table.len()
+                    } else {
+                        table.index_for_mask(mask).rows_for(&key).len()
+                    }
+                }
+            };
+            if est < best_est {
+                best_est = est;
+                best_pos = pos;
+                if est == 0 {
+                    break;
+                }
+            }
+        }
+        s.keys[depth] = key;
+        if best_est == 0 {
+            // Some atom has no matches under the current bindings: the
+            // whole subtree is dead, whatever order the others run in.
+            return;
+        }
+        s.order.swap(depth, best_pos);
+    }
+    match &plan.atoms[s.order[depth] as usize] {
+        CAtom::Store { terms } => iter_store(store, plan, s, depth, terms),
+        CAtom::View { table, terms } => iter_view(store, plan, s, depth, table, terms),
+    }
+}
+
+/// Iterates a store atom over the matching sorted-index range. The range
+/// guarantees every bound column, so per-row work is only binding fresh
+/// slots (plus intra-atom repeated-variable checks).
+fn iter_store(
+    store: &TripleStore,
+    plan: &CompiledPlan,
+    s: &mut EvalScratch,
+    depth: usize,
+    terms: &[CTerm; 3],
+) {
+    let pat = store_pattern(terms, &s.frame);
+    let range = store.pattern_range(&pat);
+    let mut acts = [ColAction::Skip; 3];
+    for c in 0..3 {
+        if let CTerm::Slot(slot) = terms[c] {
+            if s.frame[slot as usize].is_none() {
+                let bound_earlier = acts[..c]
+                    .iter()
+                    .any(|a| matches!(a, ColAction::Bind(b) if *b == slot));
+                acts[c] = if bound_earlier {
+                    ColAction::Check(slot)
+                } else {
+                    ColAction::Bind(slot)
+                };
+            }
+        }
+    }
+    for t in range.as_slice() {
+        apply_row(store, plan, s, depth, &acts, t);
+    }
+}
+
+/// Iterates a view atom over the cached hash index for its bound-column
+/// mask — or directly over the rows when nothing is bound yet.
+fn iter_view(
+    store: &TripleStore,
+    plan: &CompiledPlan,
+    s: &mut EvalScratch,
+    depth: usize,
+    table: &ViewTable,
+    terms: &[CTerm],
+) {
+    let mut key = std::mem::take(&mut s.keys[depth]);
+    let mut acts = std::mem::take(&mut s.actions[depth]);
+    key.clear();
+    acts.clear();
+    let mut mask = 0u64;
+    for (c, t) in terms.iter().enumerate() {
+        if let Some(v) = value_of(*t, &s.frame) {
+            mask |= 1 << c;
+            key.push(v);
+            acts.push(ColAction::Skip);
+        } else if let CTerm::Slot(slot) = *t {
+            let bound_earlier = acts
+                .iter()
+                .any(|a| matches!(a, ColAction::Bind(b) if *b == slot));
+            acts.push(if bound_earlier {
+                ColAction::Check(slot)
+            } else {
+                ColAction::Bind(slot)
+            });
+        }
+    }
+    if mask == 0 {
+        // Fully unbound scan: walk the rows directly — no `(0..len)`
+        // row-id collection, no hash index.
+        for r in 0..table.len() {
+            apply_row(store, plan, s, depth, &acts, table.row(r));
+        }
+    } else {
+        let idx = table.index_for_mask(mask);
+        for &r in idx.rows_for(&key) {
+            apply_row(store, plan, s, depth, &acts, table.row(r as usize));
+        }
+    }
+    s.keys[depth] = key;
+    s.actions[depth] = acts;
+}
+
+/// Applies one row under the node's precomputed column ops, recursing on
+/// success and unwinding the trail either way. No allocation.
+#[inline]
+fn apply_row(
+    store: &TripleStore,
+    plan: &CompiledPlan,
+    s: &mut EvalScratch,
+    depth: usize,
+    acts: &[ColAction],
+    values: &[Id],
+) {
+    let mark = s.trail.len();
+    let mut ok = true;
+    for (c, act) in acts.iter().enumerate() {
+        match *act {
+            ColAction::Skip => {}
+            ColAction::Bind(slot) => {
+                s.frame[slot as usize] = Some(values[c]);
+                s.trail.push(slot);
+            }
+            ColAction::Check(slot) => {
+                if s.frame[slot as usize] != Some(values[c]) {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+    }
+    if ok {
+        recurse(store, plan, s, depth + 1);
+    }
+    while s.trail.len() > mark {
+        let slot = s.trail.pop().expect("trail mark within bounds");
+        s.frame[slot as usize] = None;
+    }
+}
+
+/// Emits the current head tuple into the output staging set.
+fn emit(plan: &CompiledPlan, s: &mut EvalScratch) {
+    s.tuple.clear();
+    for t in &plan.head {
+        s.tuple.push(match t {
+            CTerm::Const(c) => *c,
+            CTerm::Slot(slot) => {
+                s.frame[*slot as usize].expect("unsafe query: unbound head variable")
+            }
+        });
+    }
+    if !s.out.contains(s.tuple.as_slice()) {
+        s.out.insert(s.tuple.clone());
+    }
+}

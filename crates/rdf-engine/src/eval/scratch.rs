@@ -1,0 +1,133 @@
+//! Reusable evaluator working memory.
+//!
+//! A maintenance batch or a workload materialization makes thousands of
+//! evaluator calls; allocating the bindings frame, trail, key buffers and
+//! output staging afresh each time would dominate small joins. Instead a
+//! thread-local pool hands out [`EvalScratch`] values whose buffers keep
+//! their capacity across calls — the `VisitedPool` idiom: take on entry,
+//! clear-and-return on exit, never shrink below the high-water mark (with
+//! a cap so one pathological query cannot pin unbounded memory).
+
+use std::cell::RefCell;
+
+use rdf_model::{FxHashSet, Id};
+
+/// One per-column action of the inner join loop, precomputed per recursion
+/// node (never per row). Bound columns need no action at all: the access
+/// path (index range prefix / hash key) already guarantees them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ColAction {
+    /// Value guaranteed by the access path (index range prefix / hash key).
+    Skip,
+    /// First occurrence of an unbound variable: bind the slot, trail it.
+    Bind(u32),
+    /// Later occurrence of a variable bound by an earlier column of this
+    /// atom (repeated variable): compare against the just-bound slot.
+    Check(u32),
+}
+
+/// The evaluator's reusable working memory.
+#[derive(Debug, Default)]
+pub(crate) struct EvalScratch {
+    /// Flat bindings frame, indexed by dense variable slot.
+    pub frame: Vec<Option<Id>>,
+    /// Undo trail: slots bound since entry, unwound on backtrack.
+    pub trail: Vec<u32>,
+    /// Remaining-atom permutation: `order[depth..]` are the atoms not yet
+    /// placed; the adaptive planner swaps its pick into `order[depth]`.
+    pub order: Vec<u32>,
+    /// Per-depth key buffers for view-index probes.
+    pub keys: Vec<Vec<Id>>,
+    /// Per-depth column-action buffers for view atoms (store atoms use a
+    /// fixed-size stack array).
+    pub actions: Vec<Vec<ColAction>>,
+    /// Staging buffer for the current head tuple.
+    pub tuple: Vec<Id>,
+    /// Output staging: distinct answer tuples.
+    pub out: FxHashSet<Vec<Id>>,
+}
+
+/// Pooled scratch values per thread; capped so idle threads don't hoard.
+const POOL_CAP: usize = 8;
+/// Output sets larger than this are dropped instead of pooled.
+const OUT_SHRINK: usize = 1 << 20;
+
+thread_local! {
+    static POOL: RefCell<Vec<EvalScratch>> = const { RefCell::new(Vec::new()) };
+}
+
+impl EvalScratch {
+    /// Takes a scratch value from the thread-local pool (or a fresh one),
+    /// sized for `n_slots` variables and `n_atoms` atoms.
+    pub fn take(n_slots: usize, n_atoms: usize) -> Self {
+        let mut s = POOL.with(|p| p.borrow_mut().pop()).unwrap_or_default();
+        s.frame.clear();
+        s.frame.resize(n_slots, None);
+        s.trail.clear();
+        s.order.clear();
+        s.order.extend(0..n_atoms as u32);
+        if s.keys.len() < n_atoms {
+            s.keys.resize_with(n_atoms, Vec::new);
+        }
+        if s.actions.len() < n_atoms {
+            s.actions.resize_with(n_atoms, Vec::new);
+        }
+        s.tuple.clear();
+        debug_assert!(s.out.is_empty(), "pooled scratch must be drained");
+        s
+    }
+
+    /// Drains the staged output (keeping the set's capacity for reuse).
+    pub fn drain_out(&mut self) -> Vec<Vec<Id>> {
+        self.out.drain().collect()
+    }
+
+    /// Returns the scratch to the pool for the next evaluator call.
+    pub fn release(mut self) {
+        if self.out.capacity() > OUT_SHRINK {
+            self.out = FxHashSet::default();
+        }
+        self.out.clear();
+        POOL.with(|p| {
+            let mut pool = p.borrow_mut();
+            if pool.len() < POOL_CAP {
+                pool.push(self);
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_release_reuses_capacity() {
+        let mut s = EvalScratch::take(4, 3);
+        assert_eq!(s.frame.len(), 4);
+        assert_eq!(s.order, vec![0, 1, 2]);
+        s.trail.reserve(1000);
+        let cap = s.trail.capacity();
+        s.release();
+        let s2 = EvalScratch::take(2, 1);
+        assert!(
+            s2.trail.capacity() >= cap,
+            "pooled buffers keep their capacity"
+        );
+        assert_eq!(s2.frame.len(), 2);
+        assert_eq!(s2.order, vec![0]);
+        s2.release();
+    }
+
+    #[test]
+    fn drain_out_empties_but_keeps_set() {
+        let mut s = EvalScratch::take(0, 0);
+        s.out.insert(vec![Id(1)]);
+        s.out.insert(vec![Id(2)]);
+        let mut tuples = s.drain_out();
+        tuples.sort_unstable();
+        assert_eq!(tuples, vec![vec![Id(1)], vec![Id(2)]]);
+        assert!(s.out.is_empty());
+        s.release();
+    }
+}

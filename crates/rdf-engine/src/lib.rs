@@ -25,6 +25,34 @@
 //! Answers use **set semantics**, matching the conjunctive-query formalism
 //! of the paper (equivalence is defined through containment mappings).
 //!
+//! ## Evaluation internals
+//!
+//! All entry points funnel into one backtracking join core. The default
+//! engine is the **compiled index-native core** (`eval::compiled`):
+//!
+//! * each query is compiled once — variables get dense slot numbers, so
+//!   the bindings frame is a flat vector plus an undo trail instead of a
+//!   hash map, and every atom becomes a pre-resolved access path;
+//! * store atoms iterate directly over `Arc`-shared sorted permutation
+//!   index ranges ([`rdf_model::TripleStore::pattern_range`]) — no
+//!   per-node match materialization — and the chosen permutation covers
+//!   all bound columns as a sort prefix, so bound columns need no per-row
+//!   re-check;
+//! * view atoms probe [`ViewIndex`]es resident in their [`ViewTable`]
+//!   (built once per bound-column mask, `Arc`-shared, surviving across
+//!   evaluator calls — see [`ViewTable::index_for_mask`]);
+//! * the join order is chosen adaptively at each depth from bound-prefix
+//!   match counts, pruning any subtree with a zero-extent atom;
+//! * all working memory comes from a thread-local scratch pool, so the
+//!   inner loop performs no per-row heap allocation.
+//!
+//! The pre-compiled collect-per-node core survives in `eval::legacy` as a
+//! measured baseline, selectable via [`EvalOptions::legacy_indexed`]
+//! (indexed) and [`EvalOptions::scan_baseline`] (full scans — the "plain
+//! clustered triple table" configuration of the paper's Figure 8);
+//! differential property tests hold all three engines to identical
+//! answers.
+//!
 //! ```
 //! use rdf_model::{Dataset, Term};
 //! use rdf_query::parser::parse_query;
@@ -50,7 +78,7 @@ pub use eval::{
     MixedAtom, ViewAtom,
 };
 pub use maintain::{DeleteDelta, DeltaSet, MaintainedView, MaintenanceStats};
-pub use view_table::ViewTable;
+pub use view_table::{ViewIndex, ViewTable};
 
 use rdf_model::TripleStore;
 use rdf_query::{ConjunctiveQuery, UnionQuery};

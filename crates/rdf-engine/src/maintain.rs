@@ -88,6 +88,15 @@ impl DeltaSet {
         &self.triples
     }
 
+    /// The batch as a 3-column table. Exposed so callers (and tests) can
+    /// watch its resident hash-index cache: one delta join per atom
+    /// position probes this same table, and [`ViewTable::index_builds`]
+    /// proves each bound-column mask is indexed once per batch, not once
+    /// per join.
+    pub fn table(&self) -> &ViewTable {
+        &self.table
+    }
+
     /// Whether the batch is empty.
     pub fn is_empty(&self) -> bool {
         self.triples.is_empty()

@@ -1,18 +1,78 @@
 //! Materialized view tables.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, RwLock};
+
 use rdf_model::{FxHashMap, Id};
 
 use crate::answers::Answers;
 
+/// A hash index over one column subset of a [`ViewTable`]: maps the key
+/// values (in ascending column order) to the matching row numbers.
+///
+/// Indexes are built once per `(table, column mask)` and `Arc`-shared —
+/// the join core probes them without holding any table lock.
+#[derive(Debug)]
+pub struct ViewIndex {
+    cols: Vec<usize>,
+    map: FxHashMap<Vec<Id>, Vec<u32>>,
+}
+
+impl ViewIndex {
+    /// The indexed columns, ascending.
+    pub fn cols(&self) -> &[usize] {
+        &self.cols
+    }
+
+    /// The row numbers whose key columns equal `key` (values in the same
+    /// order as [`ViewIndex::cols`]); empty when no row matches.
+    #[inline]
+    pub fn rows_for(&self, key: &[Id]) -> &[u32] {
+        self.map.get(key).map_or(&[], |rows| rows.as_slice())
+    }
+
+    /// Number of distinct keys.
+    pub fn key_count(&self) -> usize {
+        self.map.len()
+    }
+}
+
+/// The per-table index cache: one [`ViewIndex`] per bound-column mask,
+/// built on first probe and reused for the table's whole lifetime. A
+/// `ViewTable` is immutable after construction, so the cache never goes
+/// stale: maintenance produces *new* tables (the deployment layer's
+/// version-stamped rebuild), and each fresh table starts a fresh cache —
+/// one build per `(table, mask, version)`, mirroring the triple store's
+/// `IndexSnapshot` idiom.
+#[derive(Debug, Default)]
+struct IndexCache {
+    by_mask: RwLock<FxHashMap<u64, Arc<ViewIndex>>>,
+    builds: AtomicUsize,
+}
+
+impl Clone for IndexCache {
+    fn clone(&self) -> Self {
+        // The data is identical in the clone, so the built indexes remain
+        // valid; sharing them keeps a cloned deployment warm.
+        let guard = self.by_mask.read().expect("view index lock poisoned");
+        Self {
+            by_mask: RwLock::new(guard.clone()),
+            builds: AtomicUsize::new(self.builds.load(Ordering::Relaxed)),
+        }
+    }
+}
+
 /// A materialized view: a fixed-arity table of id tuples, stored flat.
 ///
-/// Hash indexes over arbitrary column subsets are built on demand and
-/// cached; rewriting evaluation probes them for join lookups.
+/// Hash indexes over arbitrary column subsets are built on demand, cached
+/// inside the table (interior mutability), and shared via `Arc`; rewriting
+/// evaluation and maintenance delta joins probe them for join lookups.
 #[derive(Debug, Clone, Default)]
 pub struct ViewTable {
     arity: usize,
     /// Row-major storage: `data[r * arity .. (r + 1) * arity]` is row `r`.
     data: Vec<Id>,
+    cache: IndexCache,
 }
 
 impl ViewTable {
@@ -24,7 +84,11 @@ impl ViewTable {
             debug_assert_eq!(t.len(), arity);
             data.extend_from_slice(t);
         }
-        Self { arity, data }
+        Self {
+            arity,
+            data,
+            cache: IndexCache::default(),
+        }
     }
 
     /// Builds a table from raw rows (deduplicating).
@@ -65,15 +129,44 @@ impl ViewTable {
         self.data.len()
     }
 
-    /// Builds a hash index mapping the values of `cols` to row numbers.
-    pub fn build_index(&self, cols: &[usize]) -> FxHashMap<Vec<Id>, Vec<usize>> {
-        let mut idx: FxHashMap<Vec<Id>, Vec<usize>> = FxHashMap::default();
+    /// The cached hash index for the column set `mask` (bit `c` set ⇔
+    /// column `c` is a key column). Built on first use, then shared — a
+    /// maintenance batch or a repeated `answer_query` probing the same
+    /// table with the same bound columns pays the build exactly once.
+    pub fn index_for_mask(&self, mask: u64) -> Arc<ViewIndex> {
+        debug_assert!(self.arity <= 64, "mask-indexed tables cap at 64 columns");
+        {
+            let guard = self.cache.by_mask.read().expect("view index lock poisoned");
+            if let Some(idx) = guard.get(&mask) {
+                return Arc::clone(idx);
+            }
+        }
+        let cols: Vec<usize> = (0..self.arity).filter(|c| mask & (1 << c) != 0).collect();
+        let mut map: FxHashMap<Vec<Id>, Vec<u32>> = FxHashMap::default();
         for r in 0..self.len() {
             let row = self.row(r);
             let key: Vec<Id> = cols.iter().map(|&c| row[c]).collect();
-            idx.entry(key).or_default().push(r);
+            map.entry(key).or_default().push(r as u32);
         }
-        idx
+        let idx = Arc::new(ViewIndex { cols, map });
+        let mut guard = self
+            .cache
+            .by_mask
+            .write()
+            .expect("view index lock poisoned");
+        // Two threads may race to build the same mask; keep the first.
+        let entry = guard.entry(mask).or_insert_with(|| {
+            self.cache.builds.fetch_add(1, Ordering::Relaxed);
+            Arc::clone(&idx)
+        });
+        Arc::clone(entry)
+    }
+
+    /// How many hash indexes this table has built so far — one per probed
+    /// column mask, **not** one per evaluator call. Tests and benches use
+    /// this to assert that the caches actually carry across calls.
+    pub fn index_builds(&self) -> usize {
+        self.cache.builds.load(Ordering::Relaxed)
     }
 }
 
@@ -112,10 +205,36 @@ mod tests {
     #[test]
     fn index_groups_rows() {
         let t = table();
-        let idx = t.build_index(&[1]);
-        assert_eq!(idx[&vec![Id(10)]].len(), 2);
-        assert_eq!(idx[&vec![Id(20)]].len(), 1);
-        let idx2 = t.build_index(&[0, 1]);
-        assert_eq!(idx2.len(), 3);
+        let idx = t.index_for_mask(1 << 1);
+        assert_eq!(idx.cols(), &[1]);
+        assert_eq!(idx.rows_for(&[Id(10)]).len(), 2);
+        assert_eq!(idx.rows_for(&[Id(20)]).len(), 1);
+        assert!(idx.rows_for(&[Id(99)]).is_empty());
+        let idx2 = t.index_for_mask(0b11);
+        assert_eq!(idx2.key_count(), 3);
+    }
+
+    #[test]
+    fn index_cache_builds_once_per_mask() {
+        let t = table();
+        assert_eq!(t.index_builds(), 0);
+        let a = t.index_for_mask(1);
+        let b = t.index_for_mask(1);
+        assert!(Arc::ptr_eq(&a, &b), "same mask shares one index");
+        assert_eq!(t.index_builds(), 1);
+        t.index_for_mask(0b10);
+        assert_eq!(t.index_builds(), 2);
+        t.index_for_mask(1);
+        assert_eq!(t.index_builds(), 2, "cache hit is not a build");
+    }
+
+    #[test]
+    fn clone_keeps_cache_warm() {
+        let t = table();
+        t.index_for_mask(1);
+        let cl = t.clone();
+        assert_eq!(cl.index_builds(), 1);
+        cl.index_for_mask(1);
+        assert_eq!(cl.index_builds(), 1, "clone reuses the built index");
     }
 }

@@ -61,6 +61,86 @@ fn store_from(triples: &[[u32; 3]]) -> TripleStore {
     store
 }
 
+/// Wraps atoms into a query whose head lists every body variable once.
+fn cq(atoms: Vec<Atom>) -> ConjunctiveQuery {
+    let mut head = Vec::new();
+    for a in &atoms {
+        for v in a.vars() {
+            if !head.contains(&QTerm::Var(v)) {
+                head.push(QTerm::Var(v));
+            }
+        }
+    }
+    ConjunctiveQuery::new(head, atoms)
+}
+
+/// Shaped queries that stress specific join-core paths: stars (one shared
+/// variable fanning out), chains (variable handoff atom to atom), repeated
+/// variables within an atom, constant selections, and cartesian products
+/// (disconnected atoms). Together with [`query_strategy`] these drive the
+/// differential test of the compiled core against the scan baseline.
+fn shaped_query_strategy() -> impl Strategy<Value = ConjunctiveQuery> {
+    let var = |v: u32| QTerm::Var(Var(v));
+    let star = (
+        prop::collection::vec(20u32..24, 1..4),
+        prop::collection::vec(prop_oneof![Just(None), (0u32..10).prop_map(Some)], 1..4),
+    )
+        .prop_map(move |(preds, leaves)| {
+            // t(X, p_i, L_i): shared subject X, leaf either fresh var or
+            // constant.
+            let atoms = preds
+                .iter()
+                .zip(leaves.iter().cycle())
+                .enumerate()
+                .map(|(i, (&p, leaf))| {
+                    let o = match leaf {
+                        Some(c) => QTerm::Const(Id(*c)),
+                        None => var(1 + i as u32),
+                    };
+                    Atom([var(0), QTerm::Const(Id(p)), o])
+                })
+                .collect();
+            cq(atoms)
+        });
+    let chain = (
+        prop::collection::vec(20u32..24, 1..4),
+        prop_oneof![Just(None), (0u32..10).prop_map(Some)],
+    )
+        .prop_map(move |(preds, start)| {
+            // t(X_i, p_i, X_{i+1}), optionally anchored by a constant
+            // subject.
+            let atoms = preds
+                .iter()
+                .enumerate()
+                .map(|(i, &p)| {
+                    let s = match (i, start) {
+                        (0, Some(c)) => QTerm::Const(Id(c)),
+                        _ => var(i as u32),
+                    };
+                    Atom([s, QTerm::Const(Id(p)), var(1 + i as u32)])
+                })
+                .collect();
+            cq(atoms)
+        });
+    let repeated = (20u32..24, 20u32..24, any::<bool>()).prop_map(move |(p1, p2, extra)| {
+        // t(X, p1, X) exercises the intra-atom Check action; the optional
+        // second atom re-joins X across atoms.
+        let mut atoms = vec![Atom([var(0), QTerm::Const(Id(p1)), var(0)])];
+        if extra {
+            atoms.push(Atom([var(0), QTerm::Const(Id(p2)), var(1)]));
+        }
+        cq(atoms)
+    });
+    let cartesian = (20u32..24, 20u32..24).prop_map(move |(p1, p2)| {
+        // Two atoms sharing no variable: a pure product.
+        cq(vec![
+            Atom([var(0), QTerm::Const(Id(p1)), var(1)]),
+            Atom([var(2), QTerm::Const(Id(p2)), var(3)]),
+        ])
+    });
+    prop_oneof![star, chain, repeated, cartesian, query_strategy()]
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
 
@@ -71,8 +151,25 @@ proptest! {
     ) {
         let store = store_from(&triples);
         let a = evaluate(&store, &q);
-        let b = evaluate_with(&store, &q, &EvalOptions { use_indexes: false });
+        let b = evaluate_with(&store, &q, &EvalOptions::scan_baseline());
         prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn compiled_core_matches_baselines_on_shaped_queries(
+        triples in triples_strategy(),
+        q in shaped_query_strategy(),
+    ) {
+        // Differential test of the compiled index-native core against two
+        // structurally independent evaluators: the full-scan baseline and
+        // the pre-compiled indexed core. Shapes cover stars, chains,
+        // repeated variables, constant selections and cartesian products.
+        let store = store_from(&triples);
+        let compiled = evaluate(&store, &q);
+        let scan = evaluate_with(&store, &q, &EvalOptions::scan_baseline());
+        let legacy = evaluate_with(&store, &q, &EvalOptions::legacy_indexed());
+        prop_assert_eq!(&compiled, &scan);
+        prop_assert_eq!(&compiled, &legacy);
     }
 
     #[test]
@@ -183,5 +280,60 @@ proptest! {
             let res = evaluate(&store, &bound);
             prop_assert!(!res.is_empty(), "answer {tuple:?} must satisfy the query");
         }
+    }
+}
+
+/// Deterministic 64-bit LCG (same constants as Knuth's MMIX), so the
+/// stress store is reproducible without a seeded RNG dependency.
+fn lcg(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *state >> 33
+}
+
+/// Million-triple differential stress test. Ignored by default (it wants
+/// release mode); CI runs it explicitly with
+/// `cargo test --release -- --ignored`.
+#[test]
+#[ignore = "1M-triple stress test: run in release mode with -- --ignored"]
+fn million_triple_compiled_matches_baselines() {
+    const N: usize = 1_000_000;
+    const SUBJECTS: u64 = 100_000;
+    const PREDICATES: u64 = 16;
+    let mut rng = 0x5eed_u64;
+    let mut batch = Vec::with_capacity(N);
+    for _ in 0..N {
+        let s = Id((lcg(&mut rng) % SUBJECTS) as u32);
+        let p = Id(1_000_000 + (lcg(&mut rng) % PREDICATES) as u32);
+        let o = Id((lcg(&mut rng) % SUBJECTS) as u32);
+        batch.push([s, p, o]);
+    }
+    let mut store = TripleStore::new();
+    store.insert_batch(&batch);
+    assert!(store.len() > 990_000, "stress store should be ~1M triples");
+
+    let var = |v: u32| QTerm::Var(Var(v));
+    let p0 = QTerm::Const(Id(1_000_000));
+    let p1 = QTerm::Const(Id(1_000_001));
+    let anchor = QTerm::Const(batch[0][0]);
+    // Query shapes chosen so the scan baseline stays tractable: the single
+    // atom costs one full scan; the anchored chain/star fan out from a
+    // constant subject before their full-scan inner nodes.
+    let single = ConjunctiveQuery::new(vec![var(0), var(1)], vec![Atom([var(0), p0, var(1)])]);
+    let chain = ConjunctiveQuery::new(
+        vec![var(1), var(2)],
+        vec![Atom([anchor, p0, var(1)]), Atom([var(1), p1, var(2)])],
+    );
+    let star = ConjunctiveQuery::new(
+        vec![var(1), var(2)],
+        vec![Atom([anchor, p0, var(1)]), Atom([anchor, p1, var(2)])],
+    );
+    for (name, q) in [("single", &single), ("chain", &chain), ("star", &star)] {
+        let compiled = evaluate(&store, q);
+        let legacy = evaluate_with(&store, q, &EvalOptions::legacy_indexed());
+        assert_eq!(compiled, legacy, "{name}: compiled vs legacy-indexed");
+        let scan = evaluate_with(&store, q, &EvalOptions::scan_baseline());
+        assert_eq!(compiled, scan, "{name}: compiled vs full-scan");
     }
 }

@@ -85,7 +85,7 @@ impl IndexOrder {
 
     /// Picks the order whose sort prefix covers the pattern's bound columns,
     /// and returns it with the key values in comparison order.
-    fn for_pattern(pat: &StorePattern) -> (IndexOrder, Vec<Id>) {
+    pub fn for_pattern(pat: &StorePattern) -> (IndexOrder, Vec<Id>) {
         let slots = pat.slots();
         let order = match (pat.s.is_some(), pat.p.is_some(), pat.o.is_some()) {
             (true, true, _) => IndexOrder::Spo,
@@ -106,6 +106,41 @@ impl IndexOrder {
 struct IndexSnapshot {
     version: u64,
     sorted: Arc<Vec<Triple>>,
+}
+
+/// A resolved `[start, end)` range of one sorted permutation index: every
+/// triple in [`IndexRange::as_slice`] has the probed key as its sort-prefix.
+///
+/// This is the store's public cursor API: the join core iterates matches
+/// directly over the `Arc`-shared sorted snapshot — no per-lookup
+/// collection into a fresh `Vec` — and the range stays valid (a consistent
+/// snapshot) even if the store is mutated afterwards, because snapshots are
+/// immutable once built.
+#[derive(Debug, Clone)]
+pub struct IndexRange {
+    sorted: Arc<Vec<Triple>>,
+    start: usize,
+    end: usize,
+}
+
+impl IndexRange {
+    /// The matching triples, in index order.
+    #[inline]
+    pub fn as_slice(&self) -> &[Triple] {
+        &self.sorted[self.start..self.end]
+    }
+
+    /// Number of matching triples.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the range is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
 }
 
 /// The in-memory triple table.
@@ -294,8 +329,8 @@ impl TripleStore {
     }
 
     /// The `[start, end)` range of `index(order)` whose key columns equal
-    /// `key` (a prefix in the order's comparison sequence).
-    fn range(&self, order: IndexOrder, key: &[Id]) -> (Arc<Vec<Triple>>, usize, usize) {
+    /// `key` (a prefix in the order's comparison sequence), binary-searched.
+    pub fn range(&self, order: IndexOrder, key: &[Id]) -> IndexRange {
         let idx = self.index(order);
         let perm = order.perm();
         let cmp_prefix = |t: &Triple| -> std::cmp::Ordering {
@@ -310,7 +345,20 @@ impl TripleStore {
         let start = idx.partition_point(|t| cmp_prefix(t) == std::cmp::Ordering::Less);
         let end =
             start + idx[start..].partition_point(|t| cmp_prefix(t) == std::cmp::Ordering::Equal);
-        (idx, start, end)
+        IndexRange {
+            sorted: idx,
+            start,
+            end,
+        }
+    }
+
+    /// The matches of `pat` as a range over the best permutation index:
+    /// the order is chosen so its sort prefix covers every bound column,
+    /// making the range exact (no post-filtering needed). An all-free
+    /// pattern ranges over the whole SPO snapshot.
+    pub fn pattern_range(&self, pat: &StorePattern) -> IndexRange {
+        let (order, key) = IndexOrder::for_pattern(pat);
+        self.range(order, &key)
     }
 
     /// Calls `f` for every triple matching `pat`, using the best index.
@@ -321,9 +369,7 @@ impl TripleStore {
             }
             return;
         }
-        let (order, key) = IndexOrder::for_pattern(pat);
-        let (idx, start, end) = self.range(order, &key);
-        for &t in &idx[start..end] {
+        for &t in self.pattern_range(pat).as_slice() {
             // With a full prefix the range is exact; a 2-bound pattern on
             // non-adjacent sort columns cannot happen by construction.
             debug_assert!(pat.matches(t));
@@ -344,11 +390,7 @@ impl TripleStore {
         match pat.bound_count() {
             0 => self.len(),
             3 => usize::from(self.contains([pat.s.unwrap(), pat.p.unwrap(), pat.o.unwrap()])),
-            _ => {
-                let (order, key) = IndexOrder::for_pattern(pat);
-                let (_, start, end) = self.range(order, &key);
-                end - start
-            }
+            _ => self.pattern_range(pat).len(),
         }
     }
 
@@ -363,23 +405,17 @@ impl TripleStore {
                 }
             }
         }
-        let count_col = |order: IndexOrder, col: usize| -> usize {
-            let idx = self.index(order);
-            let mut n = 0;
-            let mut prev: Option<Id> = None;
-            for t in idx.iter() {
-                if prev != Some(t[col]) {
-                    n += 1;
-                    prev = Some(t[col]);
-                }
+        // One pass over the triple list with three small hash sets —
+        // properties (and often objects) have far fewer distinct values
+        // than triples, so this beats forcing three full sorted snapshots
+        // into existence just to count runs.
+        let mut seen: [FxHashSet<Id>; 3] = Default::default();
+        for t in &self.triples {
+            for (c, set) in seen.iter_mut().enumerate() {
+                set.insert(t[c]);
             }
-            n
-        };
-        let counts = [
-            count_col(IndexOrder::Spo, S),
-            count_col(IndexOrder::Pso, P),
-            count_col(IndexOrder::Osp, O),
-        ];
+        }
+        let counts = [seen[S].len(), seen[P].len(), seen[O].len()];
         *self.distinct.write().expect("distinct lock poisoned") = Some((self.version, counts));
         counts
     }

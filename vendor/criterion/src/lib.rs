@@ -10,7 +10,19 @@
 //! the iteration count to the configured measurement time, and prints
 //! mean ns/iter — enough to compare hot paths between commits.
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// Every `(name, mean ns/iter)` recorded by [`Criterion::bench_function`]
+/// in this process, in run order. Real criterion persists measurements
+/// under `target/criterion/`; this shim records them in memory so bench
+/// mains can emit machine-readable summaries.
+static MEASUREMENTS: Mutex<Vec<(String, f64)>> = Mutex::new(Vec::new());
+
+/// Drains the measurements recorded so far (name, mean ns/iter).
+pub fn take_measurements() -> Vec<(String, f64)> {
+    std::mem::take(&mut *MEASUREMENTS.lock().expect("measurement lock poisoned"))
+}
 
 /// How batched inputs are grouped; accepted and ignored.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -123,6 +135,12 @@ impl Criterion {
             mean_ns: f64::NAN,
         };
         f(&mut b);
+        if !b.mean_ns.is_nan() {
+            MEASUREMENTS
+                .lock()
+                .expect("measurement lock poisoned")
+                .push((name.to_string(), b.mean_ns));
+        }
         if b.mean_ns.is_nan() {
             println!("{name:<40} (no measurement)");
         } else if b.mean_ns >= 1e6 {
@@ -184,5 +202,10 @@ mod tests {
         c.bench_function("smoke/batched", |b| {
             b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
         });
+        let recorded = take_measurements();
+        assert_eq!(recorded.len(), 2);
+        assert_eq!(recorded[0].0, "smoke/add");
+        assert!(recorded.iter().all(|(_, ns)| ns.is_finite() && *ns >= 0.0));
+        assert!(take_measurements().is_empty(), "take drains the buffer");
     }
 }
