@@ -1,32 +1,43 @@
-//! Join throughput of the compiled index-native core at million-triple
-//! scale.
+//! Join throughput of the compiled index-native core — and of the
+//! worst-case-optimal leapfrog triejoin on cyclic shapes — at
+//! million-triple scale.
 //!
 //! Builds a synthetic store of 1M+ triples (deterministic LCG, fixed
-//! fan-out), then runs a fixed set of join shapes — chains, stars,
-//! anchored variants with constants, an intra-atom repeated variable and a
-//! view-mixed delta join — under three engines:
+//! fan-out), then runs two tiers of join shapes:
 //!
-//! * **compiled** — the default index-native core (flat frames, direct
-//!   index-range iteration, adaptive per-depth ordering, pooled scratch);
-//! * **legacy** — the pre-compiled collect-per-node core this PR replaced
-//!   (`EvalOptions::legacy_indexed`), the speedup reference;
-//! * **scan** — the full-scan Figure-8 baseline
-//!   (`EvalOptions::scan_baseline`), used for answer parity, on the full
-//!   store where tractable and on a prefix store everywhere.
+//! * **acyclic tier** — chains, stars, anchored variants with constants,
+//!   an intra-atom repeated variable and a view-mixed delta join, timed
+//!   under the compiled core and the legacy collect-per-node core;
+//! * **cyclic tier** — triangle, diamond and 4-cycle queries over
+//!   block-structured edge data, timed under compiled (forced), legacy and
+//!   the leapfrog engine (`EvalOptions::wcoj`). The triangle data is built
+//!   so that for 15 of 16 hub nodes the two z-ranges a binary-join plan
+//!   must intersect are disjoint intervals: the compiled core pays the
+//!   full candidate-pair cost while leapfrog's galloping seeks discover
+//!   the disjointness in a couple of probes — the worst-case-optimality
+//!   gap made measurable.
 //!
-//! Every engine must produce identical answers before anything is timed.
-//! The view-mixed section additionally asserts the delta table's resident
-//! hash indexes are built once across the whole timed loop.
+//! Every engine must produce identical answers before anything is timed
+//! (the full-scan baseline joins the parity check on stores small enough
+//! for it). The adaptive selector's routing is asserted too: cyclic
+//! shapes report `Engine::Wcoj` under default options, acyclic ones
+//! `Engine::Compiled`. The view-mixed section additionally asserts the
+//! delta table's resident hash indexes are built once across the whole
+//! timed loop.
 //!
 //! Smoke mode (`RDFVIEWS_SMOKE=1` or `--smoke`) shrinks the store so CI
-//! finishes fast; the parity and index-reuse assertions still run. With
-//! `RDFVIEWS_ENFORCE_FLOOR=1` (set by CI) the bench fails if compiled
-//! throughput drops below a conservative committed floor.
+//! finishes fast; the parity, routing and index-reuse assertions still
+//! run. With `RDFVIEWS_ENFORCE_FLOOR=1` (set by CI) the bench fails if
+//! compiled throughput drops below a conservative committed floor. Full
+//! mode additionally asserts the leapfrog engine beats compiled by ≥2x on
+//! the triangle and that the compiled core is no slower than legacy on
+//! the anchored chain (the pooled-scratch regression this suite caught).
 
 use std::time::Instant;
 
 use rdfviews::engine::{
-    evaluate_mixed, evaluate_with, EvalOptions, MixedAtom, ViewAtom, ViewTable,
+    evaluate_mixed, evaluate_with, evaluate_with_stats, Engine, EvalOptions, MixedAtom, ViewAtom,
+    ViewTable,
 };
 use rdfviews::model::{Id, Triple, TripleStore};
 use rdfviews::query::{Atom, ConjunctiveQuery, QTerm, Var};
@@ -38,6 +49,18 @@ use rdfviews_bench::Table;
 /// them.
 const FLOOR_FULL_TPS: f64 = 100_000.0;
 const FLOOR_SMOKE_TPS: f64 = 50_000.0;
+
+/// Id bases for the cyclic-tier synthetic graph, disjoint from the
+/// acyclic tier's subjects (< 200k) and predicates (1_000_000+).
+const P_TRI: u32 = 2_000_000; // triangle predicates: +0 (R), +1 (S), +2 (T)
+const P_DIA: u32 = 2_000_010; // diamond predicates: +0..+3
+const P_CYC: u32 = 2_000_020; // 4-cycle predicates: +0..+3
+const TRI_X: u32 = 3_000_000;
+const TRI_Y: u32 = 3_100_000;
+const TRI_Z: u32 = 3_200_000;
+const TRI_Z_HI: u32 = 3_500_000; // z-range unreachable from any S edge
+const DIA_N: u32 = 3_700_000; // diamond nodes: +10_000 per position
+const CYC_N: u32 = 3_800_000; // 4-cycle nodes: +10_000 per position
 
 /// Deterministic 64-bit LCG (Knuth's MMIX constants).
 fn lcg(state: &mut u64) -> u64 {
@@ -57,6 +80,104 @@ fn synth_triples(n: usize, subjects: u64, predicates: u64) -> Vec<Triple> {
         batch.push([s, p, o]);
     }
     batch
+}
+
+/// Size knobs for the cyclic-tier data, scaled per mode.
+struct CyclicScale {
+    /// Triangle hubs (x nodes, also the y-domain size); multiple of 16.
+    nx: u32,
+    /// y's per hub (R fan-out); at least 2.
+    fy: u32,
+    /// z-block length per y (S fan-out) and per hub (T fan-out); above 8.
+    bz: u32,
+    /// Diamond / 4-cycle: nodes per position and random edges per
+    /// predicate.
+    dn: u64,
+    de: usize,
+}
+
+/// Appends `fanout` consecutive-destination edges per source node.
+fn block_edges(
+    batch: &mut Vec<Triple>,
+    pred: u32,
+    src_base: u32,
+    n_src: u32,
+    fanout: u32,
+    mut dst0: impl FnMut(u32) -> u32,
+) {
+    for i in 0..n_src {
+        let d0 = dst0(i);
+        for k in 0..fanout {
+            batch.push([Id(src_base + i), Id(pred), Id(d0 + k)]);
+        }
+    }
+}
+
+/// Appends `count` random edges under `pred` between two node domains.
+fn rand_edges(
+    batch: &mut Vec<Triple>,
+    rng: &mut u64,
+    pred: u32,
+    src_base: u32,
+    dst_base: u32,
+    n: u64,
+    count: usize,
+) {
+    for _ in 0..count {
+        let s = Id(src_base + (lcg(rng) % n) as u32);
+        let o = Id(dst_base + (lcg(rng) % n) as u32);
+        batch.push([s, Id(pred), o]);
+    }
+}
+
+/// The cyclic-tier edge data.
+///
+/// Triangle (R: x→y, S: y→z, T: x→z): every hub x has `fy` y's, every y a
+/// contiguous `bz`-long z-block, and every x its own `bz`-long T-block.
+/// For one hub in 16 the T-block overlaps the S-blocks of its first two
+/// y's (straddling their boundary → exactly `bz` triangles per such hub);
+/// for the rest it sits in a high z-range no S edge reaches. A binary
+/// join cannot see the difference without enumerating candidate pairs;
+/// leapfrog's interval seeks can.
+fn cyclic_triples(sc: &CyclicScale) -> Vec<Triple> {
+    let mut b = Vec::new();
+    let (nx, fy, bz) = (sc.nx, sc.fy, sc.bz);
+    assert!(nx % 16 == 0 && fy >= 2 && bz > 8, "triangle scale contract");
+    block_edges(&mut b, P_TRI, TRI_X, nx, fy, |i| TRI_Y + (i * fy) % nx);
+    block_edges(&mut b, P_TRI + 1, TRI_Y, nx, bz, |j| TRI_Z + j * bz);
+    block_edges(&mut b, P_TRI + 2, TRI_X, nx, bz, |i| {
+        if i % 16 == 0 {
+            TRI_Z + ((i * fy) % nx) * bz + bz - 8
+        } else {
+            TRI_Z_HI + i * bz
+        }
+    });
+    let mut rng = 0xc1c11c_u64;
+    let dia = |k: u32| DIA_N + 10_000 * k;
+    for (pred, src, dst) in [
+        (P_DIA, dia(0), dia(1)),
+        (P_DIA + 1, dia(0), dia(2)),
+        (P_DIA + 2, dia(1), dia(3)),
+        (P_DIA + 3, dia(2), dia(3)),
+    ] {
+        rand_edges(&mut b, &mut rng, pred, src, dst, sc.dn, sc.de);
+    }
+    let cyc = |k: u32| CYC_N + 10_000 * k;
+    for (pred, src, dst) in [
+        (P_CYC, cyc(0), cyc(1)),
+        (P_CYC + 1, cyc(1), cyc(2)),
+        (P_CYC + 2, cyc(2), cyc(3)),
+        (P_CYC + 3, cyc(3), cyc(0)),
+    ] {
+        rand_edges(&mut b, &mut rng, pred, src, dst, sc.dn, sc.de);
+    }
+    b
+}
+
+/// Triangle answers the block construction guarantees: one hub in 16
+/// carries exactly `bz` triangles.
+fn expected_triangles(sc: &CyclicScale) -> usize {
+    (sc.nx / 16) as usize * sc.bz as usize
 }
 
 struct Case {
@@ -124,6 +245,50 @@ fn cases(anchor: Id) -> Vec<Case> {
     ]
 }
 
+/// The cyclic-tier queries: triangle, diamond and 4-cycle, full heads so
+/// parity checks see every binding.
+fn cyclic_cases() -> Vec<(&'static str, ConjunctiveQuery)> {
+    let var = |v: u32| QTerm::Var(Var(v));
+    let p = |base: u32, i: u32| QTerm::Const(Id(base + i));
+    vec![
+        (
+            "triangle",
+            ConjunctiveQuery::new(
+                vec![var(0), var(1), var(2)],
+                vec![
+                    Atom([var(0), p(P_TRI, 0), var(1)]),
+                    Atom([var(1), p(P_TRI, 1), var(2)]),
+                    Atom([var(0), p(P_TRI, 2), var(2)]),
+                ],
+            ),
+        ),
+        (
+            "diamond",
+            ConjunctiveQuery::new(
+                vec![var(0), var(1), var(2), var(3)],
+                vec![
+                    Atom([var(0), p(P_DIA, 0), var(1)]),
+                    Atom([var(0), p(P_DIA, 1), var(2)]),
+                    Atom([var(1), p(P_DIA, 2), var(3)]),
+                    Atom([var(2), p(P_DIA, 3), var(3)]),
+                ],
+            ),
+        ),
+        (
+            "four_cycle",
+            ConjunctiveQuery::new(
+                vec![var(0), var(1), var(2), var(3)],
+                vec![
+                    Atom([var(0), p(P_CYC, 0), var(1)]),
+                    Atom([var(1), p(P_CYC, 1), var(2)]),
+                    Atom([var(2), p(P_CYC, 2), var(3)]),
+                    Atom([var(3), p(P_CYC, 3), var(0)]),
+                ],
+            ),
+        ),
+    ]
+}
+
 /// Times `runs` evaluations, returning (wall seconds, answers of one run).
 fn time_engine(
     store: &TripleStore,
@@ -147,15 +312,35 @@ fn main() {
         (1_200_000, 100_000, 3)
     };
     let predicates = 16;
+    let scale = if smoke {
+        CyclicScale {
+            nx: 256,
+            fy: 8,
+            bz: 32,
+            dn: 512,
+            de: 2_048,
+        }
+    } else {
+        CyclicScale {
+            nx: 2_048,
+            fy: 16,
+            bz: 64,
+            dn: 4_096,
+            de: 16_384,
+        }
+    };
 
     let batch = synth_triples(n, subjects, predicates);
+    let cyc_batch = cyclic_triples(&scale);
     let mut store = TripleStore::new();
     store.insert_batch(&batch);
+    store.insert_batch(&cyc_batch);
     println!(
-        "# join_throughput: {} stored triples ({} subjects, {} predicates){}",
+        "# join_throughput: {} stored triples ({} subjects, {} predicates, {} cyclic-tier edges){}",
         store.len(),
         subjects,
         predicates,
+        cyc_batch.len(),
         if smoke { " [smoke]" } else { "" },
     );
     assert!(
@@ -165,13 +350,14 @@ fn main() {
 
     // A prefix store keeps the full-scan baseline tractable for the
     // unanchored joins (it pays a full scan per recursion node).
-    let prefix_n = if smoke { store.len() } else { 50_000 };
+    let prefix_n = if smoke { batch.len() } else { 50_000 };
     let mut prefix = TripleStore::new();
     prefix.insert_batch(&batch[..prefix_n.min(batch.len())]);
 
-    let compiled = EvalOptions::default();
+    let compiled = EvalOptions::compiled();
     let legacy = EvalOptions::legacy_indexed();
     let scan = EvalOptions::scan_baseline();
+    let adaptive = EvalOptions::default();
     // Anchor on a subject whose p0 edge reaches a node with an outgoing
     // p1 edge, so the anchored chain fans out to full depth.
     let p1_subjects: std::collections::HashSet<Id> = batch
@@ -215,10 +401,60 @@ fn main() {
                 case.name
             );
         }
+        // The adaptive selector must route every acyclic shape to the
+        // compiled core.
+        let (ans, stats) = evaluate_with_stats(&store, &case.query, &adaptive);
+        assert_eq!(stats.engine, Engine::Compiled, "{}: routing", case.name);
+        assert_eq!(ans, full_compiled);
     }
-    println!("# parity: compiled == legacy == full-scan on every shape ✓\n");
+    println!("# parity: compiled == legacy == full-scan on every acyclic shape ✓");
 
-    // -- Timed store-atom joins. ------------------------------------------
+    // Cyclic parity: all four engines on a store small enough for the
+    // full-scan baseline, then the three indexed engines on the full
+    // store. The adaptive selector must route every cyclic shape to
+    // leapfrog.
+    let wcoj = EvalOptions::wcoj();
+    let tiny = cyclic_triples(&CyclicScale {
+        nx: 32,
+        fy: 4,
+        bz: 16,
+        dn: 48,
+        de: 160,
+    });
+    let mut cyc_parity = TripleStore::new();
+    cyc_parity.insert_batch(&tiny);
+    cyc_parity.insert_batch(&batch[..2_000.min(batch.len())]);
+    let cyclic = cyclic_cases();
+    for (name, q) in &cyclic {
+        let want = evaluate_with(&cyc_parity, q, &scan);
+        for (engine, opts) in [
+            ("compiled", &compiled),
+            ("legacy", &legacy),
+            ("wcoj", &wcoj),
+        ] {
+            assert_eq!(
+                evaluate_with(&cyc_parity, q, opts),
+                want,
+                "{name}: {engine} vs full-scan parity (tiny store)"
+            );
+        }
+        let full_compiled = evaluate_with(&store, q, &compiled);
+        assert_eq!(
+            full_compiled,
+            evaluate_with(&store, q, &legacy),
+            "{name}: compiled vs legacy parity (full store)"
+        );
+        let (ans, stats) = evaluate_with_stats(&store, q, &adaptive);
+        assert_eq!(stats.engine, Engine::Wcoj, "{name}: routing");
+        assert!(stats.lf_seeks > 0, "{name}: leapfrog must report seeks");
+        assert_eq!(
+            ans, full_compiled,
+            "{name}: wcoj vs compiled parity (full store)"
+        );
+    }
+    println!("# parity: four engines agree on every cyclic shape, cyclic → wcoj routing ✓\n");
+
+    // -- Timed store-atom joins (acyclic tier). ---------------------------
     let table = Table::new(
         &["query", "answers", "compiled (s)", "legacy (s)", "speedup"],
         &[16, 10, 12, 12, 8],
@@ -227,21 +463,35 @@ fn main() {
     let mut wall_compiled_total = 0.0;
     let mut wall_legacy_total = 0.0;
     let mut tuples_total = 0usize;
+    let micro_runs = if smoke { 256 } else { 1_024 };
+    let mut anchored = (0.0, 0.0);
     for case in &cases {
-        let (wc, tuples) = time_engine(&store, &case.query, &compiled, runs);
-        let (wl, _) = time_engine(&store, &case.query, &legacy, runs);
-        wall_compiled_total += wc;
-        wall_legacy_total += wl;
+        // Micro-second shapes need far more repetitions than the big
+        // scans for a stable average — anchored_chain2 is the regression
+        // sentinel for pooled-scratch cleanup cost, so its number matters.
+        let case_runs = if case.name == "anchored_chain2" {
+            micro_runs
+        } else {
+            runs
+        };
+        let (wc, tuples) = time_engine(&store, &case.query, &compiled, case_runs);
+        let (wl, _) = time_engine(&store, &case.query, &legacy, case_runs);
+        let (pc, pl) = (wc / case_runs as f64, wl / case_runs as f64);
+        wall_compiled_total += pc * runs as f64;
+        wall_legacy_total += pl * runs as f64;
         tuples_total += tuples * runs;
+        if case.name == "anchored_chain2" {
+            anchored = (pc, pl);
+        }
         table.row(&[
             case.name,
             &tuples.to_string(),
-            &format!("{:.4}", wc / runs as f64),
-            &format!("{:.4}", wl / runs as f64),
-            &format!("{:.2}x", wl / wc.max(1e-9)),
+            &format!("{pc:.4}"),
+            &format!("{pl:.4}"),
+            &format!("{:.2}x", pl / pc.max(1e-9)),
         ]);
-        summary.push((format!("wall_{}_compiled_s", case.name), wc / runs as f64));
-        summary.push((format!("wall_{}_legacy_s", case.name), wl / runs as f64));
+        summary.push((format!("wall_{}_compiled_s", case.name), pc));
+        summary.push((format!("wall_{}_legacy_s", case.name), pl));
     }
     let speedup = wall_legacy_total / wall_compiled_total.max(1e-9);
     let throughput = tuples_total as f64 / wall_compiled_total.max(1e-9);
@@ -249,6 +499,82 @@ fn main() {
         "\n# total: compiled {:.3}s vs legacy {:.3}s — {:.2}x speedup, {:.0} answer tuples/s",
         wall_compiled_total, wall_legacy_total, speedup, throughput
     );
+    // The compiled core must never trail the legacy core on the anchored
+    // micro-join: that happened once, through O(capacity) cleanup of a
+    // pooled scratch set inflated by an earlier large query.
+    println!(
+        "# anchored_chain2: compiled {:.2}µs vs legacy {:.2}µs per run",
+        anchored.0 * 1e6,
+        anchored.1 * 1e6
+    );
+    assert!(
+        anchored.0 <= anchored.1,
+        "compiled anchored_chain2 ({:.2}µs) must not trail legacy ({:.2}µs)",
+        anchored.0 * 1e6,
+        anchored.1 * 1e6
+    );
+
+    // -- Timed cyclic tier: compiled vs legacy vs leapfrog. ---------------
+    let cyc_table = Table::new(
+        &[
+            "query",
+            "answers",
+            "compiled (s)",
+            "legacy (s)",
+            "wcoj (s)",
+            "wcoj gain",
+        ],
+        &[12, 10, 12, 12, 12, 10],
+    );
+    let cyc_runs = runs.min(2);
+    let mut cyc_compiled_total = 0.0;
+    let mut cyc_wcoj_total = 0.0;
+    let mut tri_walls = (0.0, 0.0);
+    for (name, q) in &cyclic {
+        let (wc, tuples) = time_engine(&store, q, &compiled, cyc_runs);
+        let (wl, _) = time_engine(&store, q, &legacy, cyc_runs);
+        let (ww, wcoj_tuples) = time_engine(&store, q, &wcoj, cyc_runs);
+        assert_eq!(tuples, wcoj_tuples, "{name}: timed answer drift");
+        if *name == "triangle" {
+            assert_eq!(
+                tuples,
+                expected_triangles(&scale),
+                "triangle: block construction answer count"
+            );
+            tri_walls = (wc, ww);
+        }
+        let (pc, pl, pw) = (
+            wc / cyc_runs as f64,
+            wl / cyc_runs as f64,
+            ww / cyc_runs as f64,
+        );
+        cyc_compiled_total += wc;
+        cyc_wcoj_total += ww;
+        cyc_table.row(&[
+            name,
+            &tuples.to_string(),
+            &format!("{pc:.4}"),
+            &format!("{pl:.4}"),
+            &format!("{pw:.4}"),
+            &format!("{:.2}x", pc / pw.max(1e-9)),
+        ]);
+        summary.push((format!("wall_{name}_compiled_s"), pc));
+        summary.push((format!("wall_{name}_legacy_s"), pl));
+        summary.push((format!("wall_{name}_wcoj_s"), pw));
+    }
+    let wcoj_speedup = cyc_compiled_total / cyc_wcoj_total.max(1e-9);
+    println!("\n# cyclic tier: wcoj {wcoj_speedup:.2}x vs compiled overall");
+    if !smoke {
+        // The acceptance bar: at million-triple scale the leapfrog engine
+        // must beat the binary-join core by at least 2x on the triangle.
+        assert!(
+            tri_walls.1 * 2.0 <= tri_walls.0,
+            "wcoj must be ≥2x compiled on the triangle (compiled {:.4}s, wcoj {:.4}s)",
+            tri_walls.0 / cyc_runs as f64,
+            tri_walls.1 / cyc_runs as f64
+        );
+        println!("# triangle gate: wcoj ≥2x compiled ✓");
+    }
 
     // -- View-mixed delta join: resident index reuse under repetition. ----
     // The maintenance shape: Δ(X, <p0>, Y) ⋈ t(Y, <p1>, Z). The constant
@@ -293,6 +619,7 @@ fn main() {
     summary.push(("wall_compiled_total_s".to_string(), wall_compiled_total));
     summary.push(("wall_legacy_total_s".to_string(), wall_legacy_total));
     summary.push(("wall_mixed_s".to_string(), wall_mixed / mixed_runs as f64));
+    summary.push(("wcoj_speedup_on_cyclic".to_string(), wcoj_speedup));
     let metrics: Vec<(&str, f64)> = summary.iter().map(|(k, v)| (k.as_str(), *v)).collect();
     rdfviews_bench::emit_bench_json("join_throughput", &metrics);
 

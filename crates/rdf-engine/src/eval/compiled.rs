@@ -30,13 +30,13 @@ use crate::view_table::ViewTable;
 
 /// A compiled term: a constant or a dense variable slot.
 #[derive(Debug, Clone, Copy)]
-enum CTerm {
+pub(super) enum CTerm {
     Const(Id),
     Slot(u32),
 }
 
 /// A compiled atom: its access-path kind plus slot-resolved terms.
-enum CAtom<'a> {
+pub(super) enum CAtom<'a> {
     Store {
         terms: [CTerm; 3],
     },
@@ -46,11 +46,22 @@ enum CAtom<'a> {
     },
 }
 
-/// A query compiled for the index-native core.
+impl CAtom<'_> {
+    /// The atom's terms as a slice, whichever access path it uses.
+    pub(super) fn terms(&self) -> &[CTerm] {
+        match self {
+            CAtom::Store { terms } => terms,
+            CAtom::View { terms, .. } => terms,
+        }
+    }
+}
+
+/// A query compiled for the index-native core — shared by the backtracking
+/// executor here and the leapfrog executor in [`super::wcoj`].
 pub(super) struct CompiledPlan<'a> {
-    atoms: Vec<CAtom<'a>>,
-    head: Vec<CTerm>,
-    n_slots: usize,
+    pub(super) atoms: Vec<CAtom<'a>>,
+    pub(super) head: Vec<CTerm>,
+    pub(super) n_slots: usize,
 }
 
 /// Compiles atoms and head into dense slots and access paths.
@@ -300,7 +311,5 @@ fn emit(plan: &CompiledPlan, s: &mut EvalScratch) {
             }
         });
     }
-    if !s.out.contains(s.tuple.as_slice()) {
-        s.out.insert(s.tuple.clone());
-    }
+    s.out.insert(&s.tuple);
 }

@@ -12,6 +12,16 @@
 //! thread-local [`scratch`] pool so the inner loop performs no per-row
 //! heap allocation.
 //!
+//! Cyclic queries (triangles, diamonds, k-cycles) are routed to the
+//! worst-case-optimal leapfrog triejoin in [`wcoj`] instead: it joins one
+//! *variable* at a time by multi-way sorted intersection over the same
+//! permutation indexes, never materializing the binary-join intermediates
+//! that blow up on cyclic shapes. The routing decision — a GYO
+//! ear-removal acyclicity test — is adaptive per query
+//! ([`EngineChoice::Auto`], the default) and observable through
+//! [`EvalStats::engine`]; [`EvalOptions::wcoj`] and
+//! [`EvalOptions::compiled`] force either core.
+//!
 //! The pre-compiled backtracking core — which collected a fresh
 //! `Vec<Triple>` of matches at every recursion node and kept bindings in a
 //! hash map — is preserved verbatim in [`legacy`] as the comparison
@@ -22,6 +32,7 @@
 mod compiled;
 mod legacy;
 pub(crate) mod scratch;
+mod wcoj;
 
 use rdf_model::{FxHashSet, Id, TripleStore};
 use rdf_query::{Atom, ConjunctiveQuery, QTerm, UnionQuery};
@@ -39,11 +50,75 @@ pub struct ViewAtom<'a> {
     pub args: Vec<QTerm>,
 }
 
+/// Which join core actually answered a query (recorded in [`EvalStats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Engine {
+    /// Pre-compiled core over full scans (the Figure-8 baseline).
+    Scan,
+    /// Pre-compiled collect-per-node core with index lookups.
+    Legacy,
+    /// Compiled index-native backtracking core.
+    Compiled,
+    /// Worst-case-optimal leapfrog triejoin.
+    Wcoj,
+}
+
+impl Engine {
+    /// Stable lowercase name (bench/CI labels).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Engine::Scan => "scan",
+            Engine::Legacy => "legacy",
+            Engine::Compiled => "compiled",
+            Engine::Wcoj => "wcoj",
+        }
+    }
+}
+
+/// Per-call evaluation statistics: which engine ran, and — for the
+/// leapfrog engine — how many galloping seeks it performed and how many
+/// (pre-dedup) head tuples it emitted. Benches and routing tests assert
+/// against these.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvalStats {
+    /// The core that answered the call.
+    pub engine: Engine,
+    /// Leapfrog galloping seeks (0 for the other engines).
+    pub lf_seeks: u64,
+    /// Head tuples emitted by the leapfrog executor before deduplication
+    /// (0 for the other engines).
+    pub lf_emitted: u64,
+}
+
+impl EvalStats {
+    fn new(engine: Engine) -> Self {
+        Self {
+            engine,
+            lf_seeks: 0,
+            lf_emitted: 0,
+        }
+    }
+}
+
+/// Engine choice for the index-native path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineChoice {
+    /// Adaptive (the default): cyclic queries (GYO ear-removal test on the
+    /// atom hypergraph) run the leapfrog triejoin, acyclic ones the
+    /// backtracking core.
+    #[default]
+    Auto,
+    /// Always the compiled backtracking core.
+    Compiled,
+    /// Always the leapfrog triejoin.
+    Wcoj,
+}
+
 /// Evaluation options: which join core answers the query.
 ///
 /// | `use_indexes` | `legacy` | engine |
 /// |---|---|---|
-/// | `true`  | `false` | compiled index-native core (default) |
+/// | `true`  | `false` | index-native: [`EngineChoice`] picks compiled vs leapfrog |
 /// | `true`  | `true`  | pre-compiled collect-per-node core, indexed |
 /// | `false` | any     | pre-compiled core over full scans (Figure 8 baseline) |
 #[derive(Debug, Clone, Copy)]
@@ -56,6 +131,9 @@ pub struct EvalOptions {
     /// bindings, matches collected per recursion node). Kept as the
     /// measured baseline the compiled core's speedup is reported against.
     pub legacy: bool,
+    /// Which index-native core runs when `use_indexes && !legacy`:
+    /// adaptive by default, forceable for benches and differential tests.
+    pub engine: EngineChoice,
 }
 
 impl Default for EvalOptions {
@@ -63,6 +141,7 @@ impl Default for EvalOptions {
         Self {
             use_indexes: true,
             legacy: false,
+            engine: EngineChoice::Auto,
         }
     }
 }
@@ -74,6 +153,7 @@ impl EvalOptions {
         Self {
             use_indexes: false,
             legacy: true,
+            engine: EngineChoice::Auto,
         }
     }
 
@@ -83,6 +163,23 @@ impl EvalOptions {
         Self {
             use_indexes: true,
             legacy: true,
+            engine: EngineChoice::Auto,
+        }
+    }
+
+    /// Force the compiled backtracking core (no adaptive routing).
+    pub fn compiled() -> Self {
+        Self {
+            engine: EngineChoice::Compiled,
+            ..Self::default()
+        }
+    }
+
+    /// Force the worst-case-optimal leapfrog triejoin.
+    pub fn wcoj() -> Self {
+        Self {
+            engine: EngineChoice::Wcoj,
+            ..Self::default()
         }
     }
 }
@@ -94,6 +191,17 @@ pub fn evaluate(store: &TripleStore, q: &ConjunctiveQuery) -> Answers {
 
 /// Evaluates a conjunctive query with explicit options.
 pub fn evaluate_with(store: &TripleStore, q: &ConjunctiveQuery, opts: &EvalOptions) -> Answers {
+    evaluate_with_stats(store, q, opts).0
+}
+
+/// Evaluates a conjunctive query with explicit options, also returning
+/// which engine ran (and its leapfrog counters) — the observable the
+/// adaptive-routing tests and the cyclic bench tier assert on.
+pub fn evaluate_with_stats(
+    store: &TripleStore,
+    q: &ConjunctiveQuery,
+    opts: &EvalOptions,
+) -> (Answers, EvalStats) {
     let atoms: Vec<EvalAtom> = q
         .atoms
         .iter()
@@ -132,6 +240,16 @@ pub enum MixedAtom<'a> {
 /// same tables (a maintenance batch's per-atom-position delta joins, a
 /// served workload's repeated plans) build each index **once**.
 pub fn evaluate_mixed(store: &TripleStore, atoms: &[MixedAtom<'_>], head: &[QTerm]) -> Answers {
+    evaluate_mixed_stats(store, atoms, head).0
+}
+
+/// [`evaluate_mixed`] with the engine decision and leapfrog counters
+/// surfaced — what the deployment layer records per executed plan branch.
+pub fn evaluate_mixed_stats(
+    store: &TripleStore,
+    atoms: &[MixedAtom<'_>],
+    head: &[QTerm],
+) -> (Answers, EvalStats) {
     let eval_atoms: Vec<EvalAtom> = atoms
         .iter()
         .map(|ma| match ma {
@@ -165,7 +283,7 @@ pub fn evaluate_over_views(atoms: &[ViewAtom<'_>], head: &[QTerm]) -> Answers {
     thread_local! {
         static EMPTY: TripleStore = TripleStore::new();
     }
-    EMPTY.with(|store| run_with(store, eval_atoms, head, &EvalOptions::default()))
+    EMPTY.with(|store| run_with(store, eval_atoms, head, &EvalOptions::default()).0)
 }
 
 /// The evaluator-internal atom form shared by both cores.
@@ -184,12 +302,34 @@ fn run_with(
     atoms: Vec<EvalAtom>,
     head: &[QTerm],
     opts: &EvalOptions,
-) -> Answers {
+) -> (Answers, EvalStats) {
     if opts.legacy || !opts.use_indexes {
-        legacy::run(store, atoms, head, opts.use_indexes)
+        let engine = if opts.use_indexes {
+            Engine::Legacy
+        } else {
+            Engine::Scan
+        };
+        let answers = legacy::run(store, atoms, head, opts.use_indexes);
+        return (answers, EvalStats::new(engine));
+    }
+    let plan = compiled::compile(atoms, head);
+    let use_wcoj = match opts.engine {
+        EngineChoice::Compiled => false,
+        EngineChoice::Wcoj => true,
+        // The adaptive selector: cyclic atom hypergraphs are where the
+        // backtracking core enumerates intermediates a worst-case-optimal
+        // join avoids; acyclic/selective shapes keep the compiled core.
+        EngineChoice::Auto => wcoj::is_cyclic(&plan),
+    };
+    if use_wcoj {
+        let mut stats = EvalStats::new(Engine::Wcoj);
+        let answers = wcoj::execute(store, &plan, &mut stats);
+        (answers, stats)
     } else {
-        let plan = compiled::compile(atoms, head);
-        compiled::execute(store, &plan)
+        (
+            compiled::execute(store, &plan),
+            EvalStats::new(Engine::Compiled),
+        )
     }
 }
 
@@ -455,6 +595,158 @@ mod tests {
         ];
         let ans = evaluate_over_views(&atoms, &[a.into(), b.into()]);
         assert_eq!(ans.len(), 1); // 1×1 product
+    }
+
+    fn triangle_db() -> Dataset {
+        let mut db = Dataset::new();
+        let edge = |db: &mut Dataset, p: &str, s: &str, o: &str| {
+            db.insert_terms(Term::uri(s), Term::uri(p), Term::uri(o));
+        };
+        // Two triangles sharing the edge b->c, plus dead-end edges.
+        edge(&mut db, "e", "a", "b");
+        edge(&mut db, "e", "b", "c");
+        edge(&mut db, "e", "c", "a");
+        edge(&mut db, "e", "a2", "b");
+        edge(&mut db, "e", "c", "a2");
+        edge(&mut db, "e", "a", "x");
+        edge(&mut db, "e", "x", "y");
+        db
+    }
+
+    fn triangle_query(db: &mut Dataset) -> ConjunctiveQuery {
+        parse_query(
+            "q(X, Y, Z) :- t(X, <e>, Y), t(Y, <e>, Z), t(Z, <e>, X)",
+            db.dict_mut(),
+        )
+        .unwrap()
+        .query
+    }
+
+    #[test]
+    fn adaptive_selector_routes_cyclic_to_wcoj() {
+        let mut db = triangle_db();
+        let q = triangle_query(&mut db);
+        let (a, stats) = evaluate_with_stats(db.store(), &q, &EvalOptions::default());
+        assert_eq!(stats.engine, Engine::Wcoj, "triangle routes to leapfrog");
+        assert!(stats.lf_seeks > 0, "leapfrog actually sought");
+        assert_eq!(stats.lf_emitted, a.len() as u64, "distinct emits");
+        assert_eq!(a.len(), 6, "two triangles, three rotations each");
+    }
+
+    #[test]
+    fn adaptive_selector_routes_acyclic_to_compiled() {
+        let mut db = triangle_db();
+        let q = parse_query("q(X, Z) :- t(X, <e>, Y), t(Y, <e>, Z)", db.dict_mut())
+            .unwrap()
+            .query;
+        let (_, stats) = evaluate_with_stats(db.store(), &q, &EvalOptions::default());
+        assert_eq!(
+            stats.engine,
+            Engine::Compiled,
+            "chain keeps the compiled core"
+        );
+        assert_eq!((stats.lf_seeks, stats.lf_emitted), (0, 0));
+    }
+
+    #[test]
+    fn forced_engines_report_themselves() {
+        let mut db = triangle_db();
+        let q = parse_query("q(X, Z) :- t(X, <e>, Y), t(Y, <e>, Z)", db.dict_mut())
+            .unwrap()
+            .query;
+        let engines = [
+            (EvalOptions::wcoj(), Engine::Wcoj),
+            (EvalOptions::compiled(), Engine::Compiled),
+            (EvalOptions::legacy_indexed(), Engine::Legacy),
+            (EvalOptions::scan_baseline(), Engine::Scan),
+        ];
+        let want = evaluate(db.store(), &q);
+        for (opts, engine) in engines {
+            let (a, stats) = evaluate_with_stats(db.store(), &q, &opts);
+            assert_eq!(stats.engine, engine);
+            assert_eq!(a, want, "{} agrees on the chain", engine.as_str());
+        }
+    }
+
+    #[test]
+    fn wcoj_matches_other_engines_on_cyclic_shapes() {
+        let mut db = triangle_db();
+        let q = triangle_query(&mut db);
+        let want = evaluate_with(db.store(), &q, &EvalOptions::scan_baseline());
+        assert_eq!(evaluate_with(db.store(), &q, &EvalOptions::wcoj()), want);
+        assert_eq!(
+            evaluate_with(db.store(), &q, &EvalOptions::compiled()),
+            want
+        );
+        assert_eq!(
+            evaluate_with(db.store(), &q, &EvalOptions::legacy_indexed()),
+            want
+        );
+    }
+
+    #[test]
+    fn wcoj_handles_constants_repeats_and_products() {
+        let mut db = triangle_db();
+        db.insert_terms(Term::uri("n"), Term::uri("e"), Term::uri("n"));
+        let queries = [
+            // Anchored triangle corner.
+            "q(Y, Z) :- t(<a>, <e>, Y), t(Y, <e>, Z), t(Z, <e>, <a>)",
+            // Repeated variable inside an atom.
+            "q(X) :- t(X, <e>, X)",
+            // Cartesian product of two edges.
+            "q(X, Y, U, V) :- t(X, <e>, Y), t(U, <e>, V)",
+            // Boolean triangle.
+            "q() :- t(X, <e>, Y), t(Y, <e>, Z), t(Z, <e>, X)",
+            // Ground atom.
+            "q(X) :- t(<a>, <e>, <b>), t(X, <e>, X)",
+        ];
+        for text in queries {
+            let q = parse_query(text, db.dict_mut()).unwrap().query;
+            let want = evaluate_with(db.store(), &q, &EvalOptions::scan_baseline());
+            assert_eq!(
+                evaluate_with(db.store(), &q, &EvalOptions::wcoj()),
+                want,
+                "wcoj parity on {text}"
+            );
+        }
+    }
+
+    #[test]
+    fn wcoj_over_view_tables_matches_compiled() {
+        use crate::materialize;
+        let mut db = triangle_db();
+        let v = parse_query("v(X, Y) :- t(X, <e>, Y)", db.dict_mut()).unwrap();
+        let t = materialize(db.store(), &v.query);
+        let e = db.dict().lookup_uri("e").unwrap();
+        let (x, y, z) = (Var(0), Var(1), Var(2));
+        let atoms: Vec<MixedAtom> = vec![
+            MixedAtom::View(ViewAtom {
+                table: &t,
+                args: vec![x.into(), y.into()],
+            }),
+            MixedAtom::View(ViewAtom {
+                table: &t,
+                args: vec![y.into(), z.into()],
+            }),
+            MixedAtom::Store(Atom([z.into(), QTerm::Const(e), x.into()])),
+        ];
+        let head = [x.into(), y.into(), z.into()];
+        let (a, stats) = evaluate_mixed_stats(db.store(), &atoms, &head);
+        assert_eq!(stats.engine, Engine::Wcoj, "mixed triangle routes to wcoj");
+        let direct = {
+            let mut db2 = triangle_db();
+            let q = triangle_query(&mut db2);
+            evaluate(db2.store(), &q)
+        };
+        assert_eq!(a, direct);
+        assert!(
+            t.index_builds() >= 1,
+            "view atoms built sorted trie projections"
+        );
+        let builds = t.index_builds();
+        let (b, _) = evaluate_mixed_stats(db.store(), &atoms, &head);
+        assert_eq!(b, direct);
+        assert_eq!(t.index_builds(), builds, "sorted projections are reused");
     }
 
     #[test]

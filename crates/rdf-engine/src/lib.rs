@@ -44,13 +44,40 @@
 //! * the join order is chosen adaptively at each depth from bound-prefix
 //!   match counts, pruning any subtree with a zero-extent atom;
 //! * all working memory comes from a thread-local scratch pool, so the
-//!   inner loop performs no per-row heap allocation.
+//!   inner loop performs no per-row heap allocation; output deduplication
+//!   is a generation-tagged open-addressing table whose clear is O(1), so
+//!   a pooled scratch that once served a million-answer query costs a
+//!   microsecond-scale query nothing.
+//!
+//! **Cyclic queries run a worst-case-optimal leapfrog triejoin instead**
+//! (`eval::wcoj`). The compiled core expands one *atom* at a time, so on a
+//! triangle it enumerates binary-join intermediates the output never
+//! needs; the leapfrog mode joins one *variable* at a time:
+//!
+//! * a global variable order is fixed up front — highest atom degree
+//!   first, smallest containing-atom extent as tie-break — and every atom
+//!   exposes its matches as a trie in that order: store atoms through the
+//!   permutation index whose sort sequence lists constants, then each
+//!   variable's column(s) consecutively
+//!   ([`rdf_model::IndexOrder::for_groups`]), view atoms through a cached
+//!   sorted-row projection ([`ViewTable::sorted_index_for_order`], built
+//!   once per column sequence like the hash indexes);
+//! * each level intersects the participating cursors by leapfrog:
+//!   galloping (exponential-probe + binary-search) seeks to the current
+//!   maximum until all agree, then bind, narrow each cursor to its
+//!   value-run, descend;
+//! * the selector ([`EngineChoice::Auto`], the default) runs a GYO
+//!   ear-removal acyclicity test on the atom hypergraph per query: cyclic
+//!   shapes (triangles, diamonds, k-cycles) route to leapfrog, acyclic
+//!   ones keep the compiled core, and [`EvalStats::engine`] (from
+//!   [`evaluate_with_stats`] / [`evaluate_mixed_stats`]) records the
+//!   decision along with seek/emit counters.
 //!
 //! The pre-compiled collect-per-node core survives in `eval::legacy` as a
 //! measured baseline, selectable via [`EvalOptions::legacy_indexed`]
 //! (indexed) and [`EvalOptions::scan_baseline`] (full scans — the "plain
 //! clustered triple table" configuration of the paper's Figure 8);
-//! differential property tests hold all three engines to identical
+//! differential property tests hold all four engines to identical
 //! answers.
 //!
 //! ```
@@ -74,11 +101,12 @@ mod view_table;
 
 pub use answers::Answers;
 pub use eval::{
-    evaluate, evaluate_mixed, evaluate_over_views, evaluate_union, evaluate_with, EvalOptions,
-    MixedAtom, ViewAtom,
+    evaluate, evaluate_mixed, evaluate_mixed_stats, evaluate_over_views, evaluate_union,
+    evaluate_with, evaluate_with_stats, Engine, EngineChoice, EvalOptions, EvalStats, MixedAtom,
+    ViewAtom,
 };
 pub use maintain::{DeleteDelta, DeltaSet, MaintainedView, MaintenanceStats};
-pub use view_table::{ViewIndex, ViewTable};
+pub use view_table::{ViewIndex, ViewSortedIndex, ViewTable};
 
 use rdf_model::TripleStore;
 use rdf_query::{ConjunctiveQuery, UnionQuery};

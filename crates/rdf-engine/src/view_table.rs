@@ -37,6 +37,55 @@ impl ViewIndex {
     }
 }
 
+/// A sorted projection of a [`ViewTable`]: all row numbers, ordered
+/// lexicographically by the values of a fixed column sequence (ties broken
+/// by row number, so the order is total and deterministic).
+///
+/// This is the view-table analogue of the triple store's permutation
+/// indexes: the leapfrog join walks `rows` as a trie whose level `k` is
+/// column `cols[k]`, narrowing `[lo, hi)` windows by galloping binary
+/// search. Built once per `(table, column sequence)` and `Arc`-shared,
+/// under the same build-counter discipline as [`ViewTable::index_for_mask`].
+#[derive(Debug)]
+pub struct ViewSortedIndex {
+    cols: Vec<usize>,
+    rows: Vec<u32>,
+}
+
+impl ViewSortedIndex {
+    /// The sort-column sequence (outermost first).
+    pub fn cols(&self) -> &[usize] {
+        &self.cols
+    }
+
+    /// All row numbers in sort order.
+    #[inline]
+    pub fn rows(&self) -> &[u32] {
+        &self.rows
+    }
+
+    /// The `[lo, hi)` window of rows whose first `key.len()` sort columns
+    /// equal `key` — the trie descent for a constant prefix.
+    pub fn prefix_range(&self, table: &ViewTable, key: &[Id]) -> (usize, usize) {
+        debug_assert!(key.len() <= self.cols.len());
+        let cmp = |r: u32| -> std::cmp::Ordering {
+            let row = table.row(r as usize);
+            for (k, want) in key.iter().enumerate() {
+                match row[self.cols[k]].cmp(want) {
+                    std::cmp::Ordering::Equal => continue,
+                    other => return other,
+                }
+            }
+            std::cmp::Ordering::Equal
+        };
+        let lo = self
+            .rows
+            .partition_point(|&r| cmp(r) == std::cmp::Ordering::Less);
+        let hi = self.rows[lo..].partition_point(|&r| cmp(r) != std::cmp::Ordering::Greater) + lo;
+        (lo, hi)
+    }
+}
+
 /// The per-table index cache: one [`ViewIndex`] per bound-column mask,
 /// built on first probe and reused for the table's whole lifetime. A
 /// `ViewTable` is immutable after construction, so the cache never goes
@@ -47,6 +96,7 @@ impl ViewIndex {
 #[derive(Debug, Default)]
 struct IndexCache {
     by_mask: RwLock<FxHashMap<u64, Arc<ViewIndex>>>,
+    by_order: RwLock<FxHashMap<Vec<usize>, Arc<ViewSortedIndex>>>,
     builds: AtomicUsize,
 }
 
@@ -54,9 +104,11 @@ impl Clone for IndexCache {
     fn clone(&self) -> Self {
         // The data is identical in the clone, so the built indexes remain
         // valid; sharing them keeps a cloned deployment warm.
-        let guard = self.by_mask.read().expect("view index lock poisoned");
+        let masks = self.by_mask.read().expect("view index lock poisoned");
+        let orders = self.by_order.read().expect("view index lock poisoned");
         Self {
-            by_mask: RwLock::new(guard.clone()),
+            by_mask: RwLock::new(masks.clone()),
+            by_order: RwLock::new(orders.clone()),
             builds: AtomicUsize::new(self.builds.load(Ordering::Relaxed)),
         }
     }
@@ -162,9 +214,56 @@ impl ViewTable {
         Arc::clone(entry)
     }
 
-    /// How many hash indexes this table has built so far — one per probed
-    /// column mask, **not** one per evaluator call. Tests and benches use
-    /// this to assert that the caches actually carry across calls.
+    /// The cached sorted projection for the column sequence `cols` — the
+    /// leapfrog join's trie view of the table (constant columns first, then
+    /// one column per join variable in global order). Built on first use
+    /// and `Arc`-shared, exactly like [`ViewTable::index_for_mask`]:
+    /// repeated evaluations over the same table pay each sort once, and
+    /// every build ticks the same [`ViewTable::index_builds`] counter.
+    pub fn sorted_index_for_order(&self, cols: &[usize]) -> Arc<ViewSortedIndex> {
+        debug_assert!(cols.iter().all(|&c| c < self.arity), "column out of range");
+        {
+            let guard = self
+                .cache
+                .by_order
+                .read()
+                .expect("view index lock poisoned");
+            if let Some(idx) = guard.get(cols) {
+                return Arc::clone(idx);
+            }
+        }
+        let mut rows: Vec<u32> = (0..self.len() as u32).collect();
+        rows.sort_unstable_by(|&a, &b| {
+            let (ra, rb) = (self.row(a as usize), self.row(b as usize));
+            for &c in cols {
+                match ra[c].cmp(&rb[c]) {
+                    std::cmp::Ordering::Equal => continue,
+                    other => return other,
+                }
+            }
+            a.cmp(&b)
+        });
+        let idx = Arc::new(ViewSortedIndex {
+            cols: cols.to_vec(),
+            rows,
+        });
+        let mut guard = self
+            .cache
+            .by_order
+            .write()
+            .expect("view index lock poisoned");
+        // Two threads may race to build the same order; keep the first.
+        let entry = guard.entry(cols.to_vec()).or_insert_with(|| {
+            self.cache.builds.fetch_add(1, Ordering::Relaxed);
+            Arc::clone(&idx)
+        });
+        Arc::clone(entry)
+    }
+
+    /// How many resident indexes this table has built so far — one per
+    /// probed hash mask or sorted column sequence, **not** one per
+    /// evaluator call. Tests and benches use this to assert that the
+    /// caches actually carry across calls.
     pub fn index_builds(&self) -> usize {
         self.cache.builds.load(Ordering::Relaxed)
     }
@@ -226,6 +325,47 @@ mod tests {
         assert_eq!(t.index_builds(), 2);
         t.index_for_mask(1);
         assert_eq!(t.index_builds(), 2, "cache hit is not a build");
+    }
+
+    #[test]
+    fn sorted_index_orders_and_narrows() {
+        let t = table();
+        let idx = t.sorted_index_for_order(&[1, 0]);
+        assert_eq!(idx.cols(), &[1, 0]);
+        let sorted: Vec<Vec<Id>> = idx
+            .rows()
+            .iter()
+            .map(|&r| {
+                let row = t.row(r as usize);
+                vec![row[1], row[0]]
+            })
+            .collect();
+        let mut want = sorted.clone();
+        want.sort();
+        assert_eq!(sorted, want, "rows come out in column order");
+        let (lo, hi) = idx.prefix_range(&t, &[Id(10)]);
+        assert_eq!(hi - lo, 2);
+        let (lo, hi) = idx.prefix_range(&t, &[Id(10), Id(2)]);
+        assert_eq!(hi - lo, 1);
+        let (lo, hi) = idx.prefix_range(&t, &[Id(99)]);
+        assert_eq!(lo, hi);
+    }
+
+    #[test]
+    fn sorted_index_builds_once_per_order() {
+        let t = table();
+        let a = t.sorted_index_for_order(&[0, 1]);
+        let b = t.sorted_index_for_order(&[0, 1]);
+        assert!(Arc::ptr_eq(&a, &b), "same order shares one index");
+        assert_eq!(t.index_builds(), 1);
+        t.sorted_index_for_order(&[1, 0]);
+        assert_eq!(t.index_builds(), 2);
+        t.index_for_mask(1);
+        assert_eq!(
+            t.index_builds(),
+            3,
+            "hash and sorted builds share a counter"
+        );
     }
 
     #[test]

@@ -5,7 +5,7 @@
 
 use proptest::prelude::*;
 use rdf_engine::maintain::MaintainedView;
-use rdf_engine::{evaluate, evaluate_with, EvalOptions};
+use rdf_engine::{evaluate, evaluate_with, evaluate_with_stats, Engine, EvalOptions};
 use rdf_model::{Id, TripleStore};
 use rdf_query::{Atom, ConjunctiveQuery, QTerm, Var};
 
@@ -138,7 +138,55 @@ fn shaped_query_strategy() -> impl Strategy<Value = ConjunctiveQuery> {
             Atom([var(2), QTerm::Const(Id(p2)), var(3)]),
         ])
     });
-    prop_oneof![star, chain, repeated, cartesian, query_strategy()]
+    prop_oneof![
+        star,
+        chain,
+        repeated,
+        cartesian,
+        cyclic_query_strategy(),
+        query_strategy()
+    ]
+}
+
+/// Cyclic shapes — triangle, diamond, 4-cycle — the queries the adaptive
+/// selector hands to the leapfrog engine. The triangle variant sometimes
+/// anchors its shared corner with a constant, which *breaks* the cycle
+/// (GYO removes the two then-subsumed edge atoms), so the differential
+/// harness covers the selector's boundary from both sides.
+fn cyclic_query_strategy() -> impl Strategy<Value = ConjunctiveQuery> {
+    let var = |v: u32| QTerm::Var(Var(v));
+    let triangle = (
+        prop::collection::vec(20u32..24, 3),
+        prop_oneof![Just(None), (0u32..10).prop_map(Some)],
+    )
+        .prop_map(move |(p, anchor)| {
+            let x = match anchor {
+                Some(c) => QTerm::Const(Id(c)),
+                None => var(0),
+            };
+            cq(vec![
+                Atom([x, QTerm::Const(Id(p[0])), var(1)]),
+                Atom([var(1), QTerm::Const(Id(p[1])), var(2)]),
+                Atom([x, QTerm::Const(Id(p[2])), var(2)]),
+            ])
+        });
+    let diamond = prop::collection::vec(20u32..24, 4).prop_map(move |p| {
+        cq(vec![
+            Atom([var(0), QTerm::Const(Id(p[0])), var(1)]),
+            Atom([var(0), QTerm::Const(Id(p[1])), var(2)]),
+            Atom([var(1), QTerm::Const(Id(p[2])), var(3)]),
+            Atom([var(2), QTerm::Const(Id(p[3])), var(3)]),
+        ])
+    });
+    let four_cycle = prop::collection::vec(20u32..24, 4).prop_map(move |p| {
+        cq(vec![
+            Atom([var(0), QTerm::Const(Id(p[0])), var(1)]),
+            Atom([var(1), QTerm::Const(Id(p[1])), var(2)]),
+            Atom([var(2), QTerm::Const(Id(p[2])), var(3)]),
+            Atom([var(3), QTerm::Const(Id(p[3])), var(0)]),
+        ])
+    });
+    prop_oneof![triangle, diamond, four_cycle]
 }
 
 proptest! {
@@ -160,16 +208,24 @@ proptest! {
         triples in triples_strategy(),
         q in shaped_query_strategy(),
     ) {
-        // Differential test of the compiled index-native core against two
-        // structurally independent evaluators: the full-scan baseline and
-        // the pre-compiled indexed core. Shapes cover stars, chains,
-        // repeated variables, constant selections and cartesian products.
+        // Differential test across all four engines: the full-scan
+        // baseline, the pre-compiled indexed core, the compiled
+        // index-native core and the leapfrog triejoin (forced, so it also
+        // runs the acyclic shapes the selector would route elsewhere).
+        // Shapes cover stars, chains, repeated variables, constant
+        // selections, cartesian products and the cyclic tier (triangles,
+        // diamonds, 4-cycles). The adaptive default must agree too,
+        // whichever engine it picked.
         let store = store_from(&triples);
-        let compiled = evaluate(&store, &q);
         let scan = evaluate_with(&store, &q, &EvalOptions::scan_baseline());
         let legacy = evaluate_with(&store, &q, &EvalOptions::legacy_indexed());
+        let compiled = evaluate_with(&store, &q, &EvalOptions::compiled());
+        let wcoj = evaluate_with(&store, &q, &EvalOptions::wcoj());
+        let (auto, _) = evaluate_with_stats(&store, &q, &EvalOptions::default());
         prop_assert_eq!(&compiled, &scan);
         prop_assert_eq!(&compiled, &legacy);
+        prop_assert_eq!(&compiled, &wcoj);
+        prop_assert_eq!(&compiled, &auto);
     }
 
     #[test]
@@ -336,4 +392,88 @@ fn million_triple_compiled_matches_baselines() {
         let scan = evaluate_with(&store, q, &EvalOptions::scan_baseline());
         assert_eq!(compiled, scan, "{name}: compiled vs full-scan");
     }
+}
+
+/// Million-triple triangle stress test for the leapfrog engine: a 1M
+/// random background plus block-structured triangle edges whose answer
+/// count is known by construction. The adaptive selector must route the
+/// triangle to leapfrog, and its answers must match both binary-join
+/// engines exactly. Ignored by default (it wants release mode); CI runs
+/// it explicitly with `cargo test --release -- --ignored`.
+#[test]
+#[ignore = "1M-triple stress test: run in release mode with -- --ignored"]
+fn million_triple_triangle_wcoj_matches_compiled() {
+    const N: usize = 1_000_000;
+    const SUBJECTS: u64 = 100_000;
+    const PREDICATES: u64 = 16;
+    let mut rng = 0x5eed_u64;
+    let mut batch = Vec::with_capacity(N);
+    for _ in 0..N {
+        let s = Id((lcg(&mut rng) % SUBJECTS) as u32);
+        let p = Id(1_000_000 + (lcg(&mut rng) % PREDICATES) as u32);
+        let o = Id((lcg(&mut rng) % SUBJECTS) as u32);
+        batch.push([s, p, o]);
+    }
+    // Triangle tier (same construction as the join_throughput bench):
+    // R: x→y fan-out FY, S: y→ contiguous BZ-long z-block, T: x→ BZ-long
+    // z-block that overlaps the S-blocks of x's first two y's for one x in
+    // 16 and sits in an S-unreachable high z-range otherwise — exactly BZ
+    // triangles per overlapping x.
+    const NX: u32 = 2_048;
+    const FY: u32 = 16;
+    const BZ: u32 = 64;
+    let (xb, yb, zb, zhi) = (3_000_000u32, 3_100_000u32, 3_200_000u32, 3_500_000u32);
+    let (pr, ps, pt) = (Id(2_000_000), Id(2_000_001), Id(2_000_002));
+    for i in 0..NX {
+        let j0 = (i * FY) % NX;
+        for k in 0..FY {
+            batch.push([Id(xb + i), pr, Id(yb + j0 + k)]);
+        }
+        let t0 = if i % 16 == 0 {
+            zb + j0 * BZ + BZ - 8
+        } else {
+            zhi + i * BZ
+        };
+        for k in 0..BZ {
+            batch.push([Id(xb + i), pt, Id(t0 + k)]);
+        }
+    }
+    for j in 0..NX {
+        for k in 0..BZ {
+            batch.push([Id(yb + j), ps, Id(zb + j * BZ + k)]);
+        }
+    }
+    let mut store = TripleStore::new();
+    store.insert_batch(&batch);
+    assert!(
+        store.len() > 1_000_000,
+        "stress store should exceed 1M triples"
+    );
+
+    let var = |v: u32| QTerm::Var(Var(v));
+    let tri = ConjunctiveQuery::new(
+        vec![var(0), var(1), var(2)],
+        vec![
+            Atom([var(0), QTerm::Const(pr), var(1)]),
+            Atom([var(1), QTerm::Const(ps), var(2)]),
+            Atom([var(0), QTerm::Const(pt), var(2)]),
+        ],
+    );
+    let (auto, stats) = evaluate_with_stats(&store, &tri, &EvalOptions::default());
+    assert_eq!(
+        stats.engine,
+        Engine::Wcoj,
+        "triangle must route to leapfrog"
+    );
+    assert!(stats.lf_seeks > 0);
+    assert_eq!(stats.lf_emitted, auto.len() as u64);
+    assert_eq!(
+        auto.len(),
+        (NX / 16 * BZ) as usize,
+        "block construction fixes the triangle count"
+    );
+    let compiled = evaluate_with(&store, &tri, &EvalOptions::compiled());
+    let legacy = evaluate_with(&store, &tri, &EvalOptions::legacy_indexed());
+    assert_eq!(auto, compiled, "wcoj vs compiled at 1M scale");
+    assert_eq!(auto, legacy, "wcoj vs legacy at 1M scale");
 }

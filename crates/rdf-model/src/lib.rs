@@ -40,7 +40,7 @@ pub mod vocab;
 
 pub use dict::Dictionary;
 pub use error::ModelError;
-pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet};
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use pattern::StorePattern;
 pub use store::{IndexOrder, IndexRange, Triple, TripleStore};
 pub use term::{Id, Term, TermKind};

@@ -99,6 +99,31 @@ impl IndexOrder {
         let key: Vec<Id> = order.perm().iter().map_while(|&col| slots[col]).collect();
         (order, key)
     }
+
+    /// Picks an order whose sort sequence lists the given column `groups`
+    /// consecutively, in the given group order (columns *within* a group
+    /// may appear in any order). This is the trie-cursor selection of a
+    /// leapfrog join: the first group holds the constant-bound columns (the
+    /// range key prefix) and each later group holds the column(s) of one
+    /// join variable, ordered by the global variable order — the chosen
+    /// permutation then exposes the atom's matches as a trie sorted by
+    /// variable depth.
+    ///
+    /// Every ordered partition of a subset of `{S, P, O}` is satisfiable
+    /// (all six permutations exist), so this returns `None` only for
+    /// malformed input (a repeated or out-of-range column).
+    pub fn for_groups(groups: &[&[usize]]) -> Option<IndexOrder> {
+        IndexOrder::ALL.into_iter().find(|order| {
+            let perm = order.perm();
+            let mut pos = 0;
+            groups.iter().all(|g| {
+                let end = pos + g.len();
+                let ok = end <= 3 && perm[pos..end].iter().all(|c| g.contains(c));
+                pos = end;
+                ok
+            })
+        })
+    }
 }
 
 /// A version-stamped sorted snapshot of the triple table.
@@ -443,6 +468,37 @@ impl TripleStore {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn for_groups_lists_groups_consecutively() {
+        // Constant property, then subject, then object: Pso.
+        assert_eq!(
+            IndexOrder::for_groups(&[&[P], &[S], &[O]]),
+            Some(IndexOrder::Pso)
+        );
+        // A two-column group (repeated variable over s and o) after p.
+        let order = IndexOrder::for_groups(&[&[P], &[S, O]]).expect("satisfiable");
+        assert_eq!(order.perm()[0], P);
+        // No constants, object variable first.
+        let order = IndexOrder::for_groups(&[&[O], &[P]]).expect("satisfiable");
+        let perm = order.perm();
+        assert_eq!((perm[0], perm[1]), (O, P));
+        // Every ordered partition of a subset of {s,p,o} is satisfiable.
+        for a in 0..3 {
+            for b in 0..3 {
+                if a == b {
+                    continue;
+                }
+                assert!(IndexOrder::for_groups(&[&[a], &[b]]).is_some());
+                let c = 3 - a - b;
+                assert!(IndexOrder::for_groups(&[&[a], &[b], &[c]]).is_some());
+                assert!(IndexOrder::for_groups(&[&[a], &[b, c]]).is_some());
+                assert!(IndexOrder::for_groups(&[&[a, b], &[c]]).is_some());
+            }
+        }
+        // Malformed: a column repeated across groups is unsatisfiable.
+        assert_eq!(IndexOrder::for_groups(&[&[S], &[S]]), None);
+    }
 
     fn store_with(n: u32) -> TripleStore {
         // Deterministic little dataset: p in {0,1,2}, s in 0..n, o = s*7 % n.

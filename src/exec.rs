@@ -13,8 +13,8 @@
 //! building blocks, kept for direct use and backward compatibility.
 
 use rdf_engine::{
-    evaluate_mixed, evaluate_over_views, materialize_union, Answers, DeleteDelta, DeltaSet,
-    MaintainedView, MaintenanceStats, MixedAtom, ViewAtom, ViewTable,
+    evaluate_mixed_stats, evaluate_over_views, materialize_union, Answers, DeleteDelta, DeltaSet,
+    EvalStats, MaintainedView, MaintenanceStats, MixedAtom, ViewAtom, ViewTable,
 };
 use rdf_model::{Dictionary, FxHashMap, FxHashSet, Id, Triple, TripleStore};
 use rdf_query::minimize;
@@ -380,6 +380,10 @@ pub struct Deployment {
     /// here instead of re-assembling (and re-estimating) the plan. The
     /// recorded store version invalidates entries after any maintenance.
     workload_plans: FxHashMap<usize, QueryPlan>,
+    /// Per-branch engine decisions and leapfrog counters from the most
+    /// recent [`Deployment::answer_query`] call — see
+    /// [`Deployment::last_eval_stats`].
+    last_eval: Vec<EvalStats>,
 }
 
 /// Allocator for [`Deployment`] lineage ids.
@@ -422,6 +426,7 @@ impl Deployment {
             deployment_id: id,
             lineage: id,
             workload_plans: FxHashMap::default(),
+            last_eval: Vec::new(),
         }
     }
 
@@ -827,9 +832,12 @@ impl Deployment {
 
     /// Executes a plan produced by [`Deployment::plan`] /
     /// [`Deployment::plan_workload`]: every branch runs through the shared
-    /// backtracking join core (`evaluate_mixed` — view scans probe the
-    /// materialized tables through on-demand hash indexes, base atoms the
-    /// store's permutation indexes), and branch answers union set-wise.
+    /// join pipeline (`evaluate_mixed_stats` — view scans probe the
+    /// materialized tables through resident indexes, base atoms the
+    /// store's permutation indexes; cyclic branch shapes route to the
+    /// worst-case-optimal leapfrog engine, see
+    /// [`Deployment::last_eval_stats`]), and branch answers union
+    /// set-wise.
     ///
     /// Fails with [`SelectionError::StaleSession`] when the deployment is
     /// stale **or** when the plan was made against an older store version:
@@ -852,6 +860,7 @@ impl Deployment {
         self.rebuild_dirty();
         let arity = plan.query.head.len();
         let mut set: FxHashSet<Vec<Id>> = FxHashSet::default();
+        let mut stats = Vec::with_capacity(plan.branches.len());
         for b in &plan.branches {
             let atoms: Vec<MixedAtom<'_>> = b
                 .plan
@@ -865,9 +874,23 @@ impl Deployment {
                     PlanAtom::Base(a) => MixedAtom::Store(*a),
                 })
                 .collect();
-            set.extend(evaluate_mixed(&self.store, &atoms, &b.plan.head).into_tuples());
+            let (answers, branch_stats) = evaluate_mixed_stats(&self.store, &atoms, &b.plan.head);
+            set.extend(answers.into_tuples());
+            stats.push(branch_stats);
         }
+        self.last_eval = stats;
         Ok(Answers::from_set(arity, set))
+    }
+
+    /// Per-branch evaluation statistics from the most recent
+    /// [`Deployment::answer_query`] (and thus [`Deployment::answer`] /
+    /// [`Deployment::answer_adhoc`]) call: which join engine the adaptive
+    /// selector picked for each union branch — cyclic branch shapes route
+    /// to the worst-case-optimal leapfrog triejoin, acyclic ones to the
+    /// compiled backtracking core — plus leapfrog seek/emit counters.
+    /// Empty until a query has been answered.
+    pub fn last_eval_stats(&self) -> &[EvalStats] {
+        &self.last_eval
     }
 
     /// Plans and answers an ad-hoc query in one call under the default
@@ -1153,6 +1176,56 @@ mod tests {
             builds,
             "repeated answer_query must not rebuild view indexes"
         );
+    }
+
+    #[test]
+    fn adaptive_engine_decision_surfaces_per_branch() {
+        use rdf_engine::Engine;
+        let mut db = db();
+        // A directed triangle among fresh nodes so a cyclic ad-hoc query
+        // has answers to find.
+        let (a, b, c) = (
+            db.dict_mut().intern_uri("ta"),
+            db.dict_mut().intern_uri("tb"),
+            db.dict_mut().intern_uri("tc"),
+        );
+        let p = db.dict().lookup_uri("p").unwrap();
+        db.store_mut().insert([a, p, b]);
+        db.store_mut().insert([b, p, c]);
+        db.store_mut().insert([c, p, a]);
+        let rec = recommend(&mut db);
+        let mut dep = Deployment::new(db.store(), rec);
+
+        // Base-fallback keeps the whole query on the store, so the branch
+        // shape is the query shape: the triangle routes to leapfrog...
+        let tri = parse_query(
+            "q(X, Y, Z) :- t(X, <p>, Y), t(Y, <p>, Z), t(Z, <p>, X)",
+            db.dict_mut(),
+        )
+        .unwrap()
+        .query;
+        let got = dep
+            .answer_adhoc_with(&tri, AnswerPolicy::BaseFallback)
+            .unwrap();
+        assert_eq!(got, rdf_engine::evaluate(dep.store(), &tri));
+        assert!(got.contains(&[a, b, c]));
+        let stats = dep.last_eval_stats();
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0].engine, Engine::Wcoj);
+        assert!(stats[0].lf_seeks > 0);
+        assert_eq!(stats[0].lf_emitted, got.len() as u64);
+
+        // ...while an acyclic chain stays on the compiled core.
+        let chain = parse_query("q(X, Z) :- t(X, <p>, Y), t(Y, <p>, Z)", db.dict_mut())
+            .unwrap()
+            .query;
+        let got = dep
+            .answer_adhoc_with(&chain, AnswerPolicy::BaseFallback)
+            .unwrap();
+        assert_eq!(got, rdf_engine::evaluate(dep.store(), &chain));
+        let stats = dep.last_eval_stats();
+        assert!(!stats.is_empty());
+        assert!(stats.iter().all(|s| s.engine == Engine::Compiled));
     }
 
     #[test]

@@ -830,6 +830,7 @@ impl Deployment {
             deployment_id: DEPLOYMENT_IDS.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
             lineage,
             workload_plans: FxHashMap::default(),
+            last_eval: Vec::new(),
         };
         Ok((dep, dict, state_hash))
     }
