@@ -50,6 +50,26 @@ use rdfviews_bench::Table;
 const FLOOR_FULL_TPS: f64 = 100_000.0;
 const FLOOR_SMOKE_TPS: f64 = 50_000.0;
 
+/// Every `BENCH_join_throughput.json` field the CI validation step reads
+/// by name. The per-case keys are assembled with `format!` in the timing
+/// loops, so this manifest keeps the spellings visible as literals (the
+/// xlint X007 rule cross-checks them against `.github/workflows/ci.yml`)
+/// and the pre-emit assertion keeps the manifest honest at runtime.
+const CI_VALIDATED_FIELDS: &[&str] = &[
+    "wall_triangle_compiled_s",
+    "wall_triangle_legacy_s",
+    "wall_triangle_wcoj_s",
+    "wall_diamond_compiled_s",
+    "wall_diamond_legacy_s",
+    "wall_diamond_wcoj_s",
+    "wall_four_cycle_compiled_s",
+    "wall_four_cycle_legacy_s",
+    "wall_four_cycle_wcoj_s",
+    "wall_anchored_chain2_compiled_s",
+    "wall_anchored_chain2_legacy_s",
+    "wcoj_speedup_on_cyclic",
+];
+
 /// Id bases for the cyclic-tier synthetic graph, disjoint from the
 /// acyclic tier's subjects (< 200k) and predicates (1_000_000+).
 const P_TRI: u32 = 2_000_000; // triangle predicates: +0 (R), +1 (S), +2 (T)
@@ -620,6 +640,12 @@ fn main() {
     summary.push(("wall_legacy_total_s".to_string(), wall_legacy_total));
     summary.push(("wall_mixed_s".to_string(), wall_mixed / mixed_runs as f64));
     summary.push(("wcoj_speedup_on_cyclic".to_string(), wcoj_speedup));
+    for field in CI_VALIDATED_FIELDS {
+        assert!(
+            summary.iter().any(|(k, _)| k == field),
+            "summary is missing CI-validated field {field:?}"
+        );
+    }
     let metrics: Vec<(&str, f64)> = summary.iter().map(|(k, v)| (k.as_str(), *v)).collect();
     rdfviews_bench::emit_bench_json("join_throughput", &metrics);
 

@@ -197,8 +197,11 @@ fn run_group_scheduler(
                         break;
                     }
                     let gi = order[k];
-                    let job = slots[gi].lock().unwrap().take().expect("job taken once");
-                    *results[gi].lock().unwrap() = Some(run_one(job));
+                    let job = crate::sync::lock_unpoisoned(&slots[gi])
+                        .take()
+                        // xlint: allow(X001, reason = "fetch_add hands each slot index to exactly one worker")
+                        .expect("job taken once");
+                    *crate::sync::lock_unpoisoned(&results[gi]) = Some(run_one(job));
                 });
             }
         });
@@ -206,7 +209,8 @@ fn run_group_scheduler(
             .into_iter()
             .map(|m| {
                 m.into_inner()
-                    .unwrap()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    // xlint: allow(X001, reason = "the worker loop writes every group index before the scope joins")
                     .expect("scheduler covers all groups")
             })
             .collect()
@@ -217,11 +221,13 @@ fn run_group_scheduler(
         let mut results: Vec<Option<Result<Recommendation, SelectionError>>> =
             (0..n).map(|_| None).collect();
         for &gi in &order {
+            // xlint: allow(X001, reason = "the order permutation visits each group exactly once")
             let job = slots[gi].take().expect("job taken once");
             results[gi] = Some(run_one(job));
         }
         results
             .into_iter()
+            // xlint: allow(X001, reason = "the loop above fills every group slot")
             .map(|r| r.expect("scheduler covers all groups"))
             .collect()
     }
@@ -264,6 +270,7 @@ pub fn select_views_partitioned(
     parallel: bool,
 ) -> Recommendation {
     try_select_views_partitioned(store, dict, schema, workload, options, parallel)
+        // xlint: allow(X001, reason = "documented panicking compatibility wrapper over the fallible API")
         .unwrap_or_else(|e| panic!("select_views_partitioned: {e}"))
 }
 
@@ -301,6 +308,7 @@ fn merge_recommendations(groups: &[Vec<usize>], recs: Vec<Recommendation>) -> Re
         });
         catalog = Some(rec.catalog);
     }
+    // xlint: allow(X001, reason = "callers reject empty workloads with SelectionError::EmptyWorkload")
     let best_state = merged_state.expect("non-empty workload");
     debug_assert_eq!(best_state.check_invariants(), Ok(()));
     let views = best_state.views().cloned().collect();
@@ -315,6 +323,7 @@ fn merge_recommendations(groups: &[Vec<usize>], recs: Vec<Recommendation>) -> Re
         },
         views,
         materialization,
+        // xlint: allow(X001, reason = "callers reject empty workloads with SelectionError::EmptyWorkload")
         catalog: catalog.expect("non-empty workload"),
     }
 }

@@ -162,6 +162,7 @@ impl Preparation {
                 (None, StatsCatalog::store_level(store, dict))
             }
             ReasoningMode::Saturation => {
+                // xlint: allow(X001, reason = "SchemaRequired is returned above for reasoning modes without a schema")
                 let (schema, vocab) = schema.expect("checked above");
                 let sat = saturated_copy(store, schema, vocab);
                 saturation_runs += 1;
@@ -169,6 +170,7 @@ impl Preparation {
                 (Some(sat), cat)
             }
             ReasoningMode::PostReformulation => {
+                // xlint: allow(X001, reason = "SchemaRequired is returned above for reasoning modes without a schema")
                 let (schema, vocab) = schema.expect("checked above");
                 let triples = rdf_stats::postreform::saturated_triples(store, schema, vocab);
                 let cat = StatsCatalog::store_level_from_triples(triples.into_iter(), dict);
@@ -273,6 +275,7 @@ impl Preparation {
                 rdf_stats::extend_stats(catalog, store, queries)
             }
             ReasoningMode::Saturation => {
+                // xlint: allow(X001, reason = "Preparation::new always builds the saturated copy in Saturation mode")
                 let sat = self.saturated.as_ref().expect("prepared with saturation");
                 rdf_stats::extend_stats(catalog, sat, queries)
             }
@@ -510,6 +513,7 @@ pub fn select_views(
     options: &SelectionOptions,
 ) -> Recommendation {
     try_select_views(store, dict, schema, workload, options)
+        // xlint: allow(X001, reason = "documented panicking compatibility wrapper over the fallible API")
         .unwrap_or_else(|e| panic!("select_views: {e}"))
 }
 

@@ -68,7 +68,7 @@ pub(crate) fn run(core: &SearchCore<'_, '_, '_>, s0: &State) {
                     }
                     let single = State::initial(std::slice::from_ref(&queries[i]));
                     let states = explore_all(core, single);
-                    *slots[i].lock().unwrap() = Some(states);
+                    *crate::sync::lock_unpoisoned(&slots[i]) = Some(states);
                 });
             }
         });
@@ -77,7 +77,11 @@ pub(crate) fn run(core: &SearchCore<'_, '_, '_>, s0: &State) {
         }
         slots
             .into_iter()
-            .map(|m| m.into_inner().unwrap().unwrap_or_default())
+            .map(|m| {
+                m.into_inner()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .unwrap_or_default()
+            })
             .collect()
     } else {
         let mut sets = Vec::with_capacity(n);

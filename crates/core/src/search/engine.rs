@@ -27,7 +27,7 @@
 //! sequential results (and counters) are reproducible run over run.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 use std::time::Instant;
 
 use std::collections::VecDeque;
@@ -37,6 +37,7 @@ use rdf_model::FxHashMap;
 
 use crate::cost::CostModel;
 use crate::state::State;
+use crate::sync::lock_unpoisoned;
 use crate::transitions::{apply, enumerate, Transition, TransitionConfig, TransitionKind};
 
 use super::frontier::{CursorMode, Frontier, FrontierPolicy, Node};
@@ -86,7 +87,7 @@ impl BestCell {
         if cost > f64::from_bits(self.bits.load(Ordering::Relaxed)) {
             return;
         }
-        let mut slot = self.slot.lock().unwrap();
+        let mut slot = lock_unpoisoned(&self.slot);
         let better = match &*slot {
             None => true,
             Some((c, g, _)) => cost < *c || (cost == *c && sig < *g),
@@ -99,7 +100,7 @@ impl BestCell {
 
     /// The current holder, if any.
     pub fn take(&self) -> Option<Arc<State>> {
-        self.slot.lock().unwrap().take().map(|(_, _, s)| s)
+        lock_unpoisoned(&self.slot).take().map(|(_, _, s)| s)
     }
 }
 
@@ -247,7 +248,7 @@ impl<'m, 'a, 'c> SearchCore<'m, 'a, 'c> {
         }
         let sig = s.signature();
         let decision = {
-            let mut shard = self.shard(sig).lock().unwrap();
+            let mut shard = lock_unpoisoned(self.shard(sig));
             match shard.entry(sig) {
                 std::collections::hash_map::Entry::Occupied(mut e) => {
                     if phase < *e.get() {
@@ -282,6 +283,7 @@ impl<'m, 'a, 'c> SearchCore<'m, 'a, 'c> {
                 self.count_duplicates(1);
                 Admission::Duplicate
             }
+            // xlint: allow(X001, reason = "rejected states return Discarded before the shard probe above")
             Admission::Discarded => unreachable!(),
         }
     }
@@ -297,7 +299,7 @@ impl<'m, 'a, 'c> SearchCore<'m, 'a, 'c> {
         self.count_created(1);
         let sig = s.signature();
         let known = {
-            let mut shard = self.shard(sig).lock().unwrap();
+            let mut shard = lock_unpoisoned(self.shard(sig));
             match shard.entry(sig) {
                 std::collections::hash_map::Entry::Occupied(mut e) => {
                     if phase < *e.get() {
@@ -330,7 +332,7 @@ impl<'m, 'a, 'c> SearchCore<'m, 'a, 'c> {
         if cost > f64::from_bits(self.best_bits.load(Ordering::Relaxed)) {
             return;
         }
-        let mut best = self.best.lock().unwrap();
+        let mut best = lock_unpoisoned(&self.best);
         if cost < best.cost {
             best.cost = cost;
             best.sig = sig;
@@ -404,7 +406,7 @@ impl<'m, 'a, 'c> SearchCore<'m, 'a, 'c> {
             .collect();
         if self.workers > 1 {
             {
-                let mut inj = self.injector.lock().unwrap();
+                let mut inj = lock_unpoisoned(&self.injector);
                 inj.extend(nodes);
                 self.injector_len.store(inj.len(), Ordering::Relaxed);
             }
@@ -504,7 +506,7 @@ impl<'m, 'a, 'c> SearchCore<'m, 'a, 'c> {
         if self.injector_len.load(Ordering::Relaxed) == 0 {
             return None;
         }
-        let mut inj = self.injector.lock().unwrap();
+        let mut inj = lock_unpoisoned(&self.injector);
         let n = inj.pop_front();
         self.injector_len.store(inj.len(), Ordering::Relaxed);
         n
@@ -512,7 +514,7 @@ impl<'m, 'a, 'c> SearchCore<'m, 'a, 'c> {
 
     /// Places a node on the shared injector for an idle sibling.
     fn inject(&self, node: Node) {
-        let mut inj = self.injector.lock().unwrap();
+        let mut inj = lock_unpoisoned(&self.injector);
         inj.push_back(node);
         self.injector_len.store(inj.len(), Ordering::Relaxed);
     }
@@ -521,7 +523,10 @@ impl<'m, 'a, 'c> SearchCore<'m, 'a, 'c> {
 
     /// Collects the outcome. Call after every explorer has stopped.
     pub fn finish(self) -> SearchOutcome {
-        let best = self.best.into_inner().unwrap();
+        let best = self
+            .best
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner);
         let remaining = self.pending.into_inner() as u64;
         SearchOutcome {
             best_state: best.state,

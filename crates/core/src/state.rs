@@ -319,6 +319,7 @@ impl State {
     /// Removes a view (transitions only; the caller must rewire
     /// rewritings).
     pub(crate) fn remove_view(&mut self, id: ViewId) -> View {
+        // xlint: allow(X001, reason = "transitions only remove views their source state provably contains")
         self.views.remove(&id).expect("removing unknown view")
     }
 
@@ -399,6 +400,7 @@ impl State {
             sorted.sort_unstable();
             let ranks = numbers
                 .iter()
+                // xlint: allow(X001, reason = "sorted is a sorted copy of numbers, so position always succeeds")
                 .map(|n| sorted.iter().position(|x| x == n).unwrap() as u32)
                 .collect();
             forms.insert(v.id, (cf.key, ranks));
@@ -409,6 +411,7 @@ impl State {
         keys.dedup();
         let class_of = |id: ViewId| -> u32 {
             let key = &forms[&id].0;
+            // xlint: allow(X001, reason = "keys holds every canonical form collected from forms above")
             keys.binary_search(&key).unwrap() as u32
         };
         let mut view_keys: Vec<Vec<rdf_query::canonical::CTok>> = self

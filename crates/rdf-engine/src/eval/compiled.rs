@@ -295,6 +295,7 @@ fn apply_row(
         recurse(store, plan, s, depth + 1);
     }
     while s.trail.len() > mark {
+        // xlint: allow(X001, reason = "mark was captured from this trail's len before the pushes")
         let slot = s.trail.pop().expect("trail mark within bounds");
         s.frame[slot as usize] = None;
     }
@@ -307,6 +308,7 @@ fn emit(plan: &CompiledPlan, s: &mut EvalScratch) {
         s.tuple.push(match t {
             CTerm::Const(c) => *c,
             CTerm::Slot(slot) => {
+                // xlint: allow(X001, reason = "compile() rejects unsafe queries, so head slots are bound at emit depth")
                 s.frame[*slot as usize].expect("unsafe query: unbound head variable")
             }
         });

@@ -283,12 +283,14 @@ pub(super) fn execute(store: &TripleStore, plan: &CompiledPlan, stats: &mut Eval
                     order_groups.push(cols.as_slice());
                 }
                 let idx_order = IndexOrder::for_groups(&order_groups)
+                    // xlint: allow(X001, reason = "all six s/p/o column partitions have permutation indexes")
                     .expect("every ordered column partition has a permutation index");
                 let perm = idx_order.perm();
                 let key: Vec<Id> = perm[..consts.len()]
                     .iter()
                     .map(|&c| match terms[c] {
                         CTerm::Const(id) => id,
+                        // xlint: allow(X001, reason = "perm lists the consts partition first by construction")
                         CTerm::Slot(_) => unreachable!("prefix columns are constants"),
                     })
                     .collect();
@@ -512,6 +514,7 @@ fn emit(head: &[CTerm], s: &mut EvalScratch, stats: &mut EvalStats) {
         s.tuple.push(match t {
             CTerm::Const(c) => *c,
             CTerm::Slot(slot) => {
+                // xlint: allow(X001, reason = "compile() rejects unsafe queries, so head slots are bound at emit depth")
                 s.frame[*slot as usize].expect("unsafe query: unbound head variable")
             }
         });

@@ -1,7 +1,20 @@
 //! Materialized view tables.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// Locks an index-cache `RwLock`, recovering from poison. The caches are
+/// insert-only maps of completed `Arc` entries: a thread that panics
+/// mid-build can at worst leave an entry unwritten, never half-written,
+/// so a recovered guard always observes a valid cache.
+fn read_unpoisoned<T>(l: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    l.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Write-lock counterpart of [`read_unpoisoned`].
+fn write_unpoisoned<T>(l: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    l.write().unwrap_or_else(PoisonError::into_inner)
+}
 
 use rdf_model::{FxHashMap, Id};
 
@@ -104,8 +117,8 @@ impl Clone for IndexCache {
     fn clone(&self) -> Self {
         // The data is identical in the clone, so the built indexes remain
         // valid; sharing them keeps a cloned deployment warm.
-        let masks = self.by_mask.read().expect("view index lock poisoned");
-        let orders = self.by_order.read().expect("view index lock poisoned");
+        let masks = read_unpoisoned(&self.by_mask);
+        let orders = read_unpoisoned(&self.by_order);
         Self {
             by_mask: RwLock::new(masks.clone()),
             by_order: RwLock::new(orders.clone()),
@@ -188,7 +201,7 @@ impl ViewTable {
     pub fn index_for_mask(&self, mask: u64) -> Arc<ViewIndex> {
         debug_assert!(self.arity <= 64, "mask-indexed tables cap at 64 columns");
         {
-            let guard = self.cache.by_mask.read().expect("view index lock poisoned");
+            let guard = read_unpoisoned(&self.cache.by_mask);
             if let Some(idx) = guard.get(&mask) {
                 return Arc::clone(idx);
             }
@@ -201,11 +214,7 @@ impl ViewTable {
             map.entry(key).or_default().push(r as u32);
         }
         let idx = Arc::new(ViewIndex { cols, map });
-        let mut guard = self
-            .cache
-            .by_mask
-            .write()
-            .expect("view index lock poisoned");
+        let mut guard = write_unpoisoned(&self.cache.by_mask);
         // Two threads may race to build the same mask; keep the first.
         let entry = guard.entry(mask).or_insert_with(|| {
             self.cache.builds.fetch_add(1, Ordering::Relaxed);
@@ -223,11 +232,7 @@ impl ViewTable {
     pub fn sorted_index_for_order(&self, cols: &[usize]) -> Arc<ViewSortedIndex> {
         debug_assert!(cols.iter().all(|&c| c < self.arity), "column out of range");
         {
-            let guard = self
-                .cache
-                .by_order
-                .read()
-                .expect("view index lock poisoned");
+            let guard = read_unpoisoned(&self.cache.by_order);
             if let Some(idx) = guard.get(cols) {
                 return Arc::clone(idx);
             }
@@ -247,11 +252,7 @@ impl ViewTable {
             cols: cols.to_vec(),
             rows,
         });
-        let mut guard = self
-            .cache
-            .by_order
-            .write()
-            .expect("view index lock poisoned");
+        let mut guard = write_unpoisoned(&self.cache.by_order);
         // Two threads may race to build the same order; keep the first.
         let entry = guard.entry(cols.to_vec()).or_insert_with(|| {
             self.cache.builds.fetch_add(1, Ordering::Relaxed);

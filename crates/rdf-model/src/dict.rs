@@ -38,6 +38,7 @@ impl Dictionary {
             return id;
         }
         let id =
+            // xlint: allow(X001, reason = "u32 ids are a documented capacity limit of the dictionary")
             Id(u32::try_from(self.terms.len()).expect("dictionary overflow: > u32::MAX terms"));
         self.terms.push(term.clone());
         self.lookup.insert(term, id);

@@ -34,6 +34,7 @@ impl Hasher for FxHasher {
     fn write(&mut self, bytes: &[u8]) {
         let mut chunks = bytes.chunks_exact(8);
         for chunk in &mut chunks {
+            // xlint: allow(X001, reason = "chunks_exact(8) yields exactly 8-byte chunks")
             self.add_to_hash(u64::from_le_bytes(chunk.try_into().unwrap()));
         }
         let rem = chunks.remainder();

@@ -12,7 +12,20 @@
 //! triples invalidates them, and the next scan rebuilds only the orders it
 //! actually needs.
 
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// Locks a snapshot-cache `RwLock`, recovering from poison: the caches
+/// hold complete `(version, value)` entries that are swapped in whole,
+/// so a panicked writer can at worst leave a stale entry behind — the
+/// version check re-validates it either way.
+fn read_unpoisoned<T>(l: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    l.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Write-lock counterpart of [`read_unpoisoned`].
+fn write_unpoisoned<T>(l: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    l.write().unwrap_or_else(PoisonError::into_inner)
+}
 
 use crate::fxhash::FxHashSet;
 use crate::pattern::StorePattern;
@@ -283,6 +296,7 @@ impl TripleStore {
             .triples
             .iter()
             .position(|&x| x == t)
+            // xlint: allow(X001, reason = "the seen set answered true, so the triple is in the list")
             .expect("seen-set and triple list in sync");
         self.triples.remove(pos);
         self.version += 1;
@@ -334,7 +348,7 @@ impl TripleStore {
     pub fn index(&self, order: IndexOrder) -> Arc<Vec<Triple>> {
         let slot = order.slot();
         {
-            let guard = self.indexes.read().expect("index lock poisoned");
+            let guard = read_unpoisoned(&self.indexes);
             if let Some(snap) = &guard[slot] {
                 if snap.version == self.version {
                     return Arc::clone(&snap.sorted);
@@ -345,7 +359,7 @@ impl TripleStore {
         let mut sorted = self.triples.clone();
         sorted.sort_unstable_by_key(|t| [t[perm[0]], t[perm[1]], t[perm[2]]]);
         let sorted = Arc::new(sorted);
-        let mut guard = self.indexes.write().expect("index lock poisoned");
+        let mut guard = write_unpoisoned(&self.indexes);
         guard[slot] = Some(IndexSnapshot {
             version: self.version,
             sorted: Arc::clone(&sorted),
@@ -414,6 +428,7 @@ impl TripleStore {
     pub fn match_count(&self, pat: &StorePattern) -> usize {
         match pat.bound_count() {
             0 => self.len(),
+            // xlint: allow(X001, reason = "bound_count() == 3 means all three fields are Some")
             3 => usize::from(self.contains([pat.s.unwrap(), pat.p.unwrap(), pat.o.unwrap()])),
             _ => self.pattern_range(pat).len(),
         }
@@ -423,7 +438,7 @@ impl TripleStore {
     /// per-column statistics used by the cardinality estimator.
     pub fn distinct_counts(&self) -> [usize; 3] {
         {
-            let guard = self.distinct.read().expect("distinct lock poisoned");
+            let guard = read_unpoisoned(&self.distinct);
             if let Some((version, counts)) = *guard {
                 if version == self.version {
                     return counts;
@@ -441,7 +456,7 @@ impl TripleStore {
             }
         }
         let counts = [seen[S].len(), seen[P].len(), seen[O].len()];
-        *self.distinct.write().expect("distinct lock poisoned") = Some((self.version, counts));
+        *write_unpoisoned(&self.distinct) = Some((self.version, counts));
         counts
     }
 

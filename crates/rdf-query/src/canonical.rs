@@ -79,6 +79,7 @@ pub fn canonical_form(q: &ConjunctiveQuery, mode: HeadMode) -> CanonicalForm {
         tokens: Vec::with_capacity(q.atoms.len() * 3 + q.head.len() + 1),
     };
     search.rec(&mut state, q.atoms.len());
+    // xlint: allow(X001, reason = "rec() visits at least one complete placement, so best is always set")
     let (key, var_map) = search.best.expect("canonical search always finds a leaf");
     CanonicalForm { key, var_map }
 }

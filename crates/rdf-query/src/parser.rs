@@ -79,7 +79,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn expect(&mut self, token: &str) -> Result<(), ParseError> {
+    fn expect_tok(&mut self, token: &str) -> Result<(), ParseError> {
         if self.eat(token) {
             Ok(())
         } else {
@@ -154,7 +154,7 @@ impl<'a> Parser<'a> {
 
     fn term_list(&mut self) -> Result<Vec<QTerm>, ParseError> {
         let mut out = Vec::new();
-        self.expect("(")?;
+        self.expect_tok("(")?;
         self.skip_ws();
         if self.eat(")") {
             return Ok(out);
@@ -164,7 +164,7 @@ impl<'a> Parser<'a> {
             if self.eat(")") {
                 return Ok(out);
             }
-            self.expect(",")?;
+            self.expect_tok(",")?;
         }
     }
 
@@ -184,7 +184,7 @@ impl<'a> Parser<'a> {
         self.skip_ws();
         let name = self.ident()?.to_string();
         let head = self.term_list()?;
-        self.expect(":-")?;
+        self.expect_tok(":-")?;
         let mut atoms = vec![self.atom()?];
         while self.eat(",") {
             atoms.push(self.atom()?);

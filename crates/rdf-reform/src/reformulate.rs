@@ -34,6 +34,7 @@ pub fn theorem_4_1_bound(schema_len: usize, atoms: usize) -> u128 {
 pub fn reformulate(q: &ConjunctiveQuery, schema: &Schema, vocab: &VocabIds) -> UnionQuery {
     match reformulate_with_limit(q, schema, vocab, ReformLimit::default()) {
         Ok(ucq) => ucq,
+        // xlint: allow(X001, reason = "documented panicking wrapper; reformulate_with_limit is the fallible API")
         Err(partial) => panic!(
             "reformulation limit exceeded: > {} branches for a {}-atom query over a {}-statement schema",
             partial.len(),

@@ -220,6 +220,7 @@ fn generate_one(
                 atoms.push(Atom::new(s, p, o));
             }
         }
+        // xlint: allow(X001, reason = "Mixed is resolved to a concrete shape before dispatch")
         Shape::Mixed => unreachable!("mixed resolves per query"),
     }
     finish_query(atoms, rng)
@@ -291,6 +292,7 @@ fn perturb(
         let anchor = atoms[rng.random_range(0..atoms.len().min(keep))]
             .vars()
             .next()
+            // xlint: allow(X001, reason = "every generated atom binds at least its subject variable")
             .expect("kept atoms have variables");
         let p = if candidates.is_empty() {
             properties[rng.random_range(0..properties.len())]

@@ -1,0 +1,456 @@
+//! A hand-rolled, panic-free Rust surface lexer.
+//!
+//! [`mask`] turns a source file into a same-length *masked* byte view in
+//! which every comment and every literal body is blanked with spaces
+//! (newlines are preserved so byte offsets and line numbers survive),
+//! while the comment and string-literal texts are collected on the side.
+//! Rules then scan the masked bytes with plain substring searches and can
+//! never be fooled by a lint keyword that only appears inside a string,
+//! a `//` comment, or a raw-string fixture.
+//!
+//! The lexer understands: line comments (incl. doc comments), nested
+//! block comments, string / byte-string literals with escapes, raw and
+//! raw-byte strings with arbitrary `#` fences, char literals, and the
+//! char-vs-lifetime ambiguity (`'a'` vs `'a`). It is total: every input
+//! byte sequence (valid UTF-8 or not) is consumed left to right, each
+//! step advances at least one byte, and unterminated literals simply run
+//! to end of input. A fuzz test in `tests/` holds it to that contract.
+
+/// One comment's text (delimiters included) and the 1-based line of its
+/// first byte.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    pub line: u32,
+    pub text: String,
+}
+
+/// One string literal's *content* (delimiters and fences stripped) and
+/// the 1-based line of its opening quote.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StrLit {
+    pub line: u32,
+    pub text: String,
+}
+
+/// The masked view of one source file.
+#[derive(Debug, Clone)]
+pub struct Masked {
+    /// Same byte length as the input; comments and literal bodies are
+    /// spaces, newlines everywhere are preserved.
+    pub code: Vec<u8>,
+    /// Every comment, in file order.
+    pub comments: Vec<Comment>,
+    /// Every string / raw-string / byte-string literal, in file order.
+    pub strings: Vec<StrLit>,
+    /// Byte offset of the first byte of each line (line 1 at index 0).
+    pub line_starts: Vec<usize>,
+}
+
+impl Masked {
+    /// 1-based line number of a byte offset.
+    pub fn line_of(&self, offset: usize) -> u32 {
+        // Last line start <= offset; partition_point never panics.
+        let idx = self.line_starts.partition_point(|&s| s <= offset);
+        idx.max(1) as u32
+    }
+
+    /// Total number of lines.
+    pub fn line_count(&self) -> usize {
+        self.line_starts.len()
+    }
+}
+
+/// True for bytes that can continue a Rust identifier (ASCII view).
+pub fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+fn blank(out: &mut [u8], from: usize, to: usize) {
+    for slot in out.iter_mut().take(to).skip(from) {
+        if *slot != b'\n' {
+            *slot = b' ';
+        }
+    }
+}
+
+/// Lex `src` into its masked view. Never panics, always terminates.
+pub fn mask(src: &[u8]) -> Masked {
+    let mut code = src.to_vec();
+    let mut comments = Vec::new();
+    let mut strings = Vec::new();
+    let mut line_starts = vec![0usize];
+    for (i, &b) in src.iter().enumerate() {
+        if b == b'\n' && i + 1 < src.len() {
+            line_starts.push(i + 1);
+        }
+    }
+    let line_of =
+        |offset: usize| -> u32 { line_starts.partition_point(|&s| s <= offset).max(1) as u32 };
+
+    let n = src.len();
+    let mut i = 0usize;
+    while i < n {
+        let b = src[i];
+        let next = src.get(i + 1).copied();
+        match b {
+            b'/' if next == Some(b'/') => {
+                // Line comment (incl. /// and //!): to end of line.
+                let start = i;
+                while i < n && src[i] != b'\n' {
+                    i += 1;
+                }
+                comments.push(Comment {
+                    line: line_of(start),
+                    text: String::from_utf8_lossy(&src[start..i]).into_owned(),
+                });
+                blank(&mut code, start, i);
+            }
+            b'/' if next == Some(b'*') => {
+                // Block comment; Rust block comments nest.
+                let start = i;
+                let mut depth = 1u32;
+                i += 2;
+                while i < n && depth > 0 {
+                    if src[i] == b'/' && src.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if src[i] == b'*' && src.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                comments.push(Comment {
+                    line: line_of(start),
+                    text: String::from_utf8_lossy(&src[start..i]).into_owned(),
+                });
+                blank(&mut code, start, i);
+            }
+            b'"' => {
+                let start = i;
+                i = skip_quoted(src, i + 1);
+                strings.push(StrLit {
+                    line: line_of(start),
+                    text: String::from_utf8_lossy(
+                        &src[start + 1..i.saturating_sub(1).max(start + 1)],
+                    )
+                    .into_owned(),
+                });
+                blank(&mut code, start + 1, i.saturating_sub(1).max(start + 1));
+            }
+            b'r' | b'b' if is_raw_or_byte_prefix(src, i) => {
+                // r"..", r#".."#, b"..", br#".."#, rb (not rust, but harmless)
+                let start = i;
+                let mut j = i;
+                while j < n && (src[j] == b'r' || src[j] == b'b') && j - i < 2 {
+                    j += 1;
+                }
+                let mut fences = 0usize;
+                while j < n && src[j] == b'#' {
+                    fences += 1;
+                    j += 1;
+                }
+                if src.get(j) == Some(&b'"') {
+                    let content_start = j + 1;
+                    let is_raw = src[i..j].contains(&b'r');
+                    let (content_end, end) = if is_raw {
+                        skip_raw(src, content_start, fences)
+                    } else {
+                        let e = skip_quoted(src, content_start);
+                        (e.saturating_sub(1).max(content_start), e)
+                    };
+                    strings.push(StrLit {
+                        line: line_of(start),
+                        text: String::from_utf8_lossy(&src[content_start..content_end])
+                            .into_owned(),
+                    });
+                    blank(&mut code, content_start, content_end);
+                    i = end;
+                } else {
+                    // Just an identifier starting with r/b.
+                    i += 1;
+                    while i < n && is_ident_byte(src[i]) {
+                        i += 1;
+                    }
+                }
+            }
+            b'\'' => {
+                // Char literal vs lifetime.
+                if let Some(end) = char_literal_end(src, i) {
+                    blank(&mut code, i + 1, end - 1);
+                    i = end;
+                } else {
+                    // Lifetime tick: consume the tick and the label.
+                    i += 1;
+                    while i < n && is_ident_byte(src[i]) {
+                        i += 1;
+                    }
+                }
+            }
+            _ if is_ident_byte(b) => {
+                // Skip whole identifiers so `br` / `r#raw_ident` prefixes
+                // inside longer names can't start a false literal.
+                while i < n && is_ident_byte(src[i]) {
+                    i += 1;
+                }
+            }
+            _ => i += 1,
+        }
+    }
+
+    Masked {
+        code,
+        comments,
+        strings,
+        line_starts,
+    }
+}
+
+/// Is `src[i]` the start of a raw/byte string prefix (`r"`, `r#`, `b"`,
+/// `br"`, `br#`, …) rather than a plain identifier?
+fn is_raw_or_byte_prefix(src: &[u8], i: usize) -> bool {
+    // Must not be the tail of a longer identifier.
+    if i > 0 && is_ident_byte(src[i - 1]) {
+        return false;
+    }
+    let mut j = i;
+    let n = src.len();
+    while j < n && (src[j] == b'r' || src[j] == b'b') && j - i < 2 {
+        j += 1;
+    }
+    if j == i {
+        return false;
+    }
+    // r#ident (raw identifier) must NOT lex as a raw string: the fence
+    // run, if any, must be followed by a quote, and only `r`-prefixed
+    // literals may carry fences at all.
+    let has_r = src[i..j].contains(&b'r');
+    let mut k = j;
+    while k < n && src[k] == b'#' {
+        k += 1;
+    }
+    if k > j && !has_r {
+        return false;
+    }
+    src.get(k) == Some(&b'"')
+}
+
+/// Advance past a quoted literal body starting just after the opening
+/// quote; returns the index one past the closing quote (or `src.len()`).
+fn skip_quoted(src: &[u8], mut i: usize) -> usize {
+    let n = src.len();
+    while i < n {
+        match src[i] {
+            b'\\' => i = (i + 2).min(n),
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    n
+}
+
+/// Advance past a raw literal body; returns (content_end, one past the
+/// closing fence).
+fn skip_raw(src: &[u8], start: usize, fences: usize) -> (usize, usize) {
+    let n = src.len();
+    let mut i = start;
+    while i < n {
+        if src[i] == b'"' {
+            let mut k = i + 1;
+            let mut seen = 0usize;
+            while k < n && src[k] == b'#' && seen < fences {
+                k += 1;
+                seen += 1;
+            }
+            if seen == fences {
+                return (i, k);
+            }
+        }
+        i += 1;
+    }
+    (n, n)
+}
+
+/// If a char literal starts at `src[i] == '\''`, return the index one
+/// past its closing quote; `None` when this tick is a lifetime.
+fn char_literal_end(src: &[u8], i: usize) -> Option<usize> {
+    let n = src.len();
+    let first = *src.get(i + 1)?;
+    if first == b'\\' {
+        // Escaped char: find the closing quote.
+        let mut j = i + 2;
+        while j < n {
+            match src[j] {
+                b'\\' => j = (j + 2).min(n),
+                b'\'' => return Some(j + 1),
+                b'\n' => return None,
+                _ => j += 1,
+            }
+        }
+        return Some(n);
+    }
+    if first == b'\'' {
+        // '' — empty, treat as a two-byte oddity, not a lifetime.
+        return Some(i + 2);
+    }
+    // Multi-byte UTF-8 scalar or single char followed by closing quote.
+    let mut j = i + 1;
+    // Consume one "character": 1-4 bytes depending on UTF-8 lead byte.
+    let lead = src[j];
+    let width = if lead < 0x80 {
+        1
+    } else if lead >= 0xF0 {
+        4
+    } else if lead >= 0xE0 {
+        3
+    } else if lead >= 0xC0 {
+        2
+    } else {
+        1
+    };
+    j = (j + width).min(n);
+    if src.get(j) == Some(&b'\'') {
+        // 'x' — but only a char literal if it isn't a lifetime label
+        // followed by a quote start ('a'' is not valid Rust anyway).
+        Some(j + 1)
+    } else {
+        None
+    }
+}
+
+/// Find every occurrence of `needle` in `hay` whose preceding byte is
+/// not an identifier byte (word-start boundary).
+pub fn find_word_starts(hay: &[u8], needle: &[u8]) -> Vec<usize> {
+    let mut out = Vec::new();
+    if needle.is_empty() || hay.len() < needle.len() {
+        return out;
+    }
+    let mut i = 0usize;
+    while let Some(pos) = find_from(hay, needle, i) {
+        let boundary = pos == 0 || !is_ident_byte(hay[pos - 1]);
+        if boundary {
+            out.push(pos);
+        }
+        i = pos + 1;
+    }
+    out
+}
+
+/// Substring search from an offset; returns the absolute position.
+pub fn find_from(hay: &[u8], needle: &[u8], from: usize) -> Option<usize> {
+    if needle.is_empty() || from >= hay.len() || hay.len() - from < needle.len() {
+        return None;
+    }
+    hay[from..]
+        .windows(needle.len())
+        .position(|w| w == needle)
+        .map(|p| p + from)
+}
+
+/// Skip ASCII whitespace forward from `i`.
+pub fn skip_ws(hay: &[u8], mut i: usize) -> usize {
+    while i < hay.len() && hay[i].is_ascii_whitespace() {
+        i += 1;
+    }
+    i
+}
+
+/// Given the offset of an opening delimiter, return the offset one past
+/// its balanced closer, treating `open`/`close` pairs only (the masked
+/// view has no delimiters inside strings or comments). Returns
+/// `hay.len()` when unbalanced.
+pub fn skip_balanced(hay: &[u8], open_at: usize, open: u8, close: u8) -> usize {
+    let mut depth = 0i64;
+    let mut i = open_at;
+    while i < hay.len() {
+        if hay[i] == open {
+            depth += 1;
+        } else if hay[i] == close {
+            depth -= 1;
+            if depth <= 0 {
+                return i + 1;
+            }
+        }
+        i += 1;
+    }
+    hay.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn masked_str(src: &str) -> String {
+        String::from_utf8_lossy(&mask(src.as_bytes()).code).into_owned()
+    }
+
+    #[test]
+    fn comments_and_strings_are_blanked() {
+        let m = masked_str("let x = \"panic!\"; // unwrap()\nfoo();");
+        assert!(!m.contains("panic"));
+        assert!(!m.contains("unwrap"));
+        assert!(m.contains("foo();"));
+        assert!(m.contains("let x = \"      \";"));
+    }
+
+    #[test]
+    fn nested_block_comment() {
+        let m = masked_str("a /* x /* y */ z */ b");
+        assert!(m.starts_with('a'));
+        assert!(m.ends_with('b'));
+        assert!(!m.contains('x') && !m.contains('y') && !m.contains('z'));
+    }
+
+    #[test]
+    fn raw_strings_with_fences() {
+        let m = masked_str(r###"let s = r#"unwrap() "quoted" panic!"#; tail();"###);
+        assert!(!m.contains("unwrap"));
+        assert!(m.contains("tail();"));
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let m = masked_str("fn f<'a>(x: &'a str) { let c = 'x'; let q = '\\''; }");
+        assert!(m.contains("'a str"), "lifetime must stay code: {m}");
+        assert!(!m.contains('x') || !m.contains("'x'"), "char body blanked");
+    }
+
+    #[test]
+    fn byte_len_and_newlines_preserved() {
+        let src = "a\n\"two\nlines\"\nb // c\n";
+        let m = mask(src.as_bytes());
+        assert_eq!(m.code.len(), src.len());
+        let nl_src: Vec<usize> = src
+            .bytes()
+            .enumerate()
+            .filter(|(_, b)| *b == b'\n')
+            .map(|(i, _)| i)
+            .collect();
+        let nl_out: Vec<usize> = m
+            .code
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| **b == b'\n')
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(nl_src, nl_out);
+    }
+
+    #[test]
+    fn collected_literals_and_comments() {
+        let m = mask(b"// top\nlet s = \"body\"; /* mid */");
+        assert_eq!(m.comments.len(), 2);
+        assert_eq!(m.comments[0].line, 1);
+        assert_eq!(m.strings.len(), 1);
+        assert_eq!(m.strings[0].text, "body");
+        assert_eq!(m.strings[0].line, 2);
+    }
+
+    #[test]
+    fn raw_identifiers_are_not_strings() {
+        let m = masked_str("let r#type = 1; let b = r#try; call();");
+        assert!(m.contains("call();"));
+        assert_eq!(mask(b"let r#type = 1;").strings.len(), 0);
+    }
+}

@@ -1,0 +1,139 @@
+//! The `xlint` CLI. See the crate docs for the rule catalog.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p xlint -- [--deny-all] [--root <dir>]
+//! cargo run -p xlint -- [--kind library|binary|test] <file.rs>...
+//! ```
+//!
+//! With no file arguments the whole workspace is scanned (repo mode,
+//! including the cross-file X007 CI-contract check). With explicit
+//! files only the per-file rules run; `--kind` overrides the path-based
+//! classification, which fixture self-tests use to lint test corpus
+//! snippets as if they were library code.
+//!
+//! Exit codes: 0 clean, 1 findings, 2 usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use xlint::FileKind;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut kind: Option<FileKind> = None;
+    let mut files: Vec<PathBuf> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny-all" => {} // findings already always deny; kept for CI legibility
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => return usage("--root needs a directory"),
+            },
+            "--kind" => match args.next().as_deref() {
+                Some("library") => kind = Some(FileKind::Library),
+                Some("binary") => kind = Some(FileKind::Binary),
+                Some("test") => kind = Some(FileKind::TestCode),
+                _ => return usage("--kind needs library|binary|test"),
+            },
+            "--help" | "-h" => {
+                println!("xlint: repo-specific static analysis (rules X001-X007)");
+                println!("  cargo run -p xlint -- [--deny-all] [--root <dir>]");
+                println!("  cargo run -p xlint -- [--kind library|binary|test] <file.rs>...");
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                return usage(&format!("unknown flag {other}"));
+            }
+            other => files.push(PathBuf::from(other)),
+        }
+    }
+
+    if !files.is_empty() {
+        return run_files(&files, kind);
+    }
+
+    let root = match root.or_else(find_workspace_root) {
+        Some(r) => r,
+        None => return usage("no workspace root found (run from the repo or pass --root)"),
+    };
+    match xlint::scan_repo(&root) {
+        Ok((scanned, findings)) => {
+            for f in &findings {
+                println!("{f}");
+            }
+            eprintln!(
+                "xlint: {} files scanned, {} finding{}",
+                scanned,
+                findings.len(),
+                if findings.len() == 1 { "" } else { "s" }
+            );
+            if findings.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("xlint: scan failed: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run_files(files: &[PathBuf], kind: Option<FileKind>) -> ExitCode {
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    let mut findings = Vec::new();
+    for file in files {
+        let result = match kind {
+            Some(k) => xlint::lint_file_as(&cwd, file, k),
+            None => xlint::lint_file(&cwd, file),
+        };
+        match result {
+            Ok(fs) => findings.extend(fs),
+            Err(e) => {
+                eprintln!("xlint: {}: {e}", file.display());
+                return ExitCode::from(2);
+            }
+        }
+    }
+    findings.sort();
+    for f in &findings {
+        println!("{f}");
+    }
+    eprintln!(
+        "xlint: {} file{} scanned, {} finding{}",
+        files.len(),
+        if files.len() == 1 { "" } else { "s" },
+        findings.len(),
+        if findings.len() == 1 { "" } else { "s" }
+    );
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Walk up from the current directory to the first `Cargo.toml` that
+/// declares a `[workspace]`.
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("xlint: {msg} (try --help)");
+    ExitCode::from(2)
+}

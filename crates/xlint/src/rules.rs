@@ -1,0 +1,982 @@
+//! The xlint rule engine: repo-specific lints X001–X007 over masked
+//! source views, plus the `// xlint: allow(...)` pragma machinery.
+//!
+//! | Rule | Checks |
+//! |------|--------|
+//! | X000 | pragma hygiene: every `xlint:` comment parses and has a reason |
+//! | X001 | no `unwrap`/`expect`/`panic!`/`unreachable!`/`todo!` in non-test library code |
+//! | X002 | atomic ops name an explicit `Ordering`; `SeqCst` is forbidden |
+//! | X003 | `.lock()` results are not unwrapped; one stripe lock per expression |
+//! | X004 | no nondeterminism sources in byte-stable encoding paths |
+//! | X005 | wire/section tag constants are unique per namespace |
+//! | X006 | every `unsafe` carries a `// SAFETY:` comment |
+//! | X007 | CI-validated bench JSON fields appear as literals in the bench source |
+
+use crate::lexer::{
+    find_from, find_word_starts, is_ident_byte, mask, skip_balanced, skip_ws, Masked,
+};
+use std::fmt;
+use std::path::Path;
+
+/// The lint rules, in reporting order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Rule {
+    X000,
+    X001,
+    X002,
+    X003,
+    X004,
+    X005,
+    X006,
+    X007,
+}
+
+impl Rule {
+    /// The four-character code printed in findings and named in pragmas.
+    pub fn code(self) -> &'static str {
+        match self {
+            Rule::X000 => "X000",
+            Rule::X001 => "X001",
+            Rule::X002 => "X002",
+            Rule::X003 => "X003",
+            Rule::X004 => "X004",
+            Rule::X005 => "X005",
+            Rule::X006 => "X006",
+            Rule::X007 => "X007",
+        }
+    }
+
+    fn from_code(code: &str) -> Option<Rule> {
+        match code {
+            "X000" => Some(Rule::X000),
+            "X001" => Some(Rule::X001),
+            "X002" => Some(Rule::X002),
+            "X003" => Some(Rule::X003),
+            "X004" => Some(Rule::X004),
+            "X005" => Some(Rule::X005),
+            "X006" => Some(Rule::X006),
+            "X007" => Some(Rule::X007),
+            _ => None,
+        }
+    }
+}
+
+/// One lint finding, printable as `file:line: X00N message`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    pub path: String,
+    pub line: u32,
+    pub rule: Rule,
+    pub msg: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {} {}",
+            self.path,
+            self.line,
+            self.rule.code(),
+            self.msg
+        )
+    }
+}
+
+/// How a file is classified for rule scoping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// Part of a `lib` target: the full discipline applies.
+    Library,
+    /// Binaries and examples: panics are acceptable UX, atomics are not.
+    Binary,
+    /// Integration tests and benches: only pragma hygiene and `unsafe`
+    /// documentation apply.
+    TestCode,
+}
+
+/// Classify a workspace-relative path (forward slashes).
+pub fn classify(rel: &str) -> FileKind {
+    let comps: Vec<&str> = rel.split('/').collect();
+    if comps.iter().any(|c| *c == "tests" || *c == "benches") {
+        return FileKind::TestCode;
+    }
+    if comps.first() == Some(&"examples")
+        || comps.contains(&"examples")
+        || comps.contains(&"bin")
+        || rel.ends_with("build.rs")
+    {
+        return FileKind::Binary;
+    }
+    if comps.contains(&"src") {
+        return FileKind::Library;
+    }
+    FileKind::Binary
+}
+
+/// A parsed `// xlint: allow(X00N[, X00M…], reason = "…")` pragma. It
+/// suppresses the named rules on its own line and on the next line.
+#[derive(Debug, Clone)]
+struct Pragma {
+    line: u32,
+    rules: Vec<Rule>,
+}
+
+/// The per-file analysis state shared by all rules.
+pub struct Analysis {
+    rel: String,
+    kind: FileKind,
+    masked: Masked,
+    /// 1-based; `true` when the line sits inside a `#[cfg(test)]` item
+    /// or an inline `mod tests`.
+    test_lines: Vec<bool>,
+    pragmas: Vec<Pragma>,
+    findings: Vec<Finding>,
+}
+
+impl Analysis {
+    /// Lex and analyze one file's bytes under an explicit classification.
+    pub fn new(rel: &str, src: &[u8], kind: FileKind) -> Analysis {
+        let masked = mask(src);
+        let test_lines = test_line_mask(&masked);
+        let mut a = Analysis {
+            rel: rel.to_string(),
+            kind,
+            masked,
+            test_lines,
+            pragmas: Vec::new(),
+            findings: Vec::new(),
+        };
+        a.collect_pragmas();
+        a
+    }
+
+    /// Lex and analyze one file, classifying it from its relative path.
+    pub fn from_path(rel: &str, src: &[u8]) -> Analysis {
+        Analysis::new(rel, src, classify(rel))
+    }
+
+    fn line_of(&self, offset: usize) -> u32 {
+        self.masked.line_of(offset)
+    }
+
+    fn in_test(&self, line: u32) -> bool {
+        self.test_lines.get(line as usize).copied().unwrap_or(false)
+    }
+
+    fn suppressed(&self, rule: Rule, line: u32) -> bool {
+        self.pragmas
+            .iter()
+            .any(|p| p.rules.contains(&rule) && (p.line == line || p.line + 1 == line))
+    }
+
+    fn push(&mut self, rule: Rule, line: u32, msg: String) {
+        if rule != Rule::X000 && self.suppressed(rule, line) {
+            return;
+        }
+        self.findings.push(Finding {
+            path: self.rel.clone(),
+            line,
+            rule,
+            msg,
+        });
+    }
+
+    /// Run every per-file rule and return the findings.
+    pub fn run(mut self) -> Vec<Finding> {
+        self.rule_x001();
+        self.rule_x002();
+        self.rule_x003();
+        self.rule_x004();
+        self.rule_x005();
+        self.rule_x006();
+        self.findings.sort();
+        self.findings
+    }
+
+    // ---- pragmas (X000) -------------------------------------------------
+
+    fn collect_pragmas(&mut self) {
+        // A comment is pragma-intent only when its content (after the
+        // comment sigils) STARTS with `xlint:` — prose that merely
+        // mentions xlint mid-sentence is not held to pragma grammar.
+        let comments: Vec<(u32, String)> = self
+            .masked
+            .comments
+            .iter()
+            .filter(|c| {
+                c.text
+                    .trim_start_matches(['/', '!', '*', ' ', '\t'])
+                    .starts_with("xlint:")
+            })
+            .map(|c| (c.line, c.text.clone()))
+            .collect();
+        for (line, text) in comments {
+            match parse_pragma(&text) {
+                Ok(rules) => self.pragmas.push(Pragma { line, rules }),
+                Err(why) => self.findings.push(Finding {
+                    path: self.rel.clone(),
+                    line,
+                    rule: Rule::X000,
+                    msg: format!("malformed xlint pragma: {why}"),
+                }),
+            }
+        }
+    }
+
+    // ---- X001: panics in library code -----------------------------------
+
+    fn rule_x001(&mut self) {
+        if self.kind != FileKind::Library {
+            return;
+        }
+        let mut hits: Vec<(u32, &'static str)> = Vec::new();
+        for needle in ["unwrap", "expect"] {
+            for pos in method_calls(&self.masked.code, needle) {
+                hits.push((self.line_of(pos), needle));
+            }
+        }
+        for needle in ["panic!", "unreachable!", "todo!", "unimplemented!"] {
+            for pos in find_word_starts(&self.masked.code, needle.as_bytes()) {
+                hits.push((self.line_of(pos), needle));
+            }
+        }
+        for (line, what) in hits {
+            if self.in_test(line) {
+                continue;
+            }
+            self.push(
+                Rule::X001,
+                line,
+                format!(
+                    "`{what}` in non-test library code; return a typed error or justify with \
+                     `// xlint: allow(X001, reason = \"...\")`"
+                ),
+            );
+        }
+    }
+
+    // ---- X002: atomic orderings -----------------------------------------
+
+    fn rule_x002(&mut self) {
+        if self.kind == FileKind::TestCode {
+            return;
+        }
+        const ATOMIC_METHODS: [&str; 13] = [
+            "load",
+            "store",
+            "compare_exchange",
+            "compare_exchange_weak",
+            "fetch_add",
+            "fetch_sub",
+            "fetch_and",
+            "fetch_or",
+            "fetch_xor",
+            "fetch_nand",
+            "fetch_max",
+            "fetch_min",
+            "fetch_update",
+        ];
+        let mut hits: Vec<(u32, String)> = Vec::new();
+        for needle in ATOMIC_METHODS {
+            for pos in method_calls(&self.masked.code, needle) {
+                let open = match paren_after(&self.masked.code, pos + 1 + needle.len()) {
+                    Some(p) => p,
+                    None => continue,
+                };
+                let close = skip_balanced(&self.masked.code, open, b'(', b')');
+                let args = &self.masked.code[open + 1..close.saturating_sub(1).max(open + 1)];
+                if args.iter().all(|b| b.is_ascii_whitespace()) {
+                    // Zero-arg call: a getter, not an atomic op.
+                    continue;
+                }
+                if find_from(args, b"Ordering::", 0).is_none() {
+                    hits.push((
+                        self.line_of(pos),
+                        format!("atomic `{needle}` without an explicit `Ordering::...` argument"),
+                    ));
+                }
+            }
+        }
+        for pos in find_word_starts(&self.masked.code, b"SeqCst") {
+            if word_boundary_after(&self.masked.code, pos + "SeqCst".len()) {
+                hits.push((
+                    self.line_of(pos),
+                    "`SeqCst` is forbidden; the search-core counters are documented \
+                     Relaxed/Acquire-Release — justify any stronger ordering with a pragma"
+                        .to_string(),
+                ));
+            }
+        }
+        for (line, msg) in hits {
+            if self.in_test(line) {
+                continue;
+            }
+            self.push(Rule::X002, line, msg);
+        }
+    }
+
+    // ---- X003: lock discipline ------------------------------------------
+
+    fn rule_x003(&mut self) {
+        if self.kind != FileKind::Library {
+            return;
+        }
+        let code = &self.masked.code;
+        // (a) `.lock()` immediately unwrapped/expected.
+        let lock_calls = method_calls(code, "lock");
+        let mut hits: Vec<(u32, String)> = Vec::new();
+        for pos in &lock_calls {
+            let open = match paren_after(code, pos + ".lock".len()) {
+                Some(p) => p,
+                None => continue,
+            };
+            let after = skip_ws(code, skip_balanced(code, open, b'(', b')'));
+            let chained_panic = ["unwrap", "expect"]
+                .iter()
+                .any(|m| code.get(after) == Some(&b'.') && matches_method_at(code, after, m));
+            if chained_panic {
+                hits.push((
+                    self.line_of(*pos),
+                    "`.lock()` result unwrapped in library code; handle poisoning \
+                     (e.g. `unwrap_or_else(PoisonError::into_inner)`) or pragma-justify"
+                        .to_string(),
+                ));
+            }
+        }
+        // (b) two lock acquisitions inside one statement.
+        let mut seg: Vec<usize> = Vec::new();
+        let mut li = 0usize;
+        for (i, &b) in code.iter().enumerate() {
+            if li < lock_calls.len() && lock_calls[li] == i {
+                seg.push(i);
+                li += 1;
+            }
+            if b == b';' || b == b'{' || b == b'}' {
+                if seg.len() >= 2 {
+                    hits.push((
+                        self.line_of(seg[1]),
+                        "two lock acquisitions in one expression; take stripe locks one \
+                         at a time to keep the lock order deadlock-free"
+                            .to_string(),
+                    ));
+                }
+                seg.clear();
+            }
+        }
+        if seg.len() >= 2 {
+            hits.push((
+                self.line_of(seg[1]),
+                "two lock acquisitions in one expression; take stripe locks one at a \
+                 time to keep the lock order deadlock-free"
+                    .to_string(),
+            ));
+        }
+        for (line, msg) in hits {
+            if self.in_test(line) {
+                continue;
+            }
+            self.push(Rule::X003, line, msg);
+        }
+    }
+
+    // ---- X004: determinism in encoding paths ----------------------------
+
+    /// Paths whose encoding contract is byte-stable.
+    fn deterministic_path(&self) -> bool {
+        self.rel == "src/exec_persist.rs" || self.rel.starts_with("crates/durability/src/")
+    }
+
+    fn rule_x004(&mut self) {
+        if !self.deterministic_path() {
+            return;
+        }
+        let mut hits: Vec<(u32, String)> = Vec::new();
+        for needle in ["HashMap", "HashSet", "SystemTime", "Instant"] {
+            for pos in find_word_starts(&self.masked.code, needle.as_bytes()) {
+                if !word_boundary_after(&self.masked.code, pos + needle.len()) {
+                    continue;
+                }
+                hits.push((
+                    self.line_of(pos),
+                    format!(
+                        "`{needle}` is a nondeterminism source; this file's encoding must \
+                         be byte-stable (sort, or use the Fx variants outside encode order)"
+                    ),
+                ));
+            }
+        }
+        for (line, msg) in hits {
+            if self.in_test(line) {
+                continue;
+            }
+            self.push(Rule::X004, line, msg);
+        }
+    }
+
+    // ---- X005: unique wire tags ------------------------------------------
+
+    fn rule_x005(&mut self) {
+        const TAG_PREFIXES: [&str; 4] = ["SEC_", "TAG_", "REC_", "WIRE_"];
+        let code = &self.masked.code;
+        let mut tags: Vec<(String, String, u64, u32)> = Vec::new(); // prefix, name, value, line
+        for pos in find_word_starts(code, b"const") {
+            let mut i = skip_ws(code, pos + "const".len());
+            let name_start = i;
+            while i < code.len() && is_ident_byte(code[i]) {
+                i += 1;
+            }
+            let name = String::from_utf8_lossy(&code[name_start..i]).into_owned();
+            let Some(prefix) = TAG_PREFIXES.iter().find(|p| name.starts_with(**p)) else {
+                continue;
+            };
+            i = skip_ws(code, i);
+            if code.get(i) != Some(&b':') {
+                continue;
+            }
+            i = skip_ws(code, i + 1);
+            let ty_start = i;
+            while i < code.len() && is_ident_byte(code[i]) {
+                i += 1;
+            }
+            let ty = &code[ty_start..i];
+            if !matches!(ty, b"u8" | b"u16" | b"u32" | b"u64" | b"usize") {
+                continue;
+            }
+            i = skip_ws(code, i);
+            if code.get(i) != Some(&b'=') {
+                continue;
+            }
+            let val_start = skip_ws(code, i + 1);
+            let mut j = val_start;
+            while j < code.len() && code[j] != b';' {
+                j += 1;
+            }
+            let Some(value) = parse_int(&code[val_start..j]) else {
+                continue; // expressions like `1 << 20` are not tags
+            };
+            tags.push((prefix.to_string(), name, value, self.line_of(pos)));
+        }
+        let mut hits: Vec<(u32, String)> = Vec::new();
+        for (i, (prefix, name, value, line)) in tags.iter().enumerate() {
+            for (p2, n2, v2, _) in tags.iter().take(i) {
+                if p2 == prefix && v2 == value {
+                    hits.push((
+                        *line,
+                        format!(
+                            "wire tag value {value} duplicated: `{n2}` and `{name}` \
+                             share it; tags must be unique per namespace"
+                        ),
+                    ));
+                }
+            }
+        }
+        for (line, msg) in hits {
+            self.push(Rule::X005, line, msg);
+        }
+    }
+
+    // ---- X006: documented unsafe ----------------------------------------
+
+    fn rule_x006(&mut self) {
+        let code = &self.masked.code;
+        let mut hits: Vec<u32> = Vec::new();
+        for pos in find_word_starts(code, b"unsafe") {
+            if !word_boundary_after(code, pos + "unsafe".len()) {
+                continue;
+            }
+            let line = self.line_of(pos);
+            let documented = self.masked.comments.iter().any(|c| {
+                (c.text.contains("SAFETY:") || c.text.contains("# Safety"))
+                    && c.line <= line
+                    && line.saturating_sub(c.line) <= 3
+            });
+            if !documented {
+                hits.push(line);
+            }
+        }
+        for line in hits {
+            self.push(
+                Rule::X006,
+                line,
+                "`unsafe` without a `// SAFETY:` comment within the preceding 3 lines".to_string(),
+            );
+        }
+    }
+}
+
+/// Parse the body of an `xlint:` comment into suppressed rules.
+fn parse_pragma(text: &str) -> Result<Vec<Rule>, String> {
+    let Some(after) = text.split("xlint:").nth(1) else {
+        return Err("missing `allow(...)`".to_string());
+    };
+    let after = after.trim_start();
+    let Some(body) = after.strip_prefix("allow(") else {
+        return Err("expected `allow(` after `xlint:`".to_string());
+    };
+    let Some(end) = body.rfind(')') else {
+        return Err("unclosed `allow(`".to_string());
+    };
+    let body = &body[..end];
+    let Some((ids, reason)) = body.split_once("reason") else {
+        return Err("missing mandatory `reason = \"...\"`".to_string());
+    };
+    let reason = reason.trim_start();
+    let Some(reason) = reason.strip_prefix('=') else {
+        return Err("expected `=` after `reason`".to_string());
+    };
+    let reason = reason.trim();
+    if !(reason.len() >= 3 && reason.starts_with('"') && reason.ends_with('"')) {
+        return Err("reason must be a nonempty quoted string".to_string());
+    }
+    let mut rules = Vec::new();
+    for id in ids.split(',') {
+        let id = id.trim();
+        if id.is_empty() {
+            continue;
+        }
+        match Rule::from_code(id) {
+            Some(Rule::X000) => return Err("X000 (pragma hygiene) cannot be allowed".to_string()),
+            Some(r) => rules.push(r),
+            None => return Err(format!("unknown rule id `{id}`")),
+        }
+    }
+    if rules.is_empty() {
+        return Err("no rule ids named".to_string());
+    }
+    Ok(rules)
+}
+
+/// Positions of `.name` method references that are actual calls
+/// (`.name` at an identifier boundary, followed by `(`).
+fn method_calls(code: &[u8], name: &str) -> Vec<usize> {
+    let needle: Vec<u8> = [b".", name.as_bytes()].concat();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while let Some(pos) = find_from(code, &needle, i) {
+        i = pos + 1;
+        if matches_method_at(code, pos, name) {
+            out.push(pos);
+        }
+    }
+    out
+}
+
+/// Does `.name(` (with optional whitespace before the paren) start at
+/// `code[at]`?
+fn matches_method_at(code: &[u8], at: usize, name: &str) -> bool {
+    if code.get(at) != Some(&b'.') {
+        return false;
+    }
+    let end = at + 1 + name.len();
+    if code.get(at + 1..end) != Some(name.as_bytes()) {
+        return false;
+    }
+    if !word_boundary_after(code, end) {
+        return false;
+    }
+    paren_after(code, end).is_some()
+}
+
+/// The offset of a `(` following optional whitespace, if present.
+fn paren_after(code: &[u8], from: usize) -> Option<usize> {
+    let i = skip_ws(code, from);
+    (code.get(i) == Some(&b'(')).then_some(i)
+}
+
+fn word_boundary_after(code: &[u8], at: usize) -> bool {
+    code.get(at).map(|b| !is_ident_byte(*b)).unwrap_or(true)
+}
+
+/// Parse a plain integer literal (decimal / hex / octal / binary, with
+/// `_` separators and an optional `uNN` suffix).
+fn parse_int(raw: &[u8]) -> Option<u64> {
+    let text = String::from_utf8_lossy(raw);
+    let mut s = text.trim().replace('_', "");
+    for suffix in ["u8", "u16", "u32", "u64", "usize"] {
+        if let Some(stripped) = s.strip_suffix(suffix) {
+            s = stripped.to_string();
+            break;
+        }
+    }
+    let s = s.trim();
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        return u64::from_str_radix(hex, 16).ok();
+    }
+    if let Some(oct) = s.strip_prefix("0o") {
+        return u64::from_str_radix(oct, 8).ok();
+    }
+    if let Some(bin) = s.strip_prefix("0b") {
+        return u64::from_str_radix(bin, 2).ok();
+    }
+    s.parse().ok()
+}
+
+/// Per-line mask of `#[cfg(test)]` items, `#[test]` functions, and
+/// inline `mod tests { .. }` regions.
+fn test_line_mask(m: &Masked) -> Vec<bool> {
+    let code = &m.code;
+    let mut mask = vec![false; m.line_count() + 2];
+    let mut regions: Vec<(usize, usize)> = Vec::new();
+
+    // Attribute-marked items.
+    let mut i = 0usize;
+    while let Some(pos) = find_from(code, b"#[", i) {
+        let attr_end = skip_balanced(code, pos + 1, b'[', b']');
+        i = pos + 2;
+        let attr = &code[pos..attr_end];
+        if !attr_marks_test(attr) {
+            continue;
+        }
+        // Skip any stacked attributes after this one.
+        let mut j = skip_ws(code, attr_end);
+        while code.get(j) == Some(&b'#') && code.get(j + 1) == Some(&b'[') {
+            j = skip_ws(code, skip_balanced(code, j + 1, b'[', b']'));
+        }
+        // The item extends to its matching close brace (or a semicolon).
+        let mut k = j;
+        while k < code.len() && code[k] != b'{' && code[k] != b';' {
+            k += 1;
+        }
+        let end = if code.get(k) == Some(&b'{') {
+            skip_balanced(code, k, b'{', b'}')
+        } else {
+            (k + 1).min(code.len())
+        };
+        regions.push((pos, end));
+        i = end;
+    }
+
+    // Inline `mod tests` / `mod test` without an attribute.
+    for pos in find_word_starts(code, b"mod") {
+        if !word_boundary_after(code, pos + 3) {
+            continue;
+        }
+        let name_start = skip_ws(code, pos + 3);
+        let mut ne = name_start;
+        while ne < code.len() && is_ident_byte(code[ne]) {
+            ne += 1;
+        }
+        if !matches!(&code[name_start..ne], b"tests" | b"test") {
+            continue;
+        }
+        let brace = skip_ws(code, ne);
+        if code.get(brace) == Some(&b'{') {
+            regions.push((pos, skip_balanced(code, brace, b'{', b'}')));
+        }
+    }
+
+    for (s, e) in regions {
+        let first = m.line_of(s) as usize;
+        let last = m.line_of(e.saturating_sub(1).max(s)) as usize;
+        for slot in mask.iter_mut().take(last + 1).skip(first) {
+            *slot = true;
+        }
+    }
+    mask
+}
+
+/// Does an attribute's masked text mark a test item? `test` must appear
+/// at a word boundary and not inside `not(test)`.
+fn attr_marks_test(attr: &[u8]) -> bool {
+    for pos in find_word_starts(attr, b"test") {
+        if !word_boundary_after(attr, pos + 4) {
+            continue;
+        }
+        let negated = pos >= 4 && &attr[pos - 4..pos] == b"not(";
+        if !negated {
+            return true;
+        }
+    }
+    false
+}
+
+/// X007: cross-check the bench JSON field names CI validates against the
+/// corresponding bench sources.
+///
+/// The CI workflow's python validation heredoc reads
+/// `BENCH_<name>.json` summaries and asserts on keys, some spelled
+/// literally (`m["key"]` / `m.get("key"`), some via f-strings expanded
+/// over `for <ident> in ("a", "b")` loops. Every such key must appear
+/// inside a string literal of `crates/bench/benches/<name>.rs`, so the
+/// contract CI enforces at run time is visible (and greppable) in the
+/// bench source itself.
+pub fn check_ci_contract(root: &Path) -> Vec<Finding> {
+    let ci_path = root.join(".github/workflows/ci.yml");
+    let Ok(text) = std::fs::read_to_string(&ci_path) else {
+        return Vec::new(); // no CI workflow, nothing to cross-check
+    };
+    let mut findings = Vec::new();
+
+    // Loop bindings: `for <ident> in ("a", "b", ...)`.
+    let mut bindings: Vec<(String, Vec<String>)> = Vec::new();
+    for line in text.lines() {
+        let Some(rest) = line.trim_start().strip_prefix("for ") else {
+            continue;
+        };
+        let Some((ident, tail)) = rest.split_once(" in ") else {
+            continue;
+        };
+        let ident = ident.trim();
+        if !ident.bytes().all(is_ident_byte) || ident.is_empty() {
+            continue;
+        }
+        let values = quoted_strings(tail);
+        if !values.is_empty() {
+            bindings.push((ident.to_string(), values));
+        }
+    }
+
+    // Bench contexts in order of appearance: json.load(open("BENCH_<n>.json")).
+    let mut contexts: Vec<(usize, String)> = Vec::new();
+    let mut i = 0usize;
+    while let Some(pos) = find_from(text.as_bytes(), b"BENCH_", i) {
+        i = pos + 1;
+        let tail = &text[pos + "BENCH_".len()..];
+        if let Some(end) = tail.find(".json") {
+            let name = &tail[..end];
+            if !name.is_empty() && name.bytes().all(is_ident_byte) {
+                contexts.push((pos, name.to_string()));
+            }
+        }
+    }
+
+    // Keys: literal `m["key"]` / `m.get("key"` plus expanded f-strings.
+    let mut keys: Vec<(usize, String)> = Vec::new();
+    for marker in ["m[\"", "m.get(\""] {
+        let mut i = 0usize;
+        while let Some(pos) = find_from(text.as_bytes(), marker.as_bytes(), i) {
+            i = pos + 1;
+            let start = pos + marker.len();
+            if let Some(end) = text[start..].find('"') {
+                keys.push((pos, text[start..start + end].to_string()));
+            }
+        }
+    }
+    let mut i = 0usize;
+    while let Some(pos) = find_from(text.as_bytes(), b"f\"", i) {
+        i = pos + 1;
+        let start = pos + 2;
+        let Some(end) = text[start..].find('"') else {
+            continue;
+        };
+        let template = &text[start..start + end];
+        for expansion in expand_template(template, &bindings) {
+            keys.push((pos, expansion));
+        }
+    }
+
+    // Associate each key with the nearest preceding bench context.
+    for (pos, key) in keys {
+        if key.is_empty() || !key.bytes().all(is_ident_byte) {
+            continue;
+        }
+        let Some((_, bench)) = contexts
+            .iter()
+            .filter(|(cpos, _)| *cpos <= pos)
+            .max_by_key(|(cpos, _)| *cpos)
+        else {
+            continue;
+        };
+        let rel = format!("crates/bench/benches/{bench}.rs");
+        let bench_path = root.join(&rel);
+        let Ok(src) = std::fs::read(&bench_path) else {
+            findings.push(Finding {
+                path: rel.clone(),
+                line: 1,
+                rule: Rule::X007,
+                msg: format!(
+                    "CI validates `{key}` in BENCH_{bench}.json but the bench source is missing"
+                ),
+            });
+            continue;
+        };
+        let lexed = mask(&src);
+        let present = lexed.strings.iter().any(|s| s.text.contains(&key));
+        if !present {
+            findings.push(Finding {
+                path: rel,
+                line: 1,
+                rule: Rule::X007,
+                msg: format!(
+                    "CI validates JSON field `{key}` but it never appears as a string \
+                     literal in this bench; add it to the bench's CI-field manifest"
+                ),
+            });
+        }
+    }
+    findings.sort();
+    findings.dedup();
+    findings
+}
+
+/// All `"…"` contents on one line of python/yaml text.
+fn quoted_strings(line: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut rest = line;
+    while let Some(start) = rest.find('"') {
+        let tail = &rest[start + 1..];
+        let Some(end) = tail.find('"') else { break };
+        out.push(tail[..end].to_string());
+        rest = &tail[end + 1..];
+    }
+    out
+}
+
+/// Expand `{ident}` placeholders in an f-string template over the loop
+/// bindings; returns the cartesian product, or nothing when a
+/// placeholder has no binding (not statically checkable).
+fn expand_template(template: &str, bindings: &[(String, Vec<String>)]) -> Vec<String> {
+    let mut results = vec![String::new()];
+    let mut rest = template;
+    while let Some(open) = rest.find('{') {
+        let prefix = &rest[..open];
+        let Some(close) = rest[open..].find('}') else {
+            return Vec::new();
+        };
+        let ident = &rest[open + 1..open + close];
+        if !ident.bytes().all(is_ident_byte) || ident.is_empty() {
+            return Vec::new(); // format specs / expressions: give up
+        }
+        let Some((_, values)) = bindings.iter().find(|(n, _)| n == ident) else {
+            return Vec::new();
+        };
+        let mut next = Vec::new();
+        for r in &results {
+            for v in values {
+                next.push(format!("{r}{prefix}{v}"));
+            }
+        }
+        results = next;
+        rest = &rest[open + close + 1..];
+    }
+    for r in &mut results {
+        r.push_str(rest);
+    }
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint(rel: &str, src: &str) -> Vec<Finding> {
+        Analysis::from_path(rel, src.as_bytes()).run()
+    }
+
+    fn codes(findings: &[Finding]) -> Vec<&'static str> {
+        findings.iter().map(|f| f.rule.code()).collect()
+    }
+
+    #[test]
+    fn x001_flags_library_not_tests() {
+        let src = "fn f() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n  fn g() { y.unwrap(); panic!(); }\n}\n";
+        let f = lint("crates/foo/src/lib.rs", src);
+        assert_eq!(codes(&f), ["X001"]);
+        assert_eq!(f[0].line, 1);
+    }
+
+    #[test]
+    fn x001_ignores_binaries_and_strings() {
+        assert!(lint("examples/demo.rs", "fn main() { x.unwrap(); }").is_empty());
+        assert!(lint("src/bin/cli.rs", "fn main() { panic!(); }").is_empty());
+        let f = lint(
+            "src/lib.rs",
+            "fn f() { log(\"don't panic!()\"); } // unwrap()",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn x001_unwrap_or_is_fine() {
+        assert!(lint(
+            "src/lib.rs",
+            "fn f() { x.unwrap_or(0); y.unwrap_or_else(id); }"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn pragma_suppresses_with_reason() {
+        let src = "fn f() {\n  // xlint: allow(X001, reason = \"invariant: always present\")\n  x.unwrap();\n}\n";
+        assert!(lint("src/lib.rs", src).is_empty());
+        let same_line = "fn f() { x.unwrap(); } // xlint: allow(X001, reason = \"seeded above\")\n";
+        assert!(lint("src/lib.rs", same_line).is_empty());
+    }
+
+    #[test]
+    fn pragma_without_reason_is_x000() {
+        let src = "// xlint: allow(X001)\nfn f() { x.unwrap(); }\n";
+        let f = lint("src/lib.rs", src);
+        assert_eq!(codes(&f), ["X000", "X001"]);
+    }
+
+    #[test]
+    fn x002_atomics() {
+        let bad = "fn f(a: &AtomicUsize) { a.store(1); }";
+        assert_eq!(codes(&lint("src/lib.rs", bad)), ["X002"]);
+        let good = "fn f(a: &AtomicUsize) { a.store(1, Ordering::Relaxed); }";
+        assert!(lint("src/lib.rs", good).is_empty());
+        let seqcst = "fn f(a: &AtomicUsize) { a.store(1, Ordering::SeqCst); }";
+        assert_eq!(codes(&lint("src/lib.rs", seqcst)), ["X002"]);
+        let getter = "fn f(d: &Deployment) -> &Store { d.store() }";
+        assert!(lint("src/lib.rs", getter).is_empty());
+    }
+
+    #[test]
+    fn x003_lock_unwrap_and_double_lock() {
+        // A lock-unwrap is both a panic path (X001) and a poison bug (X003).
+        let bad = "fn f(m: &Mutex<u32>) { *m.lock().unwrap() += 1; }";
+        assert_eq!(codes(&lint("src/lib.rs", bad)), ["X001", "X003"]);
+        let double = "fn f(a: &Mutex<u32>, b: &Mutex<u32>) -> (u32, u32) { let p = (a.lock(), b.lock()); p }";
+        let f = lint("src/lib.rs", double);
+        assert_eq!(codes(&f), ["X003"]);
+        let good = "fn f(m: &Mutex<u32>) { let g = m.lock().unwrap_or_else(|p| p.into_inner()); }";
+        assert!(lint("src/lib.rs", good).is_empty());
+        let sequential =
+            "fn f(a: &Mutex<u32>, b: &Mutex<u32>) { let x = a.lock(); drop(x); let y = b.lock(); }";
+        assert!(lint("src/lib.rs", sequential).is_empty());
+    }
+
+    #[test]
+    fn x004_only_in_encoding_paths() {
+        let src = "use std::collections::HashMap;\nfn f() { let t = Instant::now(); }";
+        let f = lint("crates/durability/src/wire.rs", src);
+        assert_eq!(codes(&f), ["X004", "X004"]);
+        assert!(lint("crates/core/src/lib.rs", src).is_empty());
+        let fx = "fn f() { let m = FxHashMap::default(); }";
+        assert!(lint("src/exec_persist.rs", fx).is_empty());
+    }
+
+    #[test]
+    fn x005_duplicate_tags() {
+        let src = "const SEC_A: u32 = 1;\nconst SEC_B: u32 = 2;\nconst SEC_C: u32 = 1;\n";
+        let f = lint("src/exec_persist.rs", src);
+        assert_eq!(codes(&f), ["X005"]);
+        assert_eq!(f[0].line, 3);
+        let expr = "const SEC_A: u32 = 1;\nconst SEC_B: u64 = 1 << 20;\n";
+        assert!(lint("src/lib.rs", expr).is_empty());
+    }
+
+    #[test]
+    fn x006_unsafe_needs_safety_comment() {
+        let bad = "fn f() { unsafe { go() } }";
+        assert_eq!(codes(&lint("src/lib.rs", bad)), ["X006"]);
+        let good = "fn f() {\n  // SAFETY: bounds checked above\n  unsafe { go() }\n}";
+        assert!(lint("src/lib.rs", good).is_empty());
+        let in_string = "fn f() { log(\"unsafe query\"); }";
+        assert!(lint("src/lib.rs", in_string).is_empty());
+    }
+
+    #[test]
+    fn template_expansion() {
+        let bindings = vec![
+            ("a".to_string(), vec!["x".to_string(), "y".to_string()]),
+            ("b".to_string(), vec!["1".to_string()]),
+        ];
+        let mut got = expand_template("w_{a}_{b}_s", &bindings);
+        got.sort();
+        assert_eq!(got, ["w_x_1_s", "w_y_1_s"]);
+        assert!(expand_template("w_{unbound}", &bindings).is_empty());
+    }
+}

@@ -1,0 +1,77 @@
+//! Self-tests of the `xlint` binary: the ISSUE-mandated guarantee that
+//! reintroducing a violation makes the gate exit nonzero, and that the
+//! current tree passes it.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn corpus(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/corpus")
+        .join(name)
+}
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .unwrap()
+        .to_path_buf()
+}
+
+#[test]
+fn violation_fixture_fails_the_gate() {
+    let out = Command::new(env!("CARGO_BIN_EXE_xlint"))
+        .args(["--kind", "library"])
+        .arg(corpus("x001_violations.rs"))
+        .output()
+        .unwrap();
+    assert!(
+        !out.status.success(),
+        "the gate must fail on a violation fixture"
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("X001"), "stdout was: {stdout}");
+    assert!(
+        stdout.lines().all(|l| l.contains(": X00")),
+        "findings must print as file:line: X00N message; stdout was: {stdout}"
+    );
+}
+
+#[test]
+fn clean_fixture_passes_the_gate() {
+    let out = Command::new(env!("CARGO_BIN_EXE_xlint"))
+        .args(["--kind", "library"])
+        .arg(corpus("tricky_negatives.rs"))
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "clean fixture must pass; stdout: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+}
+
+#[test]
+fn repo_mode_passes_on_the_current_tree() {
+    let out = Command::new(env!("CARGO_BIN_EXE_xlint"))
+        .arg("--deny-all")
+        .args(["--root".as_ref(), workspace_root().as_os_str()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "`xlint --deny-all` must pass on the shipped tree; stdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn unknown_flag_is_a_usage_error() {
+    let out = Command::new(env!("CARGO_BIN_EXE_xlint"))
+        .arg("--frobnicate")
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}

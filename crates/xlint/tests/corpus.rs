@@ -1,0 +1,268 @@
+//! Corpus-driven tests: each fixture under `tests/corpus/` is linted and
+//! its exact `(line, rule)` finding list asserted. The fixtures are raw
+//! snippets, never compiled — `collect_rs_files` skips `corpus/` dirs,
+//! and cargo only builds top-level files in `tests/`.
+
+use std::path::{Path, PathBuf};
+
+use xlint::{classify, lexer, scan_repo, Analysis, FileKind};
+
+fn corpus_path(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/corpus")
+        .join(name)
+}
+
+/// Lint a corpus fixture under a forced rel path + kind, returning the
+/// sorted `(line, rule-code)` pairs the engine produced.
+fn lint_as(name: &str, rel: &str, kind: FileKind) -> Vec<(u32, &'static str)> {
+    let src = std::fs::read(corpus_path(name)).unwrap();
+    Analysis::new(rel, &src, kind)
+        .run()
+        .into_iter()
+        .map(|f| (f.line, f.rule.code()))
+        .collect()
+}
+
+fn lint_lib(name: &str) -> Vec<(u32, &'static str)> {
+    lint_as(name, "src/fixture.rs", FileKind::Library)
+}
+
+#[test]
+fn x001_all_panic_forms_flagged() {
+    assert_eq!(
+        lint_lib("x001_violations.rs"),
+        vec![
+            (5, "X001"),  // unwrap
+            (6, "X001"),  // expect
+            (8, "X001"),  // panic!
+            (11, "X001"), // todo!
+            (12, "X001"), // unreachable!
+        ]
+    );
+}
+
+#[test]
+fn x001_silent_in_binaries_and_tests() {
+    assert_eq!(
+        lint_as(
+            "x001_violations.rs",
+            "examples/fixture.rs",
+            FileKind::Binary
+        ),
+        vec![]
+    );
+    assert_eq!(
+        lint_as(
+            "x001_violations.rs",
+            "crates/x/tests/t.rs",
+            FileKind::TestCode
+        ),
+        vec![]
+    );
+}
+
+#[test]
+fn tricky_negatives_stay_silent() {
+    // Lints spelled inside strings, raw strings, comments, nested block
+    // comments, and `#[cfg(test)]` modules must not fire.
+    assert_eq!(lint_lib("tricky_negatives.rs"), vec![]);
+}
+
+#[test]
+fn pragma_suppression_and_malformation() {
+    assert_eq!(
+        lint_lib("pragmas.rs"),
+        vec![
+            (10, "X001"), // pragma names the wrong rule
+            (14, "X000"), // malformed: reason missing
+            (15, "X001"), // ...and a malformed pragma suppresses nothing
+            (21, "X001"), // pragma two lines up is out of range
+        ]
+    );
+}
+
+#[test]
+fn x002_atomic_orderings() {
+    assert_eq!(
+        lint_lib("x002_atomics.rs"),
+        vec![
+            (8, "X002"),  // store without Ordering::
+            (9, "X002"),  // fetch_add without Ordering::
+            (10, "X002"), // SeqCst
+        ]
+    );
+    // Atomics discipline also covers binaries...
+    assert_eq!(
+        lint_as("x002_atomics.rs", "examples/fixture.rs", FileKind::Binary),
+        vec![(8, "X002"), (9, "X002"), (10, "X002")]
+    );
+    // ...but not test code.
+    assert_eq!(
+        lint_as("x002_atomics.rs", "crates/x/tests/t.rs", FileKind::TestCode),
+        vec![]
+    );
+}
+
+#[test]
+fn x003_lock_discipline() {
+    assert_eq!(
+        lint_lib("x003_locks.rs"),
+        vec![
+            (6, "X001"), // the unwrap itself is also a panic path
+            (6, "X003"), // .lock().unwrap()
+            (9, "X003"), // two stripe locks in one expression
+        ]
+    );
+}
+
+#[test]
+fn x004_fires_only_on_deterministic_paths() {
+    assert_eq!(
+        lint_as(
+            "x004_wire.rs",
+            "crates/durability/src/fixture.rs",
+            FileKind::Library
+        ),
+        vec![
+            (3, "X004"), // use ... HashMap
+            (4, "X004"), // use ... Instant
+            (6, "X004"), // HashMap in the signature
+            (7, "X004"), // Instant::now()
+            (8, "X004"), // HashMap::new()
+        ]
+    );
+    // The same source is fine anywhere else in the tree.
+    assert_eq!(lint_lib("x004_wire.rs"), vec![]);
+}
+
+#[test]
+fn x005_duplicate_wire_tags() {
+    let findings = lint_as(
+        "x005_tags.rs",
+        "crates/durability/src/bundle.rs",
+        FileKind::Library,
+    );
+    // SEC_DUP reuses SEC_HEADER's value; the shifted expression is not a
+    // tag, and REC_/SEC_ namespaces do not collide with each other.
+    assert_eq!(findings, vec![(5, "X005")]);
+}
+
+#[test]
+fn x006_safety_comments() {
+    assert_eq!(lint_lib("x006_unsafe.rs"), vec![(4, "X006")]);
+}
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .unwrap()
+        .to_path_buf()
+}
+
+#[test]
+fn repo_tree_is_clean() {
+    let (files, findings) = scan_repo(&workspace_root()).unwrap();
+    assert!(files > 50, "repo scan saw only {files} files");
+    assert!(
+        findings.is_empty(),
+        "the tree must lint clean; found:\n{}",
+        findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn classify_matches_repo_layout() {
+    assert_eq!(classify("src/exec_persist.rs"), FileKind::Library);
+    assert_eq!(classify("crates/xlint/src/rules.rs"), FileKind::Library);
+    assert_eq!(classify("src/bin/rdfviews.rs"), FileKind::Binary);
+    assert_eq!(classify("examples/durable_deploy.rs"), FileKind::Binary);
+    assert_eq!(
+        classify("crates/bench/benches/join_throughput.rs"),
+        FileKind::TestCode
+    );
+    assert_eq!(
+        classify("crates/core/tests/pipeline.rs"),
+        FileKind::TestCode
+    );
+}
+
+// ---- X007: the CI bench-contract cross-check -----------------------------
+
+/// Build a throwaway mini-tree with a CI workflow and a bench source, run
+/// the X007 checker against it, and return the finding lines.
+fn x007_findings(bench_src: &str) -> Vec<String> {
+    let dir = std::env::temp_dir().join(format!(
+        "xlint-x007-{}-{}",
+        std::process::id(),
+        bench_src.len()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(dir.join(".github/workflows")).unwrap();
+    std::fs::create_dir_all(dir.join("crates/bench/benches")).unwrap();
+    std::fs::write(
+        dir.join(".github/workflows/ci.yml"),
+        r#"
+      - name: validate
+        run: |
+          python3 - <<'EOF'
+          import json
+          m = json.load(open("BENCH_mini.json"))
+          for shape in ("alpha", "beta"):
+              key = f"wall_{shape}_s"
+              assert m[key] > 0
+          assert m["tuples_total"] > 0
+          EOF
+"#,
+    )
+    .unwrap();
+    std::fs::write(dir.join("crates/bench/benches/mini.rs"), bench_src).unwrap();
+    let findings = xlint::check_ci_contract(&dir);
+    let _ = std::fs::remove_dir_all(&dir);
+    findings.into_iter().map(|f| f.to_string()).collect()
+}
+
+#[test]
+fn x007_flags_missing_fields_and_accepts_complete_manifests() {
+    // Bench names every expanded key: clean.
+    let complete = r#"
+        const FIELDS: &[&str] = &["wall_alpha_s", "wall_beta_s", "tuples_total"];
+    "#;
+    assert_eq!(x007_findings(complete), Vec::<String>::new());
+
+    // `wall_beta_s` validated by CI but absent from the bench: one X007.
+    let incomplete = r#"
+        const FIELDS: &[&str] = &["wall_alpha_s", "tuples_total"];
+    "#;
+    let found = x007_findings(incomplete);
+    assert_eq!(found.len(), 1, "got: {found:?}");
+    assert!(
+        found[0].contains("X007") && found[0].contains("wall_beta_s"),
+        "got: {found:?}"
+    );
+}
+
+// ---- lexer spot checks on corpus bytes ------------------------------------
+
+#[test]
+fn masking_preserves_geometry_on_every_fixture() {
+    let dir = corpus_path("");
+    for entry in std::fs::read_dir(&dir).unwrap() {
+        let path = entry.unwrap().path();
+        let src = std::fs::read(&path).unwrap();
+        let masked = lexer::mask(&src);
+        assert_eq!(masked.code.len(), src.len(), "{path:?}");
+        for (i, &b) in src.iter().enumerate() {
+            assert_eq!(
+                masked.code[i] == b'\n',
+                b == b'\n',
+                "{path:?}: newline geometry changed at byte {i}"
+            );
+        }
+    }
+}

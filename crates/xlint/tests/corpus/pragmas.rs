@@ -1,0 +1,22 @@
+// Corpus fixture: pragma coverage and malformation.
+
+pub fn suppressed(o: Option<u32>) -> u32 {
+    // xlint: allow(X001, reason = "fixture: caller checked is_some")
+    o.unwrap()
+}
+
+pub fn wrong_rule(o: Option<u32>) -> u32 {
+    // xlint: allow(X002, reason = "suppresses the wrong rule")
+    o.unwrap()
+}
+
+pub fn missing_reason(o: Option<u32>) -> u32 {
+    // xlint: allow(X001)
+    o.unwrap()
+}
+
+pub fn too_far(o: Option<u32>) -> u32 {
+    // xlint: allow(X001, reason = "covers only its own and the next line")
+
+    o.unwrap()
+}

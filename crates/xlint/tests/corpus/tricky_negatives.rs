@@ -1,0 +1,31 @@
+//! Corpus fixture: tricky negatives. Doc comments may say unwrap() or
+//! panic!("x") freely; nothing in this file may produce a finding.
+
+pub fn clean() -> &'static str {
+    // a comment mentioning x.unwrap() and panic!("no")
+    let s = "calls .unwrap() and panic! inside a string";
+    let r = r#"raw string with .expect("x") and todo!()"#;
+    let c = 'x'; // char literal, not a lifetime start
+    let _lt: &'static str = s; // lifetime, not a char literal
+    let r#type = r; // raw identifier, not a raw string
+    /* block comment /* nested: unreachable!() */ still a comment */
+    if c == 'x' {
+        r#type
+    } else {
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tests_may_panic_freely() {
+        let v = [clean()];
+        assert_eq!(*v.first().unwrap(), clean());
+        if v.is_empty() {
+            panic!("unreachable in practice");
+        }
+    }
+}

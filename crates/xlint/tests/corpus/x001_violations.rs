@@ -1,0 +1,15 @@
+// Corpus fixture: X001 true positives. The integration test asserts the
+// exact (line, rule) list, so line numbers here are load-bearing.
+
+pub fn violations(v: Vec<u32>, o: Option<u32>) -> u32 {
+    let a = o.unwrap();
+    let b = v.first().expect("nonempty");
+    if a > *b {
+        panic!("bad ordering");
+    }
+    match a {
+        0 => todo!(),
+        1 => unreachable!(),
+        _ => a + b,
+    }
+}

@@ -1,0 +1,12 @@
+// Corpus fixture: X002 atomic-ordering discipline.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn orderings(a: &AtomicU64) -> u64 {
+    a.store(1, Ordering::Relaxed);
+    a.fetch_add(1, Ordering::AcqRel);
+    a.store(2, 0);
+    let x = a.fetch_add(3);
+    a.store(4, Ordering::SeqCst);
+    x + a.load(Ordering::Acquire)
+}

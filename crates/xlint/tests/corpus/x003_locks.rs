@@ -1,0 +1,11 @@
+// Corpus fixture: X003 lock discipline.
+
+use std::sync::{Mutex, PoisonError};
+
+pub fn locks(a: &Mutex<u32>, b: &Mutex<u32>) -> u32 {
+    let v = *a.lock().unwrap();
+    let w = *a.lock().unwrap_or_else(PoisonError::into_inner);
+    let both = *a.lock().unwrap_or_else(PoisonError::into_inner)
+        + *b.lock().unwrap_or_else(PoisonError::into_inner);
+    v + w + both
+}

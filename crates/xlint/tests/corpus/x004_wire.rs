@@ -1,0 +1,13 @@
+// Corpus fixture: X004 determinism — linted under a durability rel path.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub fn decode(bytes: &[u8]) -> HashMap<u8, u8> {
+    let started = Instant::now();
+    let mut m = HashMap::new();
+    for b in bytes {
+        m.insert(*b, started.elapsed().as_secs() as u8);
+    }
+    m
+}

@@ -1,0 +1,8 @@
+// Corpus fixture: X005 wire-tag uniqueness — linted as bundle.rs.
+
+pub const SEC_HEADER: u8 = 1;
+pub const SEC_INDEX: u8 = 2;
+pub const SEC_DUP: u8 = 1;
+pub const TAG_SHIFTED: u64 = 1 << 20;
+pub const WIRE_MAGIC: u32 = 7;
+pub const REC_COMMIT: u8 = 2;

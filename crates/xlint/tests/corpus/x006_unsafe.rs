@@ -1,0 +1,10 @@
+// Corpus fixture: X006 SAFETY comments.
+
+pub fn undocumented(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+
+pub fn documented(p: *const u8) -> u8 {
+    // SAFETY: fixture — the caller promises `p` is valid and aligned.
+    unsafe { *p }
+}

@@ -1,0 +1,49 @@
+//! Property tests for the surface lexer: `mask()` must be total over
+//! arbitrary bytes — no panics, no infinite loops, and the masked view
+//! must keep the byte length and newline geometry of its input (line
+//! numbers in findings depend on that).
+
+use proptest::prelude::*;
+use xlint::lexer::mask;
+
+/// Bend raw bytes toward the lexer's interesting alphabet: even bytes
+/// become quote/comment/fence structure, odd bytes stay arbitrary. Raw
+/// noise alone almost never forms `r#"`-style openings.
+fn rust_flavor(raw: &[u8]) -> Vec<u8> {
+    const ALPHABET: &[u8] = b"\"'/r#b*\\\n {}()!.;xX0_";
+    raw.iter()
+        .map(|&b| {
+            if b & 1 == 0 {
+                ALPHABET[(b as usize / 2) % ALPHABET.len()]
+            } else {
+                b
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn mask_is_total_and_geometry_preserving(raw in prop::collection::vec(any::<u8>(), 0..256)) {
+        let src = rust_flavor(&raw);
+        let masked = mask(&src);
+        prop_assert_eq!(masked.code.len(), src.len());
+        for (i, &b) in src.iter().enumerate() {
+            // Newlines are preserved exactly (never introduced, never
+            // swallowed), so line_of() stays meaningful in literals.
+            prop_assert_eq!(masked.code[i] == b'\n', b == b'\n');
+        }
+        // line_starts is strictly increasing and starts at 0.
+        prop_assert_eq!(masked.line_starts.first().copied(), Some(0));
+        prop_assert!(masked.line_starts.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn mask_never_grows_on_its_own_output(raw in prop::collection::vec(any::<u8>(), 0..256)) {
+        // Re-masking the masked view must also be total and keep the
+        // same geometry (blanked interiors contain no new structure).
+        let once = mask(&rust_flavor(&raw));
+        let twice = mask(&once.code);
+        prop_assert_eq!(twice.code.len(), once.code.len());
+    }
+}

@@ -148,6 +148,7 @@ pub fn answer_original_query(
     original_idx: usize,
 ) -> Answers {
     try_answer_original_query(rec, mv, original_idx)
+        // xlint: allow(X001, reason = "deprecated panicking wrapper kept for seed-API migration")
         .unwrap_or_else(|e| panic!("answer_original_query: {e}"))
 }
 
@@ -812,6 +813,7 @@ impl Deployment {
                         .views
                         .iter()
                         .find(|v| v.id == ra.view)
+                        // xlint: allow(X001, reason = "plans are built only over views of this recommendation")
                         .expect("plan scans a deployed view");
                     RelAtom {
                         stats: est.view_stats(&view.as_query()),

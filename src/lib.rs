@@ -294,6 +294,35 @@
 //! | [`core`] (`rdfviews-core`) | states, transitions SC/JC/VB/VF, cost model, search strategies, prepared pipeline |
 //! | [`workload`] (`rdfviews-workload`) | Barton-like dataset, star/chain/cycle/random/mixed workload generators |
 //! | [`durability`] (`rdfviews-durability`) | snapshot bundle format, CRC-framed write-ahead log, content hashing |
+//!
+//! ## Code discipline: the `xlint` gate
+//!
+//! The workspace carries its own static analysis pass (`crates/xlint`, no
+//! external dependencies) that machine-checks the invariants this tree
+//! depends on. CI runs it as a required gate; run it locally with:
+//!
+//! ```text
+//! cargo run -p xlint -- --deny-all
+//! ```
+//!
+//! The rules, briefly (see `crates/xlint/src/rules.rs` for the catalog):
+//!
+//! | rule | checks |
+//! |------|--------|
+//! | X001 | no `unwrap`/`expect`/`panic!`/`unreachable!`/`todo!` on non-test library paths — return [`SelectionError`](core::SelectionError) |
+//! | X002 | every atomic op names an explicit `Ordering`; `SeqCst` needs a justification |
+//! | X003 | `.lock()` results handle poisoning (no bare `.unwrap()`); one stripe lock per expression |
+//! | X004 | no `HashMap`/`HashSet`/`SystemTime`/`Instant` in the byte-deterministic persistence codec |
+//! | X005 | wire/section tag constants stay unique per namespace |
+//! | X006 | every `unsafe` block carries a `// SAFETY:` comment |
+//! | X007 | bench JSON fields validated by CI appear as literals in the bench source |
+//!
+//! Genuine exceptions are suppressed inline — the reason is mandatory and
+//! the pragma covers its own line plus the next one:
+//!
+//! ```text
+//! // xlint: allow(X001, reason = "slot index handed to exactly one worker")
+//! ```
 
 pub use rdf_engine as engine;
 pub use rdf_model as model;
