@@ -1,0 +1,251 @@
+//! Snapshot-read throughput: pinned wait-free readers vs the old
+//! refuse-and-replan discipline.
+//!
+//! Deploys a recommendation over a synthetic store, then measures
+//! workload-query reads per second through [`SnapshotReader`] pins at 1, 4
+//! and 8 reader threads — once on a quiescent deployment and once while a
+//! writer thread continuously applies insert/delete maintenance batches
+//! (each publishing a new generation). The baseline is the pre-snapshot
+//! contract, strict mode: every maintenance batch stales the plan, so each
+//! read pays a `StaleSession` refusal plus a re-plan before it can answer.
+//!
+//! Parity is asserted before anything is timed: snapshot answers equal
+//! direct base-store evaluation and the deployment's own `answer()` path.
+//! Every timed reader iteration must return a non-empty answer set and
+//! never a `StaleSession` (readers pin published generations only).
+//!
+//! Smoke mode (`RDFVIEWS_SMOKE=1` or `--smoke`) shrinks the store and the
+//! measurement windows so CI finishes fast; the parity and no-refusal
+//! assertions still run.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::thread;
+use std::time::Instant;
+
+use rdfviews::engine::evaluate;
+use rdfviews::model::{Id, Triple};
+use rdfviews::prelude::*;
+
+/// Every `BENCH_snapshot_read.json` field the CI validation step reads by
+/// name (xlint X007 cross-checks these literals against
+/// `.github/workflows/ci.yml`); the pre-emit assertion keeps the manifest
+/// honest at runtime.
+const CI_VALIDATED_FIELDS: &[&str] = &[
+    "parity_ok",
+    "readers_per_sec_1_solo",
+    "readers_per_sec_4_solo",
+    "readers_per_sec_8_solo",
+    "readers_per_sec_1_writer",
+    "readers_per_sec_4_writer",
+    "readers_per_sec_8_writer",
+    "baseline_refuse_replan_qps",
+    "writer_batches_applied",
+];
+
+/// Deterministic 64-bit LCG (Knuth's MMIX constants).
+fn lcg(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *state >> 33
+}
+
+/// Base data: `base` subjects with `(s_i, p, o_{i%4})` and `(s_i, q, c)`
+/// (never touched by the writer, so reads stay non-empty), plus a pool of
+/// prepared insert batches over fresh subjects for the writer to cycle.
+fn build(base: usize, batches: usize, batch_len: usize) -> (Dataset, Vec<Vec<Triple>>) {
+    let mut db = Dataset::new();
+    let p = db.dict_mut().intern_uri("p");
+    let q = db.dict_mut().intern_uri("q");
+    let c = db.dict_mut().intern_uri("c");
+    let objs: Vec<Id> = (0..4)
+        .map(|k| db.dict_mut().intern_uri(&format!("o{k}")))
+        .collect();
+    for i in 0..base {
+        let s = db.dict_mut().intern_uri(&format!("s{i}"));
+        db.store_mut().insert([s, p, objs[i % 4]]);
+        db.store_mut().insert([s, q, c]);
+    }
+    let mut rng = 0x5eed_f00d_u64;
+    let mut feed = Vec::with_capacity(batches);
+    let mut fresh = 0usize;
+    for _ in 0..batches {
+        let mut batch = Vec::with_capacity(2 * batch_len);
+        for _ in 0..batch_len {
+            let s = db.dict_mut().intern_uri(&format!("x{fresh}"));
+            fresh += 1;
+            batch.push([s, p, objs[(lcg(&mut rng) % 4) as usize]]);
+            batch.push([s, q, c]);
+        }
+        feed.push(batch);
+    }
+    (db, feed)
+}
+
+/// Measures pinned-snapshot reads/sec at `readers` threads over `secs`
+/// seconds of wall clock. With `writer_feed`, the calling thread doubles
+/// as a writer cycling insert/delete maintenance batches the whole time;
+/// returns (reads per second, batches applied).
+fn measure_readers(
+    dep: &mut Deployment,
+    readers: usize,
+    writer_feed: Option<&[Vec<Triple>]>,
+    secs: f64,
+) -> (f64, u64) {
+    let reader = dep.reader();
+    let stop = AtomicBool::new(false);
+    let total = AtomicU64::new(0);
+    let mut batches_applied = 0u64;
+    let t0 = Instant::now();
+    thread::scope(|scope| {
+        for _ in 0..readers {
+            scope.spawn(|| {
+                let mut local = 0u64;
+                while !stop.load(Ordering::Acquire) {
+                    let snap = reader.snapshot();
+                    let answers = snap.answer(0).expect("pinned read must never be refused");
+                    assert!(!answers.is_empty(), "base subjects keep q0 non-empty");
+                    local += 1;
+                }
+                total.fetch_add(local, Ordering::AcqRel);
+            });
+        }
+        if let Some(feed) = writer_feed {
+            let mut i = 0usize;
+            while t0.elapsed().as_secs_f64() < secs {
+                let batch = &feed[(i / 2) % feed.len()];
+                if i % 2 == 0 {
+                    dep.insert_batch(batch);
+                } else {
+                    dep.delete_batch(batch);
+                }
+                batches_applied += 1;
+                i += 1;
+            }
+            // Leave the store at its base contents for the next config.
+            if i % 2 == 1 {
+                dep.delete_batch(&feed[(i / 2) % feed.len()]);
+                batches_applied += 1;
+            }
+        } else {
+            while t0.elapsed().as_secs_f64() < secs {
+                thread::sleep(std::time::Duration::from_millis(1));
+            }
+        }
+        stop.store(true, Ordering::Release);
+    });
+    let elapsed = t0.elapsed().as_secs_f64();
+    (
+        total.load(Ordering::Acquire) as f64 / elapsed,
+        batches_applied,
+    )
+}
+
+/// The pre-snapshot discipline, measured single-threaded in strict mode:
+/// every batch stales the current plan, so each answered query costs a
+/// `StaleSession` refusal plus a re-plan plus the answer itself.
+fn baseline_refuse_replan(dep: &mut Deployment, feed: &[Vec<Triple>], secs: f64) -> f64 {
+    dep.set_strict(true);
+    let mut plan = dep.plan_workload(0).expect("workload plan");
+    let t0 = Instant::now();
+    let mut cycles = 0u64;
+    let mut i = 0usize;
+    while t0.elapsed().as_secs_f64() < secs {
+        let batch = &feed[(i / 2) % feed.len()];
+        if i % 2 == 0 {
+            dep.insert_batch(batch);
+        } else {
+            dep.delete_batch(batch);
+        }
+        i += 1;
+        match dep.answer_query(&plan) {
+            Err(SelectionError::StaleSession { .. }) => {
+                plan = dep.plan_workload(0).expect("re-plan after refusal");
+                let answers = dep.answer_query(&plan).expect("fresh plan answers");
+                assert!(!answers.is_empty());
+            }
+            Ok(_) => panic!("strict mode must refuse a plan staled by a maintenance batch"),
+            Err(e) => panic!("strict baseline hit an unexpected error: {e}"),
+        }
+        cycles += 1;
+    }
+    if i % 2 == 1 {
+        dep.delete_batch(&feed[(i / 2) % feed.len()]);
+    }
+    dep.set_strict(false);
+    cycles as f64 / t0.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let smoke = std::env::var("RDFVIEWS_SMOKE").is_ok() || std::env::args().any(|a| a == "--smoke");
+    let (base, window_secs) = if smoke { (1_000, 0.12) } else { (20_000, 0.6) };
+    let (mut db, feed) = build(base, 8, 16);
+    let workload = vec![
+        parse_query("q1(X) :- t(X, <p>, <o1>), t(X, <q>, <c>)", db.dict_mut())
+            .unwrap()
+            .query,
+        parse_query("q2(X, Y) :- t(X, <p>, Y)", db.dict_mut())
+            .unwrap()
+            .query,
+    ];
+    let mut advisor = Advisor::builder(&db)
+        .budget(std::time::Duration::from_secs(2))
+        .build()
+        .unwrap();
+    let rec = advisor.recommend(&workload).unwrap();
+    let mut dep = advisor.deploy(rec).unwrap();
+    println!(
+        "# snapshot_read: {} triples, {} views, {} writer batches of {} triples{}",
+        dep.store().len(),
+        dep.view_count(),
+        feed.len(),
+        feed[0].len(),
+        if smoke { " [smoke]" } else { "" },
+    );
+
+    // -- Parity before timing: snapshot == direct evaluation == answer(). -
+    let snap = dep.snapshot();
+    for (qi, q) in workload.iter().enumerate() {
+        let direct = evaluate(db.store(), q);
+        assert_eq!(snap.answer(qi).unwrap(), direct, "q{qi}: snapshot parity");
+        assert_eq!(dep.answer(qi).unwrap(), direct, "q{qi}: answer() parity");
+    }
+    drop(snap);
+    println!("# parity: pinned snapshot == direct evaluation on every workload query ✓");
+
+    let mut metrics: Vec<(String, f64)> = vec![("parity_ok".to_string(), 1.0)];
+    let mut writer_batches_total = 0u64;
+    for readers in [1usize, 4, 8] {
+        let (solo, _) = measure_readers(&mut dep, readers, None, window_secs);
+        let (contended, applied) = measure_readers(&mut dep, readers, Some(&feed), window_secs);
+        writer_batches_total += applied;
+        assert!(solo > 0.0 && contended > 0.0, "readers must make progress");
+        println!(
+            "# {readers} reader(s): {solo:.0} reads/s solo, {contended:.0} reads/s with a live writer ({applied} batches)",
+        );
+        metrics.push((format!("readers_per_sec_{readers}_solo"), solo));
+        metrics.push((format!("readers_per_sec_{readers}_writer"), contended));
+    }
+    assert!(
+        writer_batches_total > 0,
+        "the writer must publish generations"
+    );
+
+    let baseline = baseline_refuse_replan(&mut dep, &feed, window_secs);
+    assert!(baseline > 0.0);
+    println!("# baseline (strict refuse-and-replan, single thread): {baseline:.0} queries/s");
+    metrics.push(("baseline_refuse_replan_qps".to_string(), baseline));
+    metrics.push((
+        "writer_batches_applied".to_string(),
+        writer_batches_total as f64,
+    ));
+
+    for field in CI_VALIDATED_FIELDS {
+        assert!(
+            metrics.iter().any(|(k, _)| k == field),
+            "summary is missing CI-validated field {field:?}"
+        );
+    }
+    let rendered: Vec<(&str, f64)> = metrics.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+    rdfviews_bench::emit_bench_json("snapshot_read", &rendered);
+}

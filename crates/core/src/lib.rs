@@ -69,7 +69,7 @@ pub mod pipeline;
 pub mod rewrite;
 pub mod search;
 pub mod state;
-pub(crate) mod sync;
+pub mod sync;
 pub mod transitions;
 pub mod unfold;
 

@@ -42,7 +42,7 @@ pub use dict::Dictionary;
 pub use error::ModelError;
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use pattern::StorePattern;
-pub use store::{IndexOrder, IndexRange, Triple, TripleStore};
+pub use store::{IndexOrder, IndexRange, StoreSnapshot, Triple, TripleStore};
 pub use term::{Id, Term, TermKind};
 
 /// A dictionary plus a triple store: the paper's "RDF database".

@@ -8,9 +8,18 @@
 //! s, p, o, and all two- and three-column combinations" layout of the
 //! paper's evaluation platform.
 //!
-//! Index snapshots are `Arc`-shared and version-stamped: inserting new
-//! triples invalidates them, and the next scan rebuilds only the orders it
-//! actually needs.
+//! Index snapshots are `Arc`-shared and version-stamped: single-triple
+//! mutations invalidate them lazily (the next scan rebuilds only the
+//! orders it actually needs), while the batch entry points carry every
+//! already-built run forward — a merge (insert) or filter (remove) pass
+//! producing a **new** `Arc` per run, so the old runs stay untouched for
+//! anyone still holding them.
+//!
+//! The triple list and membership set are `Arc`-shared too, which makes
+//! generations copy-on-write: [`TripleStore::snapshot`] pins the current
+//! contents as an immutable [`StoreSnapshot`] in O(built runs) time, and
+//! the next mutation clones the shared parts once (`Arc::make_mut`)
+//! instead of blocking or invalidating the pinned readers.
 
 use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
@@ -140,7 +149,7 @@ impl IndexOrder {
 }
 
 /// A version-stamped sorted snapshot of the triple table.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct IndexSnapshot {
     version: u64,
     sorted: Arc<Vec<Triple>>,
@@ -182,10 +191,15 @@ impl IndexRange {
 }
 
 /// The in-memory triple table.
+///
+/// The triple list and membership set are `Arc`-shared so that clones and
+/// [`TripleStore::snapshot`]s are O(built index runs): the data itself is
+/// copied only when a mutation hits a store whose parts are still shared
+/// (`Arc::make_mut` — copy-on-write at whole-structure granularity).
 #[derive(Debug, Default)]
 pub struct TripleStore {
-    triples: Vec<Triple>,
-    seen: FxHashSet<Triple>,
+    triples: Arc<Vec<Triple>>,
+    seen: Arc<FxHashSet<Triple>>,
     version: u64,
     indexes: RwLock<[Option<IndexSnapshot>; 6]>,
     distinct: RwLock<Option<(u64, [usize; 3])>>,
@@ -193,14 +207,47 @@ pub struct TripleStore {
 
 impl Clone for TripleStore {
     fn clone(&self) -> Self {
-        // Index snapshots are rebuildable caches; don't clone them.
+        // The list, set, and built index runs are all behind `Arc`s, so a
+        // clone shares everything (including warm caches); either side's
+        // next mutation un-shares its own copy.
         Self {
-            triples: self.triples.clone(),
-            seen: self.seen.clone(),
+            triples: Arc::clone(&self.triples),
+            seen: Arc::clone(&self.seen),
             version: self.version,
-            indexes: RwLock::new(Default::default()),
-            distinct: RwLock::new(None),
+            indexes: RwLock::new(self.current_index_slots()),
+            distinct: RwLock::new(*read_unpoisoned(&self.distinct)),
         }
+    }
+}
+
+/// An immutable, pinned generation of a [`TripleStore`].
+///
+/// Produced by [`TripleStore::snapshot`] in O(built index runs) time: the
+/// triple list, membership set, and every index run valid at the pinned
+/// version are `Arc`-shared with the live store, which un-shares its own
+/// copies on its next mutation (copy-on-write). The snapshot derefs to
+/// `TripleStore`, so every read API — `range`, `pattern_range`,
+/// `match_count`, the engines' cursors — works on a pinned generation
+/// unchanged, and keeps answering as-of [`StoreSnapshot::version`] no
+/// matter how far the live store moves on. Cloning a snapshot is one
+/// `Arc` bump; dropping the last clone releases the pinned generation's
+/// share of the data.
+#[derive(Debug, Clone)]
+pub struct StoreSnapshot {
+    inner: Arc<TripleStore>,
+}
+
+impl StoreSnapshot {
+    /// The generation this snapshot is pinned to.
+    pub fn version(&self) -> u64 {
+        self.inner.version
+    }
+}
+
+impl std::ops::Deref for StoreSnapshot {
+    type Target = TripleStore;
+    fn deref(&self) -> &TripleStore {
+        &self.inner
     }
 }
 
@@ -213,8 +260,8 @@ impl TripleStore {
     /// Creates a store with pre-allocated capacity.
     pub fn with_capacity(cap: usize) -> Self {
         Self {
-            triples: Vec::with_capacity(cap),
-            seen: FxHashSet::with_capacity_and_hasher(cap, Default::default()),
+            triples: Arc::new(Vec::with_capacity(cap)),
+            seen: Arc::new(FxHashSet::with_capacity_and_hasher(cap, Default::default())),
             ..Default::default()
         }
     }
@@ -234,12 +281,46 @@ impl TripleStore {
             "persisted triples must be distinct"
         );
         Self {
-            triples,
-            seen,
+            triples: Arc::new(triples),
+            seen: Arc::new(seen),
             version,
             indexes: RwLock::new(Default::default()),
             distinct: RwLock::new(None),
         }
+    }
+
+    /// Pins the current generation as an immutable [`StoreSnapshot`].
+    ///
+    /// O(built index runs): the triple list, membership set, and every
+    /// index run valid at the current version are shared by `Arc`; no
+    /// triple is copied. The live store's next mutation copies the shared
+    /// parts once (`Arc::make_mut`) and, for the batch entry points,
+    /// publishes new index runs — the snapshot's runs are never touched,
+    /// so pinned readers run wait-free while writes proceed.
+    ///
+    /// Memory: a retained snapshot holds the whole generation alive —
+    /// `O(|triples|)` for the list + set plus `O(|triples|)` per index
+    /// run built at pin time, *shared* with the live store until a
+    /// mutation diverges them. Drop the snapshot to release its pin.
+    pub fn snapshot(&self) -> StoreSnapshot {
+        StoreSnapshot {
+            inner: Arc::new(self.clone()),
+        }
+    }
+
+    /// The index-cache entries still valid at the current version, as a
+    /// fresh slot array (stale entries are dropped rather than copied).
+    fn current_index_slots(&self) -> [Option<IndexSnapshot>; 6] {
+        let guard = read_unpoisoned(&self.indexes);
+        let mut slots: [Option<IndexSnapshot>; 6] = Default::default();
+        for (slot, entry) in guard.iter().enumerate() {
+            if let Some(snap) = entry {
+                if snap.version == self.version {
+                    slots[slot] = Some(snap.clone());
+                }
+            }
+        }
+        slots
     }
 
     /// The store's version stamp: a counter bumped by every mutation
@@ -251,11 +332,15 @@ impl TripleStore {
     }
 
     /// Inserts a triple; returns `true` if it was not present before.
+    /// Built index runs are invalidated lazily (version mismatch) — the
+    /// batch entry points instead carry them forward, so saturation-style
+    /// hot loops of single inserts pay nothing for index maintenance.
     pub fn insert(&mut self, t: Triple) -> bool {
-        if !self.seen.insert(t) {
+        if self.seen.contains(&t) {
             return false;
         }
-        self.triples.push(t);
+        Arc::make_mut(&mut self.seen).insert(t);
+        Arc::make_mut(&mut self.triples).push(t);
         self.version += 1;
         true
     }
@@ -263,20 +348,83 @@ impl TripleStore {
     /// Inserts a batch of triples, deduplicating against the triple set
     /// (and within the batch). Returns the triples that were actually new,
     /// in batch order. The version stamp is bumped **once** for the whole
-    /// batch, so index snapshots are invalidated once instead of per
-    /// triple.
+    /// batch, and every already-built index run is carried forward by a
+    /// two-way merge with the sorted batch — O(n + |Δ| log |Δ|) per run
+    /// instead of a fresh O(n log n) sort — published as a **new** `Arc`
+    /// at the new version, leaving pinned snapshots' runs untouched.
     pub fn insert_batch(&mut self, batch: &[Triple]) -> Vec<Triple> {
         let mut added = Vec::new();
         for &t in batch {
-            if self.seen.insert(t) {
-                self.triples.push(t);
-                added.push(t);
+            if self.seen.contains(&t) {
+                continue;
             }
+            Arc::make_mut(&mut self.seen).insert(t);
+            Arc::make_mut(&mut self.triples).push(t);
+            added.push(t);
         }
         if !added.is_empty() {
+            self.advance_indexes_insert(&added);
             self.version += 1;
         }
         added
+    }
+
+    /// Carries every index run built at the current version forward across
+    /// an insert batch, stamping the merged runs `version + 1`. Must be
+    /// called immediately **before** the batch's version bump; runs built
+    /// at any other version are dropped.
+    fn advance_indexes_insert(&self, added: &[Triple]) {
+        let mut guard = write_unpoisoned(&self.indexes);
+        for (slot, entry) in guard.iter_mut().enumerate() {
+            let Some(snap) = entry.take() else { continue };
+            if snap.version != self.version {
+                continue; // stale run: drop instead of merging garbage
+            }
+            let perm = IndexOrder::ALL[slot].perm();
+            let key = |t: &Triple| [t[perm[0]], t[perm[1]], t[perm[2]]];
+            let mut delta = added.to_vec();
+            delta.sort_unstable_by_key(key);
+            let old = &snap.sorted;
+            let mut merged = Vec::with_capacity(old.len() + delta.len());
+            let (mut i, mut j) = (0, 0);
+            while i < old.len() && j < delta.len() {
+                if key(&old[i]) <= key(&delta[j]) {
+                    merged.push(old[i]);
+                    i += 1;
+                } else {
+                    merged.push(delta[j]);
+                    j += 1;
+                }
+            }
+            merged.extend_from_slice(&old[i..]);
+            merged.extend_from_slice(&delta[j..]);
+            *entry = Some(IndexSnapshot {
+                version: self.version + 1,
+                sorted: Arc::new(merged),
+            });
+        }
+    }
+
+    /// Filter-pass counterpart of [`TripleStore::advance_indexes_insert`]
+    /// for remove batches: surviving triples keep their index order.
+    fn advance_indexes_remove(&self, doomed: &FxHashSet<Triple>) {
+        let mut guard = write_unpoisoned(&self.indexes);
+        for entry in guard.iter_mut() {
+            let Some(snap) = entry.take() else { continue };
+            if snap.version != self.version {
+                continue;
+            }
+            let kept: Vec<Triple> = snap
+                .sorted
+                .iter()
+                .copied()
+                .filter(|t| !doomed.contains(t))
+                .collect();
+            *entry = Some(IndexSnapshot {
+                version: self.version + 1,
+                sorted: Arc::new(kept),
+            });
+        }
     }
 
     /// Inserts every triple of an iterator; returns how many were new.
@@ -289,16 +437,17 @@ impl TripleStore {
     /// invalidated. O(n) — deletion feeds are expected to be rare relative
     /// to scans (the paper's VMC model assumes insert-dominated updates).
     pub fn remove(&mut self, t: Triple) -> bool {
-        if !self.seen.remove(&t) {
+        if !self.seen.contains(&t) {
             return false;
         }
-        let pos = self
-            .triples
+        Arc::make_mut(&mut self.seen).remove(&t);
+        let triples = Arc::make_mut(&mut self.triples);
+        let pos = triples
             .iter()
             .position(|&x| x == t)
             // xlint: allow(X001, reason = "the seen set answered true, so the triple is in the list")
             .expect("seen-set and triple list in sync");
-        self.triples.remove(pos);
+        triples.remove(pos);
         self.version += 1;
         true
     }
@@ -306,20 +455,25 @@ impl TripleStore {
     /// Removes a batch of triples. Returns the triples that were actually
     /// present (deduplicated), in batch order. Unlike repeated
     /// [`TripleStore::remove`] calls — O(n) each — the surviving triple
-    /// list is rebuilt in **one** retain pass, and the version stamp is
-    /// bumped once for the whole batch.
+    /// list is rebuilt in **one** retain pass, the version stamp is
+    /// bumped once for the whole batch, and every already-built index run
+    /// is carried forward by a filter pass (new `Arc`s; pinned snapshots'
+    /// runs stay untouched).
     pub fn remove_batch(&mut self, batch: &[Triple]) -> Vec<Triple> {
         let mut removed = Vec::new();
         for &t in batch {
-            if self.seen.remove(&t) {
-                removed.push(t);
+            if !self.seen.contains(&t) {
+                continue;
             }
+            Arc::make_mut(&mut self.seen).remove(&t);
+            removed.push(t);
         }
         if removed.is_empty() {
             return removed;
         }
         let doomed: FxHashSet<Triple> = removed.iter().copied().collect();
-        self.triples.retain(|t| !doomed.contains(t));
+        self.advance_indexes_remove(&doomed);
+        Arc::make_mut(&mut self.triples).retain(|t| !doomed.contains(t));
         self.version += 1;
         removed
     }
@@ -356,7 +510,7 @@ impl TripleStore {
             }
         }
         let perm = order.perm();
-        let mut sorted = self.triples.clone();
+        let mut sorted = (*self.triples).clone();
         sorted.sort_unstable_by_key(|t| [t[perm[0]], t[perm[1]], t[perm[2]]]);
         let sorted = Arc::new(sorted);
         let mut guard = write_unpoisoned(&self.indexes);
@@ -403,7 +557,7 @@ impl TripleStore {
     /// Calls `f` for every triple matching `pat`, using the best index.
     pub fn for_each_match(&self, pat: &StorePattern, mut f: impl FnMut(Triple)) {
         if pat.bound_count() == 0 {
-            for &t in &self.triples {
+            for &t in self.triples.iter() {
                 f(t);
             }
             return;
@@ -450,7 +604,7 @@ impl TripleStore {
         // than triples, so this beats forcing three full sorted snapshots
         // into existence just to count runs.
         let mut seen: [FxHashSet<Id>; 3] = Default::default();
-        for t in &self.triples {
+        for t in self.triples.iter() {
             for (c, set) in seen.iter_mut().enumerate() {
                 set.insert(t[c]);
             }
@@ -466,7 +620,7 @@ impl TripleStore {
             return None;
         }
         let mut mm = [(Id(u32::MAX), Id(0)); 3];
-        for t in &self.triples {
+        for t in self.triples.iter() {
             for c in 0..3 {
                 if t[c] < mm[c].0 {
                     mm[c].0 = t[c];
@@ -711,6 +865,90 @@ mod tests {
             cl.match_count(&StorePattern::with_p(Id(102))),
             st.match_count(&StorePattern::with_p(Id(102)))
         );
+    }
+
+    #[test]
+    fn snapshot_pins_contents_across_mutations() {
+        let mut st = store_with(7);
+        let pinned_len = st.len();
+        let pinned_version = st.version();
+        let p100 = StorePattern::with_p(Id(100));
+        let pinned_p100 = st.match_count(&p100);
+        let snap = st.snapshot();
+
+        st.insert_batch(&[[Id(70), Id(100), Id(70)], [Id(71), Id(100), Id(71)]]);
+        st.remove_batch(&[[Id(0), Id(101), Id(0)]]);
+        st.insert([Id(72), Id(100), Id(72)]);
+
+        assert_eq!(snap.version(), pinned_version);
+        assert_eq!(snap.len(), pinned_len);
+        assert_eq!(snap.match_count(&p100), pinned_p100);
+        assert!(!snap.contains([Id(70), Id(100), Id(70)]));
+        assert!(snap.contains([Id(0), Id(101), Id(0)]));
+        // The live store moved on.
+        assert_eq!(st.match_count(&p100), pinned_p100 + 3);
+        assert!(st.version() > pinned_version);
+    }
+
+    #[test]
+    fn snapshot_shares_built_index_runs() {
+        let st = store_with(7);
+        let live_run = st.index(IndexOrder::Pos);
+        let snap = st.snapshot();
+        // Pin is O(built runs): the snapshot reuses the same sorted run.
+        assert!(Arc::ptr_eq(&live_run, &snap.index(IndexOrder::Pos)));
+        // Unbuilt orders are built on the snapshot independently.
+        let snap_run = snap.index(IndexOrder::Ops);
+        assert_eq!(snap_run.len(), snap.len());
+    }
+
+    #[test]
+    fn batch_mutations_advance_built_index_runs() {
+        let mut st = store_with(9);
+        // Build every run, then batch-mutate: runs must be carried forward
+        // (merge / filter), not rebuilt, and must equal a fresh sort.
+        for order in IndexOrder::ALL {
+            st.index(order);
+        }
+        let old_run = st.index(IndexOrder::Sop);
+        st.insert_batch(&[
+            [Id(90), Id(100), Id(90)],
+            [Id(0), Id(100), Id(50)],
+            [Id(91), Id(102), Id(1)],
+        ]);
+        st.remove_batch(&[[Id(1), Id(100), Id(7)], [Id(2), Id(101), Id(14 % 9)]]);
+        for order in IndexOrder::ALL {
+            let advanced = st.index(order);
+            let fresh = TripleStore::from_parts(st.triples().to_vec(), 0).index(order);
+            assert_eq!(*advanced, *fresh, "order {order:?}");
+        }
+        // The pre-batch run object was not mutated in place.
+        assert_eq!(old_run.len(), 27);
+    }
+
+    #[test]
+    fn single_mutations_invalidate_runs_lazily() {
+        let mut st = store_with(5);
+        st.index(IndexOrder::Spo);
+        st.insert([Id(80), Id(100), Id(80)]);
+        // The run is rebuilt on next access and sees the new triple.
+        let run = st.index(IndexOrder::Spo);
+        assert_eq!(run.len(), st.len());
+        assert!(run.contains(&[Id(80), Id(100), Id(80)]));
+    }
+
+    #[test]
+    fn clone_shares_then_diverges() {
+        let mut a = store_with(5);
+        a.index(IndexOrder::Spo);
+        let mut b = a.clone();
+        assert_eq!(a.triples(), b.triples());
+        b.insert([Id(60), Id(100), Id(60)]);
+        a.remove([Id(0), Id(100), Id(0)]);
+        assert!(b.contains([Id(60), Id(100), Id(60)]));
+        assert!(!a.contains([Id(60), Id(100), Id(60)]));
+        assert!(b.contains([Id(0), Id(100), Id(0)]));
+        assert_eq!(a.len() + 2, b.len());
     }
 
     #[test]

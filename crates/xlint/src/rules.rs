@@ -6,7 +6,7 @@
 //! | X000 | pragma hygiene: every `xlint:` comment parses and has a reason |
 //! | X001 | no `unwrap`/`expect`/`panic!`/`unreachable!`/`todo!` in non-test library code |
 //! | X002 | atomic ops name an explicit `Ordering`; `SeqCst` is forbidden |
-//! | X003 | `.lock()` results are not unwrapped; one stripe lock per expression |
+//! | X003 | `.lock()`/`.read()`/`.write()` results are not unwrapped; one stripe lock per expression |
 //! | X004 | no nondeterminism sources in byte-stable encoding paths |
 //! | X005 | wire/section tag constants are unique per namespace |
 //! | X006 | every `unsafe` carries a `// SAFETY:` comment |
@@ -342,6 +342,37 @@ impl Analysis {
                      (e.g. `unwrap_or_else(PoisonError::into_inner)`) or pragma-justify"
                         .to_string(),
                 ));
+            }
+        }
+        // (a') RwLock acquisitions — `.read()` / `.write()` with an empty
+        // argument list (io reads and writes take a buffer, so they never
+        // match) — immediately unwrapped/expected. The generation-swap
+        // slots publish whole `Arc`s under an `RwLock`; their readers must
+        // stay poison-tolerant (`read_unpoisoned` / `write_unpoisoned`)
+        // instead of cascading one writer panic into every pinned read.
+        for needle in ["read", "write"] {
+            for pos in method_calls(code, needle) {
+                let open = match paren_after(code, pos + 1 + needle.len()) {
+                    Some(p) => p,
+                    None => continue,
+                };
+                let close = skip_ws(code, open + 1);
+                if code.get(close) != Some(&b')') {
+                    continue;
+                }
+                let after = skip_ws(code, close + 1);
+                let chained_panic = ["unwrap", "expect"]
+                    .iter()
+                    .any(|m| code.get(after) == Some(&b'.') && matches_method_at(code, after, m));
+                if chained_panic {
+                    hits.push((
+                        self.line_of(pos),
+                        format!(
+                            "`.{needle}()` result unwrapped in library code; handle poisoning \
+                             (e.g. `unwrap_or_else(PoisonError::into_inner)`) or pragma-justify"
+                        ),
+                    ));
+                }
             }
         }
         // (b) two lock acquisitions inside one statement.

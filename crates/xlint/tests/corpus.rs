@@ -109,9 +109,14 @@ fn x003_lock_discipline() {
     assert_eq!(
         lint_lib("x003_locks.rs"),
         vec![
-            (6, "X001"), // the unwrap itself is also a panic path
-            (6, "X003"), // .lock().unwrap()
-            (9, "X003"), // two stripe locks in one expression
+            (7, "X001"),  // the unwrap itself is also a panic path
+            (7, "X003"),  // .lock().unwrap()
+            (10, "X003"), // two stripe locks in one expression
+            (16, "X001"), // the RwLock unwrap is also a panic path
+            (16, "X003"), // .read().unwrap() on the generation slot
+            (17, "X001"), // the RwLock expect is also a panic path
+            (17, "X003"), // .write().expect() on the generation slot
+            (20, "X001"), // io read unwrap: a panic path, but NOT X003
         ]
     );
 }

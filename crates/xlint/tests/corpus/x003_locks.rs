@@ -1,6 +1,7 @@
 // Corpus fixture: X003 lock discipline.
 
-use std::sync::{Mutex, PoisonError};
+use std::io::Read;
+use std::sync::{Mutex, PoisonError, RwLock};
 
 pub fn locks(a: &Mutex<u32>, b: &Mutex<u32>) -> u32 {
     let v = *a.lock().unwrap();
@@ -8,4 +9,14 @@ pub fn locks(a: &Mutex<u32>, b: &Mutex<u32>) -> u32 {
     let both = *a.lock().unwrap_or_else(PoisonError::into_inner)
         + *b.lock().unwrap_or_else(PoisonError::into_inner);
     v + w + both
+}
+
+/// Generation-swap slot: RwLock acquisitions must stay poison-tolerant.
+pub fn generations(slot: &RwLock<u32>, src: &mut std::fs::File) -> u32 {
+    let pinned = *slot.read().unwrap();
+    let published = *slot.write().expect("slot poisoned");
+    let clean = *slot.read().unwrap_or_else(PoisonError::into_inner);
+    let mut buf = [0u8; 4];
+    let _io = src.read(&mut buf).unwrap();
+    pinned + published + clean + u32::from(buf[0])
 }

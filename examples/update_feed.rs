@@ -76,9 +76,30 @@ fn main() -> Result<(), SelectionError> {
     assert!(batched.delta_tuples <= single.delta_tuples);
     assert_eq!(batched.added, single.added);
 
-    // -- 4. Retract part of the feed again (batched delete-and-rederive). -
+    // -- 4. Retract part of the feed again (batched delete-and-rederive),
+    //       serving reads from a pinned snapshot throughout. ---------------
+    // Pin the post-insertion generation: a front end keeps answering from
+    // it — same answers, wait-free — while the maintenance batch below
+    // builds and publishes the next generation.
+    let pinned = deployment.snapshot();
+    let pinned_answers = pinned.answer(0)?;
     let retractions: Vec<Triple> = feed.iter().copied().step_by(3).collect();
     let bdel = deployment.delete_batch(&retractions);
+    let live = deployment.snapshot();
+    println!(
+        "\nsnapshot reads across the maintenance batch: pinned generation v{} \
+         still serves {} answers; live generation v{} serves {}",
+        pinned.version(),
+        pinned.answer(0)?.len(),
+        live.version(),
+        live.answer(0)?.len(),
+    );
+    assert_eq!(
+        pinned.answer(0)?,
+        pinned_answers,
+        "pinned snapshot answers changed under a concurrent delete batch"
+    );
+    assert!(pinned.version() < live.version());
     let mut sdel = MaintenanceStats::default();
     for &t in &retractions {
         sdel.merge(per_triple.delete(t));

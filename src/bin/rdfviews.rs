@@ -25,6 +25,13 @@
 //!                                    answer; repeatable
 //!   --policy views|hybrid|base       (query mode) answer policy for atoms
 //!                                    no view covers (default: hybrid)
+//!   --pin                            (query mode) pin one snapshot
+//!                                    generation up front and answer every
+//!                                    query from it (wait-free reads on a
+//!                                    fixed store version)
+//!   --stats                          (query mode) print per-branch
+//!                                    evaluation statistics (engine,
+//!                                    leapfrog seeks/emitted) per query
 //!   --mode plain|saturate|pre|post   entailment handling (default: plain;
 //!                                    all but plain extract the RDFS from
 //!                                    the data triples)
@@ -71,6 +78,10 @@ struct Args {
     /// Ad-hoc queries from `--query` (stdin when empty in query mode).
     adhoc: Vec<String>,
     policy: AnswerPolicy,
+    /// Query mode: answer everything from one pinned snapshot generation.
+    pin: bool,
+    /// Query mode: print per-branch evaluation statistics.
+    stats: bool,
 }
 
 fn usage() -> ExitCode {
@@ -78,7 +89,7 @@ fn usage() -> ExitCode {
         "usage: rdfviews [query] <data.nt> <workload.rq> [--mode plain|saturate|pre|post] \
          [--strategy dfs|gstr|exnaive|exstr|pruning|greedy|heuristic] \
          [--budget SECONDS] [--max-states N] [--strict-budget] [--partition] [--threads N] \
-         [--materialize] [--query QUERY]... [--policy views|hybrid|base]\n\
+         [--materialize] [--query QUERY]... [--policy views|hybrid|base] [--pin] [--stats]\n\
          \x20      rdfviews save <data.nt> <workload.rq> <dir> [tuning options]\n\
          \x20      rdfviews load <dir> [--query QUERY]... [--policy views|hybrid|base]\n\
          \x20      rdfviews recover <dir> [--query QUERY]... [--policy views|hybrid|base]"
@@ -103,6 +114,8 @@ fn parse_args() -> Result<Args, ExitCode> {
         query_mode: false,
         adhoc: Vec::new(),
         policy: AnswerPolicy::Hybrid,
+        pin: false,
+        stats: false,
     };
     let mut it = std::env::args().skip(1).peekable();
     let mut save_mode = false;
@@ -164,6 +177,8 @@ fn parse_args() -> Result<Args, ExitCode> {
             "--strict-budget" => args.strict_budget = true,
             "--partition" => args.partition = true,
             "--materialize" => args.materialize = true,
+            "--pin" => args.pin = true,
+            "--stats" => args.stats = true,
             "--help" | "-h" => return Err(usage()),
             other => positional.push(other.to_string()),
         }
@@ -460,9 +475,20 @@ fn main() -> ExitCode {
             adhoc_queries.len(),
             args.policy
         );
+        // --pin: answer every query from one generation pinned up front;
+        // the deployment could keep absorbing maintenance batches while
+        // these reads run, without perturbing the pinned answers.
+        let pinned = args.pin.then(|| deployment.snapshot());
+        if let Some(snap) = &pinned {
+            println!("# pinned generation: store version {}", snap.version());
+        }
         for (text, q) in &adhoc_queries {
             println!("#\n# query: {text}");
-            let plan = match deployment.plan_with(q, args.policy) {
+            let planned = match &pinned {
+                Some(snap) => snap.plan_with(q, args.policy),
+                None => deployment.plan_with(q, args.policy),
+            };
+            let plan = match planned {
                 Ok(p) => p,
                 Err(e) => {
                     println!("#   no plan: {e}");
@@ -470,8 +496,14 @@ fn main() -> ExitCode {
                 }
             };
             print!("{}", plan.describe(db.dict()));
-            match deployment.answer_query(&plan) {
-                Ok(answers) => {
+            let outcome = match &pinned {
+                Some(snap) => snap.answer_query_stats(&plan),
+                None => deployment
+                    .answer_query(&plan)
+                    .map(|answers| (answers, deployment.last_eval_stats().to_vec())),
+            };
+            match outcome {
+                Ok((answers, stats)) => {
                     println!("# answers: {}", answers.len());
                     for row in answers.tuples().iter().take(5) {
                         let rendered: Vec<String> = row
@@ -487,6 +519,16 @@ fn main() -> ExitCode {
                     }
                     if answers.len() > 5 {
                         println!("#   … {} more", answers.len() - 5);
+                    }
+                    if args.stats {
+                        for (i, s) in stats.iter().enumerate() {
+                            println!(
+                                "#   branch {i}: engine {}, {} leapfrog seeks, {} tuples emitted",
+                                s.engine.as_str(),
+                                s.lf_seeks,
+                                s.lf_emitted
+                            );
+                        }
                     }
                 }
                 Err(e) => {

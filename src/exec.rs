@@ -12,17 +12,20 @@
 //! `rdf_engine::maintain`. The free functions below are the stateless
 //! building blocks, kept for direct use and backward compatibility.
 
+use std::sync::{Arc, RwLock};
+
 use rdf_engine::{
     evaluate_mixed_stats, evaluate_over_views, materialize_union, Answers, DeleteDelta, DeltaSet,
     EvalStats, MaintainedView, MaintenanceStats, MixedAtom, ViewAtom, ViewTable,
 };
-use rdf_model::{Dictionary, FxHashMap, FxHashSet, Id, Triple, TripleStore};
+use rdf_model::{Dictionary, FxHashMap, FxHashSet, Id, StoreSnapshot, Triple, TripleStore};
 use rdf_query::minimize;
 use rdf_query::ConjunctiveQuery;
 use rdf_reform::{reformulate_with_limit, ReformLimit};
 use rdf_schema::{saturate, saturated_copy, Schema, VocabIds};
 use rdf_stats::{estimate_conjunction, CardinalityEstimator, RelAtom};
 use rdfviews_core::rewrite::{self, PlanAtom, RewritePlan};
+use rdfviews_core::sync::{read_unpoisoned, write_unpoisoned};
 use rdfviews_core::{Recommendation, SelectionError, State, ViewId};
 
 #[path = "exec_persist.rs"]
@@ -30,9 +33,15 @@ mod persist;
 pub use persist::{DurableDeployment, RecoveryReport, SNAPSHOT_FILE, WAL_FILE};
 
 /// The materialized views of a recommendation (or state), keyed by view id.
+///
+/// Tables are held behind `Arc`s so a deployment generation can be
+/// published by cloning the map (one `Arc` bump per view): unchanged
+/// tables — and their resident hash / sorted index caches — are shared
+/// across generations, and only tables rebuilt by maintenance get fresh
+/// `Arc`s.
 #[derive(Debug, Clone, Default)]
 pub struct MaterializedViews {
-    tables: FxHashMap<ViewId, ViewTable>,
+    tables: FxHashMap<ViewId, Arc<ViewTable>>,
 }
 
 impl MaterializedViews {
@@ -76,7 +85,10 @@ impl MaterializedViews {
 pub fn materialize_state(store: &TripleStore, state: &State) -> MaterializedViews {
     let mut tables = FxHashMap::default();
     for v in state.views() {
-        tables.insert(v.id, rdf_engine::materialize(store, &v.as_query()));
+        tables.insert(
+            v.id,
+            Arc::new(rdf_engine::materialize(store, &v.as_query())),
+        );
     }
     MaterializedViews { tables }
 }
@@ -88,7 +100,7 @@ pub fn materialize_state(store: &TripleStore, state: &State) -> MaterializedView
 pub fn materialize_recommendation(store: &TripleStore, rec: &Recommendation) -> MaterializedViews {
     let mut tables = FxHashMap::default();
     for (view, def) in rec.views.iter().zip(rec.materialization.iter()) {
-        tables.insert(view.id, materialize_union(store, def));
+        tables.insert(view.id, Arc::new(materialize_union(store, def)));
     }
     MaterializedViews { tables }
 }
@@ -190,11 +202,18 @@ pub struct PlannedBranch {
 /// [`Deployment`] — which views cover which atoms, which atoms fall back
 /// to base-store scans, and what evaluation is estimated to cost.
 ///
-/// Produced by [`Deployment::plan`] / [`Deployment::plan_with`], executed
-/// by [`Deployment::answer_query`]. Planning records the deployment's
-/// store version; execution refuses a plan whose version no longer matches
-/// ([`SelectionError::StaleSession`]) — updates between planning and
-/// execution require re-planning, never silently stale reads.
+/// Produced by [`Deployment::plan`] / [`Deployment::plan_with`] (or their
+/// [`DeploymentSnapshot`] counterparts), executed by
+/// [`Deployment::answer_query`] / [`DeploymentSnapshot::answer_query`].
+/// Planning records the snapshot identity it was made against — the
+/// published generation's store version. Plan *structure* is
+/// generation-independent (stored rewritings plus the recommendation's
+/// static statistics catalog), so under the default policy a plan from an
+/// older generation of the **same** deployment executes fine against the
+/// current one; under [`Deployment::set_strict`] execution refuses a
+/// version mismatch with [`SelectionError::StaleSession`] instead. A plan
+/// from a different deployment lineage is always refused
+/// ([`SelectionError::ForeignPlan`]).
 #[derive(Debug, Clone)]
 pub struct QueryPlan {
     query: ConjunctiveQuery,
@@ -223,7 +242,8 @@ impl QueryPlan {
         self.policy
     }
 
-    /// The store version the plan was made against.
+    /// The snapshot identity the plan was made against: the published
+    /// generation's store version at planning time.
     pub fn store_version(&self) -> u64 {
         self.store_version
     }
@@ -334,11 +354,21 @@ struct EntailmentBase {
 ///
 /// Updates flow through [`Deployment::insert_batch`] /
 /// [`Deployment::delete_batch`]: one set-at-a-time delta join per view per
-/// batch keeps the views exactly consistent. The base store is also
-/// directly writable ([`Deployment::store_mut`]); the deployment tracks
-/// the store version its views were maintained to, and every read entry
-/// point refuses with [`SelectionError::StaleSession`] once direct writes
-/// desynchronize them — [`Deployment::rematerialize`] re-syncs.
+/// batch keeps the views exactly consistent, and each completed batch
+/// atomically **publishes** a new read generation — an immutable
+/// [`StoreSnapshot`] plus `Arc`-shared view tables — swapped under a
+/// light `RwLock` while pinned readers ([`Deployment::snapshot`] /
+/// [`Deployment::reader`]) run wait-free on their own generations.
+///
+/// The base store is also directly writable ([`Deployment::store_mut`]);
+/// such writes bypass maintenance, so no new generation is published and
+/// reads keep serving the last *consistent* one until
+/// [`Deployment::rematerialize`] absorbs them. Under the default policy
+/// that is the entire contract — reads never refuse; opt into the
+/// pre-snapshot refuse-on-mismatch behavior with
+/// [`Deployment::set_strict`], which restores
+/// [`SelectionError::StaleSession`] on every read entry point while the
+/// views lag the store.
 ///
 /// Under saturation reasoning the deployment also carries the schema and
 /// the explicit store, so updates stay entailment-aware: an inserted
@@ -346,14 +376,79 @@ struct EntailmentBase {
 /// explicit triple retracts exactly the entailments that lose their last
 /// derivation. (The schema itself is assumed fixed for the deployment's
 /// lifetime — schema-statement updates require re-deploying.)
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Deployment {
-    rec: Recommendation,
+    /// The shared planning context (recommendation, reformulation schema,
+    /// lineage ids): everything planning needs and maintenance never
+    /// touches, `Arc`-shared with every snapshot and reader so plans can
+    /// be produced off any pinned generation without the deployment.
+    ctx: Arc<PlanCtx>,
     store: TripleStore,
     views: Vec<DeployedView>,
+    /// The live working tables maintenance rebuilds in place; published
+    /// generations clone this map (one `Arc` bump per view), so unchanged
+    /// tables — with their warm index caches — are shared across
+    /// generations.
     tables: MaterializedViews,
     dirty: FxHashSet<ViewId>,
     entailment: Option<EntailmentBase>,
+    /// The store version the views are maintained to; diverges from
+    /// `store.version()` only through direct `store_mut` writes. Always
+    /// equal to the published generation's version.
+    maintained_version: u64,
+    /// Opt-in strictness: when set, every read entry point refuses with
+    /// [`SelectionError::StaleSession`] while the views lag the store or
+    /// a plan's version stamp mismatches — the pre-snapshot contract.
+    strict: bool,
+    /// The published read generation, swapped whole under a light
+    /// `RwLock`: readers clone the `Arc` (one read-lock acquisition per
+    /// pin) and then run wait-free; the writer publishes by one
+    /// assignment. Shared with every [`SnapshotReader`].
+    current: Arc<RwLock<Arc<Generation>>>,
+    /// Cached plans of the stored workload rewritings, keyed by original
+    /// query index — [`Deployment::answer`] serves repeated calls from
+    /// here instead of re-assembling (and re-estimating) the plan. Plan
+    /// structure is generation-independent, so entries survive generation
+    /// swaps: their version stamp is re-synced to the published snapshot
+    /// identity on each use instead of thrashing the cache.
+    workload_plans: FxHashMap<usize, QueryPlan>,
+    /// Per-branch engine decisions and leapfrog counters from the most
+    /// recent [`Deployment::answer_query`] call — see
+    /// [`Deployment::last_eval_stats`].
+    last_eval: Vec<EvalStats>,
+}
+
+impl Clone for Deployment {
+    fn clone(&self) -> Self {
+        Self {
+            // Sharing the context keeps the clone's lineage: plans made by
+            // either deployment execute on both (their stores, views and
+            // view ids are identical at the point of cloning).
+            ctx: Arc::clone(&self.ctx),
+            store: self.store.clone(),
+            views: self.views.clone(),
+            tables: self.tables.clone(),
+            dirty: self.dirty.clone(),
+            entailment: self.entailment.clone(),
+            maintained_version: self.maintained_version,
+            strict: self.strict,
+            // A fresh generation slot: the two deployments diverge from
+            // here, so the clone must publish to its own readers only.
+            current: Arc::new(RwLock::new(self.current_generation())),
+            workload_plans: self.workload_plans.clone(),
+            last_eval: self.last_eval.clone(),
+        }
+    }
+}
+
+/// The immutable planning context of a deployment, `Arc`-shared between
+/// the live [`Deployment`], every [`DeploymentSnapshot`] and every
+/// [`SnapshotReader`]: planning reads only view definitions and the
+/// recommendation's static statistics catalog, so one context serves all
+/// generations.
+#[derive(Debug, Clone)]
+struct PlanCtx {
+    rec: Recommendation,
     /// The schema for ad-hoc query reformulation — set on deployments of
     /// pre/post-reformulation recommendations, whose base store is the
     /// *original* (unsaturated) one: hybrid plans reformulate the query so
@@ -362,9 +457,6 @@ pub struct Deployment {
     /// saturated); neither do views-only plans in any mode (the view
     /// tables already hold the saturated extensions, Theorem 4.2).
     reform: Option<(Schema, VocabIds)>,
-    /// The store version the views are maintained to; diverges from
-    /// `store.version()` only through direct `store_mut` writes.
-    maintained_version: u64,
     /// Process-unique lineage id stamped into every [`QueryPlan`], so a
     /// plan from one deployment cannot silently execute on another whose
     /// store happens to share a version number (clones keep the id: their
@@ -376,19 +468,201 @@ pub struct Deployment {
     /// plans can never execute against a reloaded deployment). Initially
     /// equal to `deployment_id`.
     lineage: u64,
-    /// Cached plans of the stored workload rewritings, keyed by original
-    /// query index — [`Deployment::answer`] serves repeated calls from
-    /// here instead of re-assembling (and re-estimating) the plan. The
-    /// recorded store version invalidates entries after any maintenance.
-    workload_plans: FxHashMap<usize, QueryPlan>,
-    /// Per-branch engine decisions and leapfrog counters from the most
-    /// recent [`Deployment::answer_query`] call — see
-    /// [`Deployment::last_eval_stats`].
-    last_eval: Vec<EvalStats>,
+}
+
+/// One published read generation: an immutable pinned store plus the
+/// `Arc`-shared view tables consistent with it. Swapped whole in the
+/// deployment's generation slot; readers holding an older `Arc` keep
+/// their entire generation alive until they drop it.
+#[derive(Debug)]
+struct Generation {
+    store: StoreSnapshot,
+    tables: Arc<MaterializedViews>,
+}
+
+impl Generation {
+    fn version(&self) -> u64 {
+        self.store.version()
+    }
 }
 
 /// Allocator for [`Deployment`] lineage ids.
 static DEPLOYMENT_IDS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// A pinned, immutable read generation of a [`Deployment`]: the paper's
+/// serving story under concurrent maintenance. Produced by
+/// [`Deployment::snapshot`] / [`SnapshotReader::snapshot`]; every method
+/// takes `&self`, so a snapshot can be shared across threads and answers
+/// wait-free — no locks are taken after the pin, and writer batches
+/// publishing new generations never touch this one. Answers are as-of
+/// [`DeploymentSnapshot::version`] forever; [`SelectionError::StaleSession`]
+/// cannot occur on a snapshot.
+///
+/// Memory: a retained snapshot keeps its whole generation alive — the
+/// pinned store (triple list + built index runs) and every view table of
+/// its generation — though all of it is `Arc`-shared with the live
+/// deployment until maintenance diverges them. Drop the snapshot (and any
+/// clones) to release the pin.
+#[derive(Debug, Clone)]
+pub struct DeploymentSnapshot {
+    ctx: Arc<PlanCtx>,
+    generation: Arc<Generation>,
+}
+
+impl DeploymentSnapshot {
+    /// The pinned generation's store version — the snapshot identity
+    /// stamped into plans made from this snapshot.
+    pub fn version(&self) -> u64 {
+        self.generation.version()
+    }
+
+    /// The durable lineage id of the deployment this snapshot pins.
+    pub fn lineage(&self) -> u64 {
+        self.ctx.lineage
+    }
+
+    /// The pinned base store generation.
+    pub fn store(&self) -> &TripleStore {
+        &self.generation.store
+    }
+
+    /// The pinned view tables.
+    pub fn tables(&self) -> &MaterializedViews {
+        &self.generation.tables
+    }
+
+    /// Plans original workload query `query_idx` from its stored
+    /// rewriting(s) against this snapshot — see
+    /// [`Deployment::plan_workload`].
+    pub fn plan_workload(&self, query_idx: usize) -> Result<QueryPlan, SelectionError> {
+        self.ctx.plan_workload(query_idx, self.version())
+    }
+
+    /// Plans an ad-hoc query against this snapshot under the default
+    /// ([`AnswerPolicy::Hybrid`]) policy — see [`Deployment::plan`].
+    pub fn plan(&self, q: &ConjunctiveQuery) -> Result<QueryPlan, SelectionError> {
+        self.plan_with(q, AnswerPolicy::default())
+    }
+
+    /// Plans an ad-hoc query against this snapshot under `policy` — see
+    /// [`Deployment::plan_with`].
+    pub fn plan_with(
+        &self,
+        q: &ConjunctiveQuery,
+        policy: AnswerPolicy,
+    ) -> Result<QueryPlan, SelectionError> {
+        self.ctx.plan_with(q, policy, self.version())
+    }
+
+    /// Executes a plan against the pinned generation. Plans from any
+    /// generation of the same deployment are accepted (plan structure is
+    /// generation-independent); a plan from a different deployment fails
+    /// with [`SelectionError::ForeignPlan`].
+    pub fn answer_query(&self, plan: &QueryPlan) -> Result<Answers, SelectionError> {
+        Ok(self.answer_query_stats(plan)?.0)
+    }
+
+    /// Like [`DeploymentSnapshot::answer_query`], also returning the
+    /// per-branch engine decisions and leapfrog counters (the snapshot is
+    /// immutable, so the stats are returned rather than stored).
+    pub fn answer_query_stats(
+        &self,
+        plan: &QueryPlan,
+    ) -> Result<(Answers, Vec<EvalStats>), SelectionError> {
+        if plan.deployment != self.ctx.deployment_id {
+            return Err(SelectionError::ForeignPlan);
+        }
+        Ok(execute_plan(
+            &self.generation.store,
+            &self.generation.tables,
+            plan,
+        ))
+    }
+
+    /// Answers original workload query `query_idx` from the pinned
+    /// generation.
+    pub fn answer(&self, query_idx: usize) -> Result<Answers, SelectionError> {
+        let plan = self.plan_workload(query_idx)?;
+        self.answer_query(&plan)
+    }
+
+    /// Plans and answers an ad-hoc query against the pinned generation
+    /// under the default ([`AnswerPolicy::Hybrid`]) policy.
+    pub fn answer_adhoc(&self, q: &ConjunctiveQuery) -> Result<Answers, SelectionError> {
+        self.answer_adhoc_with(q, AnswerPolicy::default())
+    }
+
+    /// Plans and answers an ad-hoc query against the pinned generation
+    /// under `policy`.
+    pub fn answer_adhoc_with(
+        &self,
+        q: &ConjunctiveQuery,
+        policy: AnswerPolicy,
+    ) -> Result<Answers, SelectionError> {
+        let plan = self.plan_with(q, policy)?;
+        self.answer_query(&plan)
+    }
+}
+
+/// A cheap, thread-safe handle onto a deployment's published-generation
+/// slot: [`SnapshotReader::snapshot`] pins whatever generation the writer
+/// most recently published (one read-lock acquisition, then wait-free).
+/// Clone one per reader thread; the writer keeps mutating the
+/// [`Deployment`] concurrently, and each pin observes a complete,
+/// consistent generation — never a torn one, never
+/// [`SelectionError::StaleSession`].
+#[derive(Debug, Clone)]
+pub struct SnapshotReader {
+    ctx: Arc<PlanCtx>,
+    current: Arc<RwLock<Arc<Generation>>>,
+}
+
+impl SnapshotReader {
+    /// Pins the most recently published generation.
+    pub fn snapshot(&self) -> DeploymentSnapshot {
+        DeploymentSnapshot {
+            ctx: Arc::clone(&self.ctx),
+            generation: Arc::clone(&read_unpoisoned(&self.current)),
+        }
+    }
+
+    /// The durable lineage id of the deployment this reader serves.
+    pub fn lineage(&self) -> u64 {
+        self.ctx.lineage
+    }
+}
+
+/// Executes every branch of a plan against one generation (a pinned
+/// store + its view tables) and unions the branch answers set-wise. The
+/// shared execution core of [`Deployment::answer_query`] and
+/// [`DeploymentSnapshot::answer_query`].
+fn execute_plan(
+    store: &TripleStore,
+    tables: &MaterializedViews,
+    plan: &QueryPlan,
+) -> (Answers, Vec<EvalStats>) {
+    let arity = plan.query.head.len();
+    let mut set: FxHashSet<Vec<Id>> = FxHashSet::default();
+    let mut stats = Vec::with_capacity(plan.branches.len());
+    for b in &plan.branches {
+        let atoms: Vec<MixedAtom<'_>> = b
+            .plan
+            .atoms
+            .iter()
+            .map(|pa| match pa {
+                PlanAtom::View(ra) => MixedAtom::View(ViewAtom {
+                    table: tables.table(ra.view),
+                    args: ra.args.clone(),
+                }),
+                PlanAtom::Base(a) => MixedAtom::Store(*a),
+            })
+            .collect();
+        let (answers, branch_stats) = evaluate_mixed_stats(store, &atoms, &b.plan.head);
+        set.extend(answers.into_tuples());
+        stats.push(branch_stats);
+    }
+    (Answers::from_set(arity, set), stats)
+}
 
 impl Deployment {
     /// Materializes `rec`'s views over `store` and snapshots the store as
@@ -411,21 +685,29 @@ impl Deployment {
             .collect();
         let mut tables = MaterializedViews::default();
         for dv in &views {
-            tables.tables.insert(dv.id, dv.merged_table());
+            tables.tables.insert(dv.id, Arc::new(dv.merged_table()));
         }
         let maintained_version = store.version();
         let id = DEPLOYMENT_IDS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let generation = Arc::new(Generation {
+            store: store.snapshot(),
+            tables: Arc::new(tables.clone()),
+        });
         Self {
-            rec,
+            ctx: Arc::new(PlanCtx {
+                rec,
+                reform: None,
+                deployment_id: id,
+                lineage: id,
+            }),
             store,
             views,
             tables,
             dirty: FxHashSet::default(),
             entailment: None,
-            reform: None,
             maintained_version,
-            deployment_id: id,
-            lineage: id,
+            strict: false,
+            current: Arc::new(RwLock::new(generation)),
             workload_plans: FxHashMap::default(),
             last_eval: Vec::new(),
         }
@@ -435,7 +717,7 @@ impl Deployment {
     /// [`Deployment::open`] round-trips, so a recovered deployment can be
     /// traced back to the tuning session that produced it.
     pub fn lineage(&self) -> u64 {
-        self.lineage
+        self.ctx.lineage
     }
 
     /// Attaches a schema for **ad-hoc query** reformulation — used by
@@ -445,7 +727,9 @@ impl Deployment {
     /// scans remain entailment-complete; without it, residual base scans
     /// on such a deployment would silently miss implicit triples.
     pub fn with_query_reformulation(mut self, schema: Schema, vocab: VocabIds) -> Self {
-        self.reform = Some((schema, vocab));
+        // Builder-time only: no snapshots or readers exist yet, so the
+        // context `Arc` is unshared and `make_mut` mutates in place.
+        Arc::make_mut(&mut self.ctx).reform = Some((schema, vocab));
         self
     }
 
@@ -471,7 +755,62 @@ impl Deployment {
 
     /// The recommendation this deployment serves.
     pub fn recommendation(&self) -> &Recommendation {
-        &self.rec
+        &self.ctx.rec
+    }
+
+    /// Whether strict (refuse-on-mismatch) read semantics are enabled.
+    pub fn strict(&self) -> bool {
+        self.strict
+    }
+
+    /// Opts into the pre-snapshot strictness contract: while direct
+    /// `store_mut` writes leave the views behind the store — or when a
+    /// plan's version stamp mismatches the current store — read entry
+    /// points refuse with [`SelectionError::StaleSession`] instead of
+    /// serving the last published consistent generation. Use this when a
+    /// silently as-of answer is worse than no answer (e.g. read-your-own-
+    /// writes tests against bulk loads).
+    pub fn set_strict(&mut self, strict: bool) {
+        self.strict = strict;
+    }
+
+    /// Pins the current published generation as an immutable
+    /// [`DeploymentSnapshot`]: answers stay as-of this generation no
+    /// matter what maintenance applies afterwards. O(1) — one read-lock
+    /// acquisition, `Arc` bumps only.
+    pub fn snapshot(&self) -> DeploymentSnapshot {
+        DeploymentSnapshot {
+            ctx: Arc::clone(&self.ctx),
+            generation: self.current_generation(),
+        }
+    }
+
+    /// A cheap `Send + Sync` handle for reader threads: each
+    /// [`SnapshotReader::snapshot`] call pins the generation most recently
+    /// published by this deployment's maintenance batches.
+    pub fn reader(&self) -> SnapshotReader {
+        SnapshotReader {
+            ctx: Arc::clone(&self.ctx),
+            current: Arc::clone(&self.current),
+        }
+    }
+
+    /// The published read generation (always complete and consistent).
+    fn current_generation(&self) -> Arc<Generation> {
+        Arc::clone(&read_unpoisoned(&self.current))
+    }
+
+    /// Publishes the current (fresh) store + tables as the new read
+    /// generation: pinned readers keep their old `Arc`s, new pins get
+    /// this one. Must only be called when the views are maintained to the
+    /// store (`!is_stale()`), so every published generation is consistent.
+    fn publish(&mut self) {
+        self.rebuild_dirty();
+        let generation = Arc::new(Generation {
+            store: self.store.snapshot(),
+            tables: Arc::new(self.tables.clone()),
+        });
+        *write_unpoisoned(&self.current) = generation;
     }
 
     /// The maintenance base store (reflects all applied updates).
@@ -517,20 +856,26 @@ impl Deployment {
         Ok(())
     }
 
-    /// Re-syncs the version stamp after a maintenance pass — but only when
-    /// the deployment was fresh going in. A batch applied on top of
-    /// unabsorbed direct `store_mut` writes maintains the views for *its*
-    /// triples only, so the deployment must stay stale until
-    /// [`Deployment::rematerialize`] picks up the direct writes too.
+    /// Re-syncs the version stamp and publishes the new read generation
+    /// after a maintenance pass — but only when the deployment was fresh
+    /// going in. A batch applied on top of unabsorbed direct `store_mut`
+    /// writes maintains the views for *its* triples only, so the
+    /// deployment must stay stale (and keep serving the last consistent
+    /// generation) until [`Deployment::rematerialize`] picks up the
+    /// direct writes too.
     fn sync_version(&mut self, was_fresh: bool) {
-        if was_fresh {
+        // `was_fresh` means the published generation matched the store at
+        // batch start; republish only if the batch actually moved it.
+        if was_fresh && self.maintained_version != self.store.version() {
             self.maintained_version = self.store.version();
+            self.publish();
         }
     }
 
-    /// Rebuilds every view from scratch over the current base store and
-    /// re-syncs the version stamp — the recovery path after direct writes
-    /// through [`Deployment::store_mut`].
+    /// Rebuilds every view from scratch over the current base store,
+    /// re-syncs the version stamp, and publishes the result as the new
+    /// read generation — the recovery path after direct writes through
+    /// [`Deployment::store_mut`].
     pub fn rematerialize(&mut self) {
         for dv in &mut self.views {
             for b in &mut dv.branches {
@@ -539,9 +884,12 @@ impl Deployment {
         }
         self.dirty.clear();
         for dv in &self.views {
-            self.tables.tables.insert(dv.id, dv.merged_table());
+            self.tables
+                .tables
+                .insert(dv.id, Arc::new(dv.merged_table()));
         }
         self.maintained_version = self.store.version();
+        self.publish();
     }
 
     /// Number of deployed views.
@@ -550,22 +898,29 @@ impl Deployment {
     }
 
     /// Rebuilds the tables of views whose rows changed since the last
-    /// read.
+    /// publish: each rebuilt table gets a fresh `Arc`, so generations
+    /// already published keep the pre-batch tables untouched.
     fn rebuild_dirty(&mut self) {
         if self.dirty.is_empty() {
             return;
         }
         for dv in &self.views {
             if self.dirty.remove(&dv.id) {
-                self.tables.tables.insert(dv.id, dv.merged_table());
+                self.tables
+                    .tables
+                    .insert(dv.id, Arc::new(dv.merged_table()));
             }
         }
     }
 
-    /// The current view tables (refreshed if updates arrived). Fails with
-    /// [`SelectionError::StaleSession`] after unmaintained direct writes.
+    /// The current view tables (refreshed if updates arrived). In strict
+    /// mode fails with [`SelectionError::StaleSession`] after unmaintained
+    /// direct writes; otherwise the tables reflect the last maintained
+    /// (published) generation.
     pub fn tables(&mut self) -> Result<&MaterializedViews, SelectionError> {
-        self.ensure_fresh()?;
+        if self.strict {
+            self.ensure_fresh()?;
+        }
         self.rebuild_dirty();
         Ok(&self.tables)
     }
@@ -593,21 +948,26 @@ impl Deployment {
     /// Answers original workload query `query_idx` from the views alone —
     /// a thin delegate that plans the stored workload rewriting
     /// ([`Deployment::plan_workload`]) and executes it through
-    /// [`Deployment::answer_query`]. Fails with
-    /// [`SelectionError::StaleSession`] after unmaintained direct writes —
-    /// never with silently stale answers.
+    /// [`Deployment::answer_query`]. In strict mode this fails with
+    /// [`SelectionError::StaleSession`] after unmaintained direct writes;
+    /// by default it answers from the published generation.
     pub fn answer(&mut self, query_idx: usize) -> Result<Answers, SelectionError> {
-        // Serve repeated calls from the plan cache; the recorded store
-        // version invalidates entries after any maintenance pass.
-        let cached = self
-            .workload_plans
-            .get(&query_idx)
-            .filter(|p| p.store_version == self.store.version())
-            .cloned();
-        let plan = match cached {
-            Some(plan) => plan,
+        if self.strict {
+            self.ensure_fresh()?;
+        }
+        // Serve repeated calls from the plan cache. Plan structure is
+        // generation-independent (stored rewritings + static catalog), so
+        // a cached entry is re-stamped with the current snapshot identity
+        // instead of re-planned: generation swaps neither thrash the
+        // cache nor let a plan carry a foreign generation's stamp.
+        let version = self.maintained_version;
+        let plan = match self.workload_plans.get_mut(&query_idx) {
+            Some(p) => {
+                p.store_version = version;
+                p.clone()
+            }
             None => {
-                let plan = self.plan_workload(query_idx)?;
+                let plan = self.ctx.plan_workload(query_idx, version)?;
                 self.workload_plans.insert(query_idx, plan.clone());
                 plan
             }
@@ -621,33 +981,10 @@ impl Deployment {
     /// branches in pre-reformulation mode). The resulting plan is always
     /// views-only.
     pub fn plan_workload(&self, query_idx: usize) -> Result<QueryPlan, SelectionError> {
-        self.ensure_fresh()?;
-        let state = &self.rec.outcome.best_state;
-        let mut branches = Vec::new();
-        for (eff, &orig) in self.rec.branch_of.iter().enumerate() {
-            if orig != query_idx {
-                continue;
-            }
-            let r = &state.rewritings()[eff];
-            let plan = RewritePlan {
-                head: r.head.clone(),
-                atoms: r.atoms.iter().map(|a| PlanAtom::View(a.clone())).collect(),
-            };
-            branches.push(self.branch_of_plan(self.rec.workload[eff].clone(), plan));
+        if self.strict {
+            self.ensure_fresh()?;
         }
-        if branches.is_empty() {
-            return Err(SelectionError::UnknownQuery {
-                index: query_idx,
-                len: self.rec.original_query_count(),
-            });
-        }
-        Ok(QueryPlan {
-            query: branches[0].query.clone(),
-            branches,
-            policy: AnswerPolicy::ViewsOnly,
-            store_version: self.store.version(),
-            deployment: self.deployment_id,
-        })
+        self.ctx.plan_workload(query_idx, self.maintained_version)
     }
 
     /// Plans an **ad-hoc** conjunctive query — any query, registered in
@@ -682,7 +1019,53 @@ impl Deployment {
         q: &ConjunctiveQuery,
         policy: AnswerPolicy,
     ) -> Result<QueryPlan, SelectionError> {
-        self.ensure_fresh()?;
+        if self.strict {
+            self.ensure_fresh()?;
+        }
+        self.ctx.plan_with(q, policy, self.maintained_version)
+    }
+}
+
+impl PlanCtx {
+    /// [`Deployment::plan_workload`], parameterized by the snapshot
+    /// identity to stamp into the plan.
+    fn plan_workload(&self, query_idx: usize, version: u64) -> Result<QueryPlan, SelectionError> {
+        let state = &self.rec.outcome.best_state;
+        let mut branches = Vec::new();
+        for (eff, &orig) in self.rec.branch_of.iter().enumerate() {
+            if orig != query_idx {
+                continue;
+            }
+            let r = &state.rewritings()[eff];
+            let plan = RewritePlan {
+                head: r.head.clone(),
+                atoms: r.atoms.iter().map(|a| PlanAtom::View(a.clone())).collect(),
+            };
+            branches.push(self.branch_of_plan(self.rec.workload[eff].clone(), plan));
+        }
+        if branches.is_empty() {
+            return Err(SelectionError::UnknownQuery {
+                index: query_idx,
+                len: self.rec.original_query_count(),
+            });
+        }
+        Ok(QueryPlan {
+            query: branches[0].query.clone(),
+            branches,
+            policy: AnswerPolicy::ViewsOnly,
+            store_version: version,
+            deployment: self.deployment_id,
+        })
+    }
+
+    /// [`Deployment::plan_with`], parameterized by the snapshot identity
+    /// to stamp into the plan.
+    fn plan_with(
+        &self,
+        q: &ConjunctiveQuery,
+        policy: AnswerPolicy,
+        version: u64,
+    ) -> Result<QueryPlan, SelectionError> {
         if q.atoms.is_empty() {
             return Err(SelectionError::UnsupportedQuery {
                 reason: "the query body is empty".into(),
@@ -713,7 +1096,7 @@ impl Deployment {
                 query: minimized,
                 branches: vec![branch],
                 policy,
-                store_version: self.store.version(),
+                store_version: version,
                 deployment: self.deployment_id,
             });
         }
@@ -755,7 +1138,7 @@ impl Deployment {
             query: minimized,
             branches,
             policy,
-            store_version: self.store.version(),
+            store_version: version,
             deployment: self.deployment_id,
         })
     }
@@ -831,7 +1214,9 @@ impl Deployment {
         let io: f64 = rel_atoms.iter().map(|a| a.stats.card).sum();
         io + estimate_conjunction(&rel_atoms)
     }
+}
 
+impl Deployment {
     /// Executes a plan produced by [`Deployment::plan`] /
     /// [`Deployment::plan_workload`]: every branch runs through the shared
     /// join pipeline (`evaluate_mixed_stats` — view scans probe the
@@ -839,49 +1224,36 @@ impl Deployment {
     /// store's permutation indexes; cyclic branch shapes route to the
     /// worst-case-optimal leapfrog engine, see
     /// [`Deployment::last_eval_stats`]), and branch answers union
-    /// set-wise.
+    /// set-wise. Execution runs against the **published generation** —
+    /// the views and store of the last completed maintenance pass — so
+    /// plans from any generation of this deployment execute consistently
+    /// even while direct writes are pending.
     ///
-    /// Fails with [`SelectionError::StaleSession`] when the deployment is
-    /// stale **or** when the plan was made against an older store version:
-    /// maintenance between planning and execution requires re-planning,
-    /// never a silently stale (or silently wrong) read. A plan produced by
-    /// a *different* deployment fails with
+    /// In strict mode ([`Deployment::set_strict`]) this instead fails
+    /// with [`SelectionError::StaleSession`] when the deployment is stale
+    /// **or** when the plan was made against an older store version:
+    /// maintenance between planning and execution then requires
+    /// re-planning, never a silently as-of read. A plan produced by a
+    /// *different* deployment always fails with
     /// [`SelectionError::ForeignPlan`] — view ids only mean something
     /// within their own lineage.
     pub fn answer_query(&mut self, plan: &QueryPlan) -> Result<Answers, SelectionError> {
-        if plan.deployment != self.deployment_id {
+        if plan.deployment != self.ctx.deployment_id {
             return Err(SelectionError::ForeignPlan);
         }
-        self.ensure_fresh()?;
-        if plan.store_version != self.store.version() {
-            return Err(SelectionError::StaleSession {
-                prepared: plan.store_version,
-                current: self.store.version(),
-            });
+        if self.strict {
+            self.ensure_fresh()?;
+            if plan.store_version != self.store.version() {
+                return Err(SelectionError::StaleSession {
+                    prepared: plan.store_version,
+                    current: self.store.version(),
+                });
+            }
         }
-        self.rebuild_dirty();
-        let arity = plan.query.head.len();
-        let mut set: FxHashSet<Vec<Id>> = FxHashSet::default();
-        let mut stats = Vec::with_capacity(plan.branches.len());
-        for b in &plan.branches {
-            let atoms: Vec<MixedAtom<'_>> = b
-                .plan
-                .atoms
-                .iter()
-                .map(|pa| match pa {
-                    PlanAtom::View(ra) => MixedAtom::View(ViewAtom {
-                        table: self.tables.table(ra.view),
-                        args: ra.args.clone(),
-                    }),
-                    PlanAtom::Base(a) => MixedAtom::Store(*a),
-                })
-                .collect();
-            let (answers, branch_stats) = evaluate_mixed_stats(&self.store, &atoms, &b.plan.head);
-            set.extend(answers.into_tuples());
-            stats.push(branch_stats);
-        }
+        let generation = self.current_generation();
+        let (answers, stats) = execute_plan(&generation.store, &generation.tables, plan);
         self.last_eval = stats;
-        Ok(Answers::from_set(arity, set))
+        Ok(answers)
     }
 
     /// Per-branch evaluation statistics from the most recent
@@ -1305,13 +1677,16 @@ mod tests {
         assert_eq!(batched.insert_batch(&feed[1..3]).batches, 0);
     }
 
-    /// The versioned writable store: direct writes stale the deployment's
-    /// reads until it rematerializes.
+    /// The versioned writable store under the opt-in strict policy:
+    /// direct writes stale the deployment's reads until it
+    /// rematerializes (the pre-snapshot contract).
     #[test]
     fn direct_writes_stale_reads_until_rematerialize() {
         let mut db = db();
         let rec = recommend(&mut db);
         let mut dep = Deployment::new(db.store(), rec);
+        dep.set_strict(true);
+        assert!(dep.strict());
         let baseline = dep.answer(0).unwrap();
         assert!(!dep.is_stale());
 
@@ -1351,6 +1726,7 @@ mod tests {
         let mut db = db();
         let rec = recommend(&mut db);
         let mut dep = Deployment::new(db.store(), rec);
+        dep.set_strict(true);
 
         let p = db.dict().lookup_uri("p").unwrap();
         let qq = db.dict().lookup_uri("q").unwrap();
@@ -1379,5 +1755,189 @@ mod tests {
         assert!(answers.contains(&[direct]));
         let truth = rdf_engine::evaluate(dep.store(), &dep.recommendation().workload[0]);
         assert_eq!(answers, truth);
+    }
+
+    /// Default policy: direct writes never make reads refuse — they keep
+    /// serving the last published consistent generation until
+    /// rematerialize absorbs the writes.
+    #[test]
+    fn default_reads_serve_published_generation_after_direct_writes() {
+        let mut db = db();
+        let rec = recommend(&mut db);
+        let mut dep = Deployment::new(db.store(), rec);
+        let baseline = dep.answer(0).unwrap();
+
+        let s = db.dict_mut().intern_uri("sideloaded");
+        let p = db.dict().lookup_uri("p").unwrap();
+        let qq = db.dict().lookup_uri("q").unwrap();
+        let o1 = db.dict().lookup_uri("o1").unwrap();
+        let c = db.dict().lookup_uri("c").unwrap();
+        let store = dep.store_mut().expect("plain deployments are writable");
+        store.insert_batch(&[[s, p, o1], [s, qq, c]]);
+
+        // Stale relative to the live store, but reads stay available and
+        // consistent: the published generation predates the direct write.
+        assert!(dep.is_stale());
+        let served = dep.answer(0).unwrap();
+        assert_eq!(served, baseline);
+        assert!(!served.contains(&[s]));
+        assert_eq!(
+            dep.total_rows().unwrap(),
+            dep.snapshot().tables().total_rows()
+        );
+
+        // Rematerialize publishes a generation that includes the write.
+        dep.rematerialize();
+        let refreshed = dep.answer(0).unwrap();
+        assert_eq!(refreshed.len(), baseline.len() + 1);
+        assert!(refreshed.contains(&[s]));
+    }
+
+    /// Snapshots pin a generation: maintenance batches applied afterwards
+    /// are invisible to the pin, while new pins see them.
+    #[test]
+    fn snapshots_pin_generations_across_batches() {
+        let mut db = db();
+        let rec = recommend(&mut db);
+        let mut dep = Deployment::new(db.store(), rec);
+        let baseline = dep.answer(0).unwrap();
+        let pinned = dep.snapshot();
+        assert_eq!(pinned.version(), dep.maintained_version());
+        assert_eq!(pinned.lineage(), dep.lineage());
+
+        let s = db.dict_mut().intern_uri("batched");
+        let p = db.dict().lookup_uri("p").unwrap();
+        let qq = db.dict().lookup_uri("q").unwrap();
+        let o1 = db.dict().lookup_uri("o1").unwrap();
+        let c = db.dict().lookup_uri("c").unwrap();
+        dep.insert_batch(&[[s, p, o1], [s, qq, c]]);
+
+        // The pin answers as-of its generation — repeatedly.
+        for _ in 0..2 {
+            let as_of = pinned.answer(0).unwrap();
+            assert_eq!(as_of, baseline);
+            assert!(!as_of.contains(&[s]));
+        }
+        // The live deployment (and a fresh pin) see the batch.
+        let now = dep.answer(0).unwrap();
+        assert_eq!(now.len(), baseline.len() + 1);
+        let repinned = dep.snapshot();
+        assert!(repinned.version() > pinned.version());
+        assert_eq!(repinned.answer(0).unwrap(), now);
+        // Ad-hoc planning works against the pin too.
+        let adhoc = pinned
+            .answer_adhoc(&dep.recommendation().workload[0])
+            .unwrap();
+        assert_eq!(adhoc, baseline);
+    }
+
+    /// Plan structure is generation-independent: a plan made before a
+    /// maintenance batch executes against the new generation by default,
+    /// and is refused only under the strict policy.
+    #[test]
+    fn old_plans_execute_on_new_generations_unless_strict() {
+        let mut db = db();
+        let rec = recommend(&mut db);
+        let mut dep = Deployment::new(db.store(), rec);
+        let plan = dep.plan_workload(0).unwrap();
+        let before = dep.answer_query(&plan).unwrap();
+
+        let s = db.dict_mut().intern_uri("later");
+        let p = db.dict().lookup_uri("p").unwrap();
+        let qq = db.dict().lookup_uri("q").unwrap();
+        let o1 = db.dict().lookup_uri("o1").unwrap();
+        let c = db.dict().lookup_uri("c").unwrap();
+        dep.insert_batch(&[[s, p, o1], [s, qq, c]]);
+
+        let after = dep.answer_query(&plan).unwrap();
+        assert_eq!(after.len(), before.len() + 1);
+        assert!(after.contains(&[s]));
+
+        dep.set_strict(true);
+        let err = dep.answer_query(&plan).unwrap_err();
+        assert_eq!(
+            err,
+            SelectionError::StaleSession {
+                prepared: plan.store_version(),
+                current: dep.store().version(),
+            }
+        );
+    }
+
+    /// Reader handles follow the writer's publishes: each pin observes
+    /// the most recent complete generation.
+    #[test]
+    fn reader_handles_track_published_generations() {
+        let mut db = db();
+        let rec = recommend(&mut db);
+        let mut dep = Deployment::new(db.store(), rec);
+        let reader = dep.reader();
+        let first = reader.snapshot();
+        assert_eq!(reader.lineage(), dep.lineage());
+        let baseline = first.answer(0).unwrap();
+
+        let s = db.dict_mut().intern_uri("published");
+        let p = db.dict().lookup_uri("p").unwrap();
+        let qq = db.dict().lookup_uri("q").unwrap();
+        let o1 = db.dict().lookup_uri("o1").unwrap();
+        let c = db.dict().lookup_uri("c").unwrap();
+        dep.insert_batch(&[[s, p, o1], [s, qq, c]]);
+
+        let second = reader.snapshot();
+        assert!(second.version() > first.version());
+        assert_eq!(second.answer(0).unwrap().len(), baseline.len() + 1);
+        // The older pin still answers as-of its own generation.
+        assert_eq!(first.answer(0).unwrap(), baseline);
+    }
+
+    /// Snapshots enforce lineage like the deployment does.
+    #[test]
+    fn snapshots_refuse_foreign_plans() {
+        let mut db = db();
+        let rec = recommend(&mut db);
+        let dep = Deployment::new(db.store(), rec.clone());
+        let other = Deployment::new(db.store(), rec);
+        let foreign = other.plan_workload(0).unwrap();
+        assert_eq!(
+            dep.snapshot().answer_query(&foreign).unwrap_err(),
+            SelectionError::ForeignPlan
+        );
+    }
+
+    /// The workload-plan cache is keyed by snapshot identity: generation
+    /// swaps re-stamp the cached plan instead of thrashing the cache or
+    /// serving a stale version stamp.
+    #[test]
+    fn workload_plan_cache_survives_generation_swaps() {
+        let mut db = db();
+        let rec = recommend(&mut db);
+        let mut dep = Deployment::new(db.store(), rec);
+        dep.answer(0).unwrap();
+        assert_eq!(dep.workload_plans.len(), 1);
+        let p = db.dict().lookup_uri("p").unwrap();
+        let qq = db.dict().lookup_uri("q").unwrap();
+        let o1 = db.dict().lookup_uri("o1").unwrap();
+        let c = db.dict().lookup_uri("c").unwrap();
+        for i in 0..3 {
+            let s = db.dict_mut().intern_uri(&format!("swap{i}"));
+            dep.insert_batch(&[[s, p, o1], [s, qq, c]]);
+            let answers = dep.answer(0).unwrap();
+            assert!(answers.contains(&[s]));
+            // One cached entry, re-stamped to the current snapshot
+            // identity — never duplicated, never left on an old stamp.
+            assert_eq!(dep.workload_plans.len(), 1);
+            assert_eq!(
+                dep.workload_plans[&0].store_version(),
+                dep.maintained_version()
+            );
+        }
+    }
+
+    /// The reader handle is shareable across threads by construction.
+    #[test]
+    fn reader_and_snapshot_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync + 'static>() {}
+        assert_send_sync::<SnapshotReader>();
+        assert_send_sync::<DeploymentSnapshot>();
     }
 }

@@ -685,7 +685,7 @@ impl Deployment {
         let mut store_w = Writer::new();
         enc_store_into(&mut store_w, &self.store);
         let store_bytes = store_w.into_bytes();
-        let rec_bytes = enc_rec(&self.rec);
+        let rec_bytes = enc_rec(&self.ctx.rec);
         let views_bytes = enc_deployed_views(&self.views);
         let entail_bytes = {
             let mut w = Writer::new();
@@ -701,7 +701,7 @@ impl Deployment {
         };
         let reform_bytes = {
             let mut w = Writer::new();
-            match &self.reform {
+            match &self.ctx.reform {
                 Some((schema, vocab)) => {
                     w.bool(true);
                     enc_schema_into(&mut w, schema, vocab);
@@ -723,7 +723,7 @@ impl Deployment {
         );
         let mut meta_w = Writer::new();
         meta_w.u64(self.maintained_version);
-        meta_w.u64(self.lineage);
+        meta_w.u64(self.ctx.lineage);
         EncodedBundle {
             sections: vec![
                 (SEC_DICT, dict_bytes),
@@ -814,21 +814,29 @@ impl Deployment {
 
         let mut tables = MaterializedViews::default();
         for dv in &views {
-            tables.tables.insert(dv.id, dv.merged_table());
+            tables.tables.insert(dv.id, Arc::new(dv.merged_table()));
         }
+        let generation = Arc::new(Generation {
+            store: store.snapshot(),
+            tables: Arc::new(tables.clone()),
+        });
         let dep = Deployment {
-            rec,
+            ctx: Arc::new(PlanCtx {
+                rec,
+                reform,
+                // Fresh process-scoped id: plans from the pre-crash process
+                // must not execute against the reloaded deployment.
+                deployment_id: DEPLOYMENT_IDS.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+                lineage,
+            }),
             store,
             views,
             tables,
             dirty: FxHashSet::default(),
             entailment,
-            reform,
             maintained_version,
-            // Fresh process-scoped id: plans from the pre-crash process
-            // must not execute against the reloaded deployment.
-            deployment_id: DEPLOYMENT_IDS.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
-            lineage,
+            strict: false,
+            current: Arc::new(RwLock::new(generation)),
             workload_plans: FxHashMap::default(),
             last_eval: Vec::new(),
         };
@@ -1163,6 +1171,22 @@ impl DurableDeployment {
     /// logged batch or checkpoint.
     pub fn dict_mut(&mut self) -> &mut Dictionary {
         &mut self.dict
+    }
+
+    /// Pins the wrapped deployment's published read generation — see
+    /// [`Deployment::snapshot`]. Snapshot readers keep answering as-of
+    /// their pinned generation while this handle logs and applies further
+    /// batches against the **write generation** (WAL records are stamped
+    /// with the live store's pre-apply version, which never depends on
+    /// what readers have pinned).
+    pub fn snapshot(&self) -> DeploymentSnapshot {
+        self.dep.snapshot()
+    }
+
+    /// A thread-safe handle onto the published-generation slot — see
+    /// [`Deployment::reader`].
+    pub fn reader(&self) -> SnapshotReader {
+        self.dep.reader()
     }
 
     /// Current WAL size in bytes (header included).

@@ -99,14 +99,22 @@
 //! let answers = deployment.answer_query(&plan)?;
 //! assert_eq!(answers, rdfviews::engine::evaluate(db.store(), &adhoc));
 //!
-//! // Maintenance between planning and execution? The plan is refused —
-//! // plans record the store version; re-plan to pick up the new state.
+//! // Maintenance between planning and execution? Under the default
+//! // snapshot policy the plan still runs: plan *structure* (which views
+//! // cover which atoms) is generation-independent, so it executes
+//! // against the newly published generation and sees the insert.
 //! # let s2 = db.dict().lookup_uri("s2").unwrap();
 //! # let p = db.dict().lookup_uri("p").unwrap();
 //! # let o1 = db.dict().lookup_uri("o1").unwrap();
+//! let before = deployment.answer_query(&plan)?.len();
 //! deployment.insert([s2, p, o1]);
+//! assert_eq!(deployment.answer_query(&plan)?.len(), before + 1);
+//!
+//! // Strict mode restores the old refuse-on-mismatch contract: a plan
+//! // stamped with an older generation is refused, never silently served.
+//! deployment.set_strict(true);
 //! assert!(matches!(deployment.answer_query(&plan), Err(SelectionError::StaleSession { .. })));
-//! assert!(deployment.answer_adhoc(&adhoc).is_ok());
+//! assert!(deployment.answer_adhoc(&adhoc).is_ok()); // re-plans at the current generation
 //! # Ok::<(), rdfviews::core::SelectionError>(())
 //! ```
 //!
@@ -117,6 +125,78 @@
 //! hybrid plan's query per Theorem 4.1 — one plan branch per
 //! reformulation branch — before letting it touch their original
 //! (unsaturated) base store.
+//!
+//! ## Snapshot-isolated reads: pinned copy-on-write generations
+//!
+//! Every maintenance batch **publishes a generation**: an immutable
+//! `Arc`'d pair of (base-store snapshot, view tables) swapped into place
+//! in one atomic assignment. Readers pin a generation with
+//! [`Deployment::snapshot`](exec::Deployment::snapshot) and keep
+//! answering from it — wait-free, no locks held — while writers apply
+//! batches and publish newer generations around them:
+//!
+//! ```
+//! use rdfviews::prelude::*;
+//! # use rdfviews::model::Term;
+//! let mut db = Dataset::new();
+//! # for i in 0..20 {
+//! #   db.insert_terms(Term::uri(format!("s{i}")), Term::uri("p"), Term::uri(format!("o{}", i % 4)));
+//! #   db.insert_terms(Term::uri(format!("s{i}")), Term::uri("q"), Term::uri("c"));
+//! # }
+//! let q = parse_query("q(X, Y) :- t(X, <p>, Y)", db.dict_mut()).unwrap();
+//! let mut advisor = Advisor::builder(&db).build()?;
+//! let rec = advisor.recommend(&[q.query])?;
+//! let mut deployment = advisor.deploy(rec)?;
+//! # let s2 = db.dict().lookup_uri("s2").unwrap();
+//! # let p = db.dict().lookup_uri("p").unwrap();
+//! # let o1 = db.dict().lookup_uri("o1").unwrap();
+//! let adhoc = parse_query("a(X) :- t(X, <p>, <o1>)", db.dict_mut()).unwrap().query;
+//!
+//! // Pin the current generation: O(1) — one read-lock acquisition,
+//! // `Arc` bumps only.
+//! let pinned = deployment.snapshot();
+//! let before = pinned.answer_adhoc(&adhoc)?;
+//!
+//! // A maintenance batch publishes a NEW generation; the pin is untouched.
+//! deployment.insert_batch(&[[s2, p, o1]]);
+//! assert_eq!(pinned.answer_adhoc(&adhoc)?, before); // pinned: as-of answers
+//! assert_eq!(deployment.answer_adhoc(&adhoc)?.len(), before.len() + 1); // live
+//! assert!(pinned.version() < deployment.snapshot().version());
+//!
+//! // `SnapshotReader` is the `Send + Sync` handle to hand worker
+//! // threads: each `snapshot()` call re-pins whatever generation the
+//! // writer published most recently, without blocking it.
+//! let reader = deployment.reader();
+//! assert_eq!(reader.snapshot().version(), deployment.snapshot().version());
+//! # Ok::<(), rdfviews::core::SelectionError>(())
+//! ```
+//!
+//! The mechanics worth knowing:
+//!
+//! * **Copy-on-write, not copy.** A generation shares everything the
+//!   batch did not touch with its predecessor: sorted index runs are
+//!   advanced by merging the delta into `Arc`-shared runs, and unchanged
+//!   view tables are the *same* `Arc<ViewTable>` objects — so their warm
+//!   hash/sorted index caches keep accruing across generations. Memory
+//!   per retained generation is proportional to the batch delta, not the
+//!   database.
+//! * **Pin release.** A generation stays alive exactly as long as some
+//!   [`DeploymentSnapshot`](exec::DeploymentSnapshot) (or clone of one)
+//!   holds it; dropping the last pin frees whatever that generation did
+//!   not share with its neighbors. Long-lived pins are the one way to
+//!   accumulate memory — re-pin via [`SnapshotReader`](exec::SnapshotReader)
+//!   when you want the latest data.
+//! * **Strict mode.** [`Deployment::set_strict`](exec::Deployment::set_strict)`(true)`
+//!   opts back into the historical refuse-on-mismatch behavior: plans
+//!   stamped with an older store version fail with
+//!   [`SelectionError::StaleSession`](core::SelectionError::StaleSession)
+//!   instead of executing against the published generation. Use it where
+//!   an as-of answer is worse than no answer.
+//! * **Direct writes.** Writing through `store_mut()` without running
+//!   maintenance does *not* publish; default-mode reads keep serving the
+//!   last published consistent generation (and strict mode refuses).
+//!   [`Deployment::rematerialize`](exec::Deployment::rematerialize)
+//!   re-syncs and publishes.
 //!
 //! ## Maintenance quickstart: batched updates and writable stores
 //!
@@ -280,6 +360,8 @@
 //! | *(not possible: in-memory only)* | `advisor.deploy_durable(rec, dir)?` (a [`DurableDeployment`](exec::DurableDeployment)) |
 //! | *(not possible)* | `deployment.persist(dir, dict)?` / `Deployment::open(dir)?` / `Deployment::recover(dir)?` |
 //! | ad-hoc file formats, panics on bad bytes | `Err(SelectionError::Io \| CorruptBundle \| WalTornTail)` |
+//! | `answer_query(&plan)` refused after any maintenance | executes against the current published generation by default; `deployment.set_strict(true)` restores the `StaleSession` refusal |
+//! | *(not possible: reads block on writes)* | `deployment.snapshot()` / `deployment.reader()` — wait-free pinned reads on COW generations ([`DeploymentSnapshot`](exec::DeploymentSnapshot), [`SnapshotReader`](exec::SnapshotReader)) |
 //!
 //! The workspace crates map to the paper's components:
 //!
@@ -311,7 +393,7 @@
 //! |------|--------|
 //! | X001 | no `unwrap`/`expect`/`panic!`/`unreachable!`/`todo!` on non-test library paths — return [`SelectionError`](core::SelectionError) |
 //! | X002 | every atomic op names an explicit `Ordering`; `SeqCst` needs a justification |
-//! | X003 | `.lock()` results handle poisoning (no bare `.unwrap()`); one stripe lock per expression |
+//! | X003 | `.lock()` / RwLock `.read()`/`.write()` results handle poisoning (no bare `.unwrap()`); one stripe lock per expression |
 //! | X004 | no `HashMap`/`HashSet`/`SystemTime`/`Instant` in the byte-deterministic persistence codec |
 //! | X005 | wire/section tag constants stay unique per namespace |
 //! | X006 | every `unsafe` block carries a `// SAFETY:` comment |
@@ -352,7 +434,8 @@ pub mod prelude {
     pub use crate::exec::answer_original_query;
     pub use crate::exec::{
         answer_query, materialize_recommendation, try_answer_original_query, AnswerPolicy,
-        Deployment, DurableDeployment, MaterializedViews, PlannedBranch, QueryPlan, RecoveryReport,
+        Deployment, DeploymentSnapshot, DurableDeployment, MaterializedViews, PlannedBranch,
+        QueryPlan, RecoveryReport, SnapshotReader,
     };
     pub use crate::model::{Dataset, Dictionary, Term, Triple, TripleStore};
     pub use crate::query::parser::parse_query;

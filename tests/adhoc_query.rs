@@ -267,6 +267,9 @@ fn plans_go_stale_after_maintenance_and_replan_recovers() {
     let mut advisor = Advisor::builder(&db).build().unwrap();
     let rec = advisor.recommend(&workload).unwrap();
     let mut dep = advisor.deploy(rec).unwrap();
+    // The opt-in strict policy restores the pre-snapshot contract:
+    // maintenance between planning and execution refuses the old plan.
+    dep.set_strict(true);
 
     let plan = dep.plan(&adhoc).unwrap();
     let before = dep.answer_query(&plan).unwrap();
@@ -284,6 +287,44 @@ fn plans_go_stale_after_maintenance_and_replan_recovers() {
     let after = dep.answer_query(&fresh).unwrap();
     assert_eq!(after.len(), before.len() + 1);
     assert_eq!(after, evaluate(dep.store(), &adhoc));
+}
+
+#[test]
+fn default_policy_executes_old_plans_on_new_generations() {
+    let mut db = museum();
+    let workload = museum_workload(&mut db);
+    let adhoc = parse_query(
+        "a(P, M) :- t(P, <paintedBy>, <artist2>), t(P, <exhibitedIn>, M)",
+        db.dict_mut(),
+    )
+    .unwrap()
+    .query;
+    let painting = db.dict_mut().intern_uri("late-painting");
+    let painted_by = db.dict().lookup_uri("paintedBy").unwrap();
+    let exhibited_in = db.dict().lookup_uri("exhibitedIn").unwrap();
+    let artist2 = db.dict().lookup_uri("artist2").unwrap();
+    let site0 = db.dict().lookup_uri("site0").unwrap();
+
+    let mut advisor = Advisor::builder(&db).build().unwrap();
+    let rec = advisor.recommend(&workload).unwrap();
+    let mut dep = advisor.deploy(rec).unwrap();
+
+    let plan = dep.plan(&adhoc).unwrap();
+    let before = dep.answer_query(&plan).unwrap();
+    // A snapshot pinned before the batch serves the old generation…
+    let pinned = dep.snapshot();
+
+    dep.insert_batch(&[
+        [painting, painted_by, artist2],
+        [painting, exhibited_in, site0],
+    ]);
+
+    // …while the default read path executes the *same* plan against the
+    // newly published generation — no StaleSession, answers current.
+    let after = dep.answer_query(&plan).unwrap();
+    assert_eq!(after.len(), before.len() + 1);
+    assert_eq!(after, evaluate(dep.store(), &adhoc));
+    assert_eq!(pinned.answer_query(&plan).unwrap(), before);
 }
 
 #[test]
